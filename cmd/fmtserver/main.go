@@ -1,0 +1,36 @@
+// Command fmtserver runs a stand-alone format server: the directory service
+// that maps content-derived format IDs to format metadata, enabling the
+// out-of-band discovery mode (see internal/fmtserver for the protocol).
+//
+// Usage:
+//
+//	fmtserver -addr 127.0.0.1:8701
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"github.com/open-metadata/xmit/internal/fmtserver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
+	flag.Parse()
+
+	srv := fmtserver.NewServer(nil)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("fmtserver: %v", err)
+	}
+	fmt.Printf("fmtserver: listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("fmtserver: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,42 @@
+// Command mdserver hosts XML metadata documents over HTTP — the role the
+// Apache server plays in the paper's experiments.  It serves *.xsd/*.xml
+// files from a directory, with the Hydrology application's schema document
+// published at /hydrology.xsd by default so a demo works out of the box.
+//
+// Usage:
+//
+//	mdserver -addr :8700 -dir ./schemas
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/open-metadata/xmit/internal/discovery"
+	"github.com/open-metadata/xmit/internal/hydro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8700", "listen address")
+	dir := flag.String("dir", "", "directory of schema documents to serve (optional)")
+	flag.Parse()
+
+	mux := http.NewServeMux()
+	pub := discovery.NewDocServer()
+	pub.Publish("hydrology.xsd", []byte(hydro.SchemaDocument))
+	mux.Handle("/hydrology.xsd", pub)
+	if *dir != "" {
+		if _, err := os.Stat(*dir); err != nil {
+			log.Fatalf("mdserver: %v", err)
+		}
+		mux.Handle("/", discovery.DirHandler(*dir))
+	} else {
+		mux.Handle("/", pub)
+	}
+
+	fmt.Printf("mdserver: serving metadata on http://%s/ (try /hydrology.xsd)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,147 @@
+// Command pbfdump inspects self-describing PBIO data files (written by
+// internal/iofile, e.g. the Hydrology pipeline's -archive output).  Because
+// the file embeds its own metadata, no format knowledge is needed: every
+// message decodes as a dynamic record.
+//
+// Usage:
+//
+//	pbfdump data.pbf            # one line per message
+//	pbfdump -v data.pbf         # full field values
+//	pbfdump -formats data.pbf   # just the embedded formats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/iofile"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/xmlwire"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print full field values")
+	formatsOnly := flag.Bool("formats", false, "list embedded formats and exit")
+	asXML := flag.Bool("xml", false, "emit each message as an XML document (the text the paper's Figure 1 compares against)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("pbfdump: need exactly one file argument")
+	}
+
+	ctx := pbio.NewContext()
+	r, err := iofile.Open(flag.Arg(0), ctx)
+	if err != nil {
+		log.Fatalf("pbfdump: %v", err)
+	}
+	defer r.Close()
+
+	counts := map[string]int{}
+	n := 0
+	for {
+		rec, err := r.ReadRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("pbfdump: message %d: %v", n, err)
+		}
+		n++
+		f := rec.Format()
+		counts[f.Name]++
+		if *formatsOnly {
+			continue
+		}
+		if *asXML {
+			enc, err := xmlwire.EncodeRecord(nil, rec)
+			if err != nil {
+				log.Fatalf("pbfdump: message %d: %v", n, err)
+			}
+			fmt.Printf("%s\n", enc)
+			continue
+		}
+		if *verbose {
+			fmt.Printf("#%d %s (%d bytes fixed, %s layout)\n", n, f.Name, f.Size, f.Platform)
+			for _, name := range rec.FieldNames() {
+				v, _ := rec.Get(name)
+				fmt.Printf("    %-16s %s\n", name, summarize(v))
+			}
+		} else {
+			fmt.Printf("#%-6d %-14s %s\n", n, f.Name, oneLine(rec))
+		}
+	}
+
+	fmt.Printf("\n%d messages", n)
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %s:%d", name, counts[name])
+	}
+	fmt.Println()
+	if *formatsOnly {
+		for _, name := range names {
+			f := ctx.FormatByName(name)
+			fmt.Println(f.String())
+		}
+	}
+}
+
+// summarize renders a field value, abbreviating long arrays.
+func summarize(v any) string {
+	switch s := v.(type) {
+	case []float64:
+		return abbreviateLen(len(s), fmt.Sprintf("%v", head(s, 6)))
+	case []int64:
+		return abbreviateLen(len(s), fmt.Sprintf("%v", head(s, 6)))
+	case []uint64:
+		return abbreviateLen(len(s), fmt.Sprintf("%v", head(s, 6)))
+	case []*pbio.Record:
+		return fmt.Sprintf("[%d records]", len(s))
+	case *pbio.Record:
+		return "{" + oneLine(s) + "}"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func head[T any](s []T, n int) []T {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func abbreviateLen(n int, shown string) string {
+	if n > 6 {
+		return fmt.Sprintf("%s... (%d values)", strings.TrimSuffix(shown, "]"), n)
+	}
+	return shown
+}
+
+// oneLine renders the first few scalar fields of a record.
+func oneLine(rec *pbio.Record) string {
+	var parts []string
+	for _, name := range rec.FieldNames() {
+		if len(parts) >= 4 {
+			parts = append(parts, "...")
+			break
+		}
+		v, ok := rec.Get(name)
+		if !ok {
+			continue
+		}
+		switch v.(type) {
+		case []float64, []int64, []uint64, []*pbio.Record, []byte, []bool:
+			parts = append(parts, fmt.Sprintf("%s=%s", name, summarize(v)))
+		default:
+			parts = append(parts, fmt.Sprintf("%s=%v", name, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}

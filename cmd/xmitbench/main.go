@@ -1,0 +1,123 @@
+// Command xmitbench regenerates the paper's evaluation figures
+// (Section 4) on the local machine and prints each as a table.
+//
+// Usage:
+//
+//	xmitbench              # all figures
+//	xmitbench -fig 8       # one figure (1, 3, 6, 7, 8, or "expansion")
+//	xmitbench -quick       # fast, low-precision pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/open-metadata/xmit/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", or "all"`)
+	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	if err := run(*fig, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "xmitbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, opts bench.Options) error {
+	out := os.Stdout
+	want := func(name string) bool { return fig == "all" || fig == name }
+	ran := false
+
+	if want("1") {
+		ran = true
+		res, err := bench.Fig1(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig1(out, res)
+		fmt.Fprintln(out)
+	}
+	if want("3") {
+		ran = true
+		rows, err := bench.Fig3(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig3(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("6") {
+		ran = true
+		rows, err := bench.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig6(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("7") {
+		ran = true
+		rows, err := bench.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig7(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("8") {
+		ran = true
+		rows, err := bench.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig8(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("expansion") {
+		ran = true
+		rows, err := bench.Expansion()
+		if err != nil {
+			return err
+		}
+		bench.PrintExpansion(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("amortization") {
+		ran = true
+		rows, err := bench.Amortization(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintAmortization(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("ablations") {
+		ran = true
+		stages, err := bench.AblationRegistrationStages(opts)
+		if err != nil {
+			return err
+		}
+		conv, err := bench.AblationConversion(opts)
+		if err != nil {
+			return err
+		}
+		fast, err := bench.AblationFastPaths(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblations(out, stages, conv, fast)
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Codegen: translate remotely defined metadata into Go source — the Go
+// analogue of XMIT's Java source/bytecode generation.  The printed file
+// compiles into an application and binds directly to PBIO formats via its
+// `xmit` tags.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/open-metadata/xmit/internal/core"
+	"github.com/open-metadata/xmit/internal/hydro"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+func main() {
+	tk := core.NewToolkit()
+	names, err := tk.LoadString(hydro.SchemaDocument)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %v from the Hydrology schema document\n", names)
+
+	// Generate for two different ABIs to show the mapping is
+	// platform-relative (xsd:unsignedLong is 4 bytes on sparc32 and 8 on
+	// x86_64).
+	for _, p := range []*platform.Platform{platform.Sparc32, platform.X8664} {
+		src, err := tk.GenerateGo("messages", []string{"JoinRequest"}, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("// ---- generated for %s ----\n%s\n", p, src)
+	}
+
+	// The full document, generated once for the host-like platform.
+	src, err := tk.GenerateGo("messages", nil, platform.X8664)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("// ---- all Hydrology message types (x86_64) ----\n%s", src)
+}

@@ -1,0 +1,129 @@
+// Evolution: the payoff of open metadata.  A message format is published on
+// an HTTP metadata server; the sender picks up a centrally published format
+// change at run time (no recompilation), and receivers built against the
+// old format keep working — added fields are skipped for old receivers and
+// zeroed for new receivers of old messages.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"github.com/open-metadata/xmit/internal/core"
+	"github.com/open-metadata/xmit/internal/discovery"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+const schemaV1 = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Alert">
+    <xsd:element name="seq" type="xsd:integer" />
+    <xsd:element name="level" type="xsd:integer" />
+  </xsd:complexType>
+</xsd:schema>`
+
+const schemaV2 = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Alert">
+    <xsd:element name="seq" type="xsd:integer" />
+    <xsd:element name="level" type="xsd:integer" />
+    <xsd:element name="source" type="xsd:string" />
+    <xsd:element name="severity" type="xsd:float" />
+  </xsd:complexType>
+</xsd:schema>`
+
+// AlertV1 is what the old receiver was compiled with.
+type AlertV1 struct {
+	Seq   int32
+	Level int32
+}
+
+// AlertV2 is the evolved shape.
+type AlertV2 struct {
+	Seq      int32
+	Level    int32
+	Source   string
+	Severity float32
+}
+
+func main() {
+	// Publish v1 on a local metadata server.
+	docs := discovery.NewDocServer()
+	docs.Publish("alert.xsd", []byte(schemaV1))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, docs)
+	url := "http://" + ln.Addr().String() + "/alert.xsd"
+	fmt.Println("metadata served at", url)
+
+	// The sender discovers the format remotely.
+	senderTk := core.NewToolkit()
+	if _, err := senderTk.LoadURL(url); err != nil {
+		log.Fatal(err)
+	}
+	senderCtx := pbio.NewContext()
+	tokV1, err := senderTk.Register("Alert", senderCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bV1, err := senderCtx.Bind(tokV1.Format, &AlertV1{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg1, err := bV1.Encode(&AlertV1{Seq: 1, Level: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sent v1 message (%d bytes, format %s)\n", len(msg1), tokV1.ID)
+
+	// --- The format owner publishes v2 centrally. ---
+	docs.Publish("alert.xsd", []byte(schemaV2))
+	fmt.Println("\nformat owner published an evolved Alert (adds source, severity)")
+
+	// The long-running sender refreshes — no recompile, no redeploy.
+	changed, _, err := senderTk.RefreshURL(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sender refresh detected change:", changed)
+	tokV2, err := senderTk.Register("Alert", senderCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bV2, err := senderCtx.Bind(tokV2.Format, &AlertV2{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg2, err := bV2.Encode(&AlertV2{Seq: 2, Level: 5, Source: "gauge-12", Severity: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sent v2 message (%d bytes, format %s)\n", len(msg2), tokV2.ID)
+
+	// An OLD receiver (knows only AlertV1) decodes the NEW message: the
+	// added fields are skipped by the conversion plan.
+	oldReceiver := pbio.NewContext()
+	if _, err := oldReceiver.RegisterFormat(tokV2.Format); err != nil { // learned in-band in a real exchange
+		log.Fatal(err)
+	}
+	var old AlertV1
+	if _, err := oldReceiver.Decode(msg2, &old); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nold receiver decoded v2 message: %+v (new fields skipped)\n", old)
+
+	// A NEW receiver decodes the OLD message: missing fields zero.
+	newReceiver := pbio.NewContext()
+	if _, err := newReceiver.RegisterFormat(tokV1.Format); err != nil {
+		log.Fatal(err)
+	}
+	fresh := AlertV2{Source: "stale", Severity: -1}
+	if _, err := newReceiver.Decode(msg1, &fresh); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new receiver decoded v1 message: %+v (added fields zeroed)\n", fresh)
+}

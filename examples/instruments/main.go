@@ -1,0 +1,140 @@
+// Instruments: the paper's motivating scenario of remote instruments
+// feeding a distributed workspace, exercising the toolkit's run-time
+// facilities together — enumerations with symbolic values, dynamic records
+// for message types the consumer was never compiled against, and a
+// metadata watcher that picks up centrally published format changes while
+// the feed is live.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/core"
+	"github.com/open-metadata/xmit/internal/discovery"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+const instrumentsV1 = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Status">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="nominal" />
+      <xsd:enumeration value="degraded" />
+      <xsd:enumeration value="offline" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="Observation">
+    <xsd:element name="instrument" type="xsd:string" />
+    <xsd:element name="status" type="Status" />
+    <xsd:element name="samples" type="xsd:double" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="count" />
+  </xsd:complexType>
+</xsd:schema>`
+
+// v2 adds a calibration field — published mid-run.
+const instrumentsV2 = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Status">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="nominal" />
+      <xsd:enumeration value="degraded" />
+      <xsd:enumeration value="offline" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="Observation">
+    <xsd:element name="instrument" type="xsd:string" />
+    <xsd:element name="status" type="Status" />
+    <xsd:element name="calibration" type="xsd:float" />
+    <xsd:element name="samples" type="xsd:double" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="count" />
+  </xsd:complexType>
+</xsd:schema>`
+
+func main() {
+	// The observatory publishes its formats.
+	docs := discovery.NewDocServer()
+	docs.Publish("instruments.xsd", []byte(instrumentsV1))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, docs)
+	url := "http://" + ln.Addr().String() + "/instruments.xsd"
+
+	// The instrument-side toolkit watches that URL for changes.
+	tk := core.NewToolkit()
+	formatChanged := make(chan struct{}, 1)
+	watcher, err := tk.Watch(10*time.Millisecond, func(ev core.WatchEvent) {
+		if ev.Err == nil {
+			fmt.Println("watcher: metadata changed, types:", ev.Types)
+			select {
+			case formatChanged <- struct{}{}:
+			default:
+			}
+		}
+	}, url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer watcher.Close()
+
+	sender := pbio.NewContext()
+	receiver := pbio.NewContext()
+	sConn, rConn := transport.Pipe(sender, receiver)
+	defer sConn.Close()
+	defer rConn.Close()
+
+	status := tk.Enum("Status")
+	send := func(tag string, calibration float32) {
+		tok, err := tk.Register("Observation", sender)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := pbio.NewRecord(tok.Format)
+		rec.Set("instrument", "microscope-"+tag)
+		rec.Set("status", status.Index("nominal"))
+		rec.Set("samples", []float64{1.25, 1.5, 1.75})
+		if tok.Format.FieldByName("calibration") >= 0 {
+			rec.Set("calibration", calibration)
+		}
+		if err := sConn.SendRecord(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The consumer is fully dynamic: it was compiled against nothing.
+	receive := func() {
+		rec, err := rConn.RecvRecord()
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, _ := rec.Get("instrument")
+		st, _ := rec.Get("status")
+		line := fmt.Sprintf("observation from %v: status=%s", inst, status.Value(int(st.(uint64))))
+		if cal, ok := rec.Get("calibration"); ok && rec.Format().FieldByName("calibration") >= 0 {
+			line += fmt.Sprintf(" calibration=%.2f", cal)
+		}
+		samples, _ := rec.Get("samples")
+		fmt.Printf("%s samples=%v\n", line, samples)
+	}
+
+	go send("A", 0)
+	receive()
+
+	// Mid-run, the observatory evolves the format.
+	docs.Publish("instruments.xsd", []byte(instrumentsV2))
+	select {
+	case <-formatChanged:
+	case <-time.After(5 * time.Second):
+		log.Fatal("watcher missed the change")
+	}
+
+	go send("A", 0.98)
+	receive()
+	fmt.Println("the feed evolved mid-run; neither side was recompiled or restarted")
+}

@@ -1,0 +1,3 @@
+module github.com/open-metadata/xmit
+
+go 1.22

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// AmortRow quantifies the paper's §4.2 argument: XMIT's extra registration
+// cost is a one-time charge amortised across every message sent in that
+// format, and "the number of messages sent in a particular format can
+// reasonably be expected to dominate the number of format discoveries".
+type AmortRow struct {
+	Name        string
+	ExtraRegNs  float64 // XMIT registration - native registration
+	EncodeNs    float64 // per-message marshal cost
+	BreakEvenAt float64 // messages after which the extra cost vanishes
+	// ShareAt1000 is the fraction of total cost attributable to the
+	// extra registration after 1000 messages.
+	ShareAt1000 float64
+}
+
+// Amortization derives the break-even points from the Figure 6 and
+// Figure 7 measurements.
+func Amortization(o Options) ([]AmortRow, error) {
+	reg, err := Fig6(o)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := Fig7(o)
+	if err != nil {
+		return nil, err
+	}
+	encBy := map[string]float64{}
+	for _, r := range enc {
+		encBy[r.Name] = r.NativeNs
+	}
+	var rows []AmortRow
+	for _, r := range reg {
+		row := AmortRow{
+			Name:       r.Name,
+			ExtraRegNs: r.XMITNs - r.PBIONs,
+			EncodeNs:   encBy[r.Name],
+		}
+		if row.EncodeNs > 0 {
+			row.BreakEvenAt = row.ExtraRegNs / row.EncodeNs
+		}
+		total := row.ExtraRegNs + 1000*row.EncodeNs
+		if total > 0 {
+			row.ShareAt1000 = row.ExtraRegNs / total
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintAmortization renders the §4.2 table.
+func PrintAmortization(w io.Writer, rows []AmortRow) {
+	fmt.Fprintf(w, "Amortisation (paper §4.2): XMIT's one-time registration surcharge vs per-message cost\n")
+	fmt.Fprintf(w, "%-12s %16s %16s %18s %22s\n",
+		"format", "surcharge (ms)", "encode (ms)", "break-even (msgs)", "share after 1000 msgs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %16.4f %16.5f %18.1f %21.2f%%\n",
+			r.Name, ms(r.ExtraRegNs), ms(r.EncodeNs), r.BreakEvenAt, 100*r.ShareAt1000)
+	}
+}

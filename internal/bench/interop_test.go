@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/open-metadata/xmit/internal/cdr"
+	"github.com/open-metadata/xmit/internal/mpidt"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/xdr"
+	"github.com/open-metadata/xmit/internal/xmlwire"
+)
+
+// Property: every communication mechanism in the repository, fed the same
+// format and the same value, round-trips to the same result.  This is the
+// cross-encoder differential test: a bug in any one codec's handling of a
+// kind, width, or array shows up as a disagreement.
+func TestQuickCrossEncoderAgreement(t *testing.T) {
+	ctx := pbio.NewContext(pbio.WithPlatform(Paper))
+	f, err := ctx.RegisterFields("Payload", PayloadFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := &Payload{}
+	pb, err := ctx.Bind(f, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdrC, err := cdr.NewCodec(f, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xdrC, err := xdr.NewCodec(f, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlC, err := xmlwire.NewCodec(f, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prop := func(seq int32, vals []float32) bool {
+		if len(vals) > 50 {
+			vals = vals[:50]
+		}
+		for i := range vals {
+			if vals[i] != vals[i] {
+				vals[i] = 0
+			}
+		}
+		in := Payload{Seq: seq, Count: int32(len(vals)), Values: vals}
+		var outs [4]Payload
+
+		msg, err := pb.Encode(&in)
+		if err != nil {
+			return false
+		}
+		if _, err := ctx.Decode(msg, &outs[0]); err != nil {
+			return false
+		}
+		enc, err := cdrC.Encode(nil, &in)
+		if err != nil {
+			return false
+		}
+		if err := cdrC.Decode(enc, &outs[1]); err != nil {
+			return false
+		}
+		if enc, err = xdrC.Encode(nil, &in); err != nil {
+			return false
+		}
+		if err := xdrC.Decode(enc, &outs[2]); err != nil {
+			return false
+		}
+		if enc, err = xmlC.Encode(nil, &in); err != nil {
+			return false
+		}
+		if err := xmlC.Decode(enc, &outs[3]); err != nil {
+			return false
+		}
+		for i := range outs {
+			if outs[i].Values == nil {
+				outs[i].Values = []float32{}
+			}
+		}
+		for i := 1; i < len(outs); i++ {
+			if !reflect.DeepEqual(outs[0], outs[i]) {
+				t.Logf("codec %d disagrees:\n pbio %+v\n other %+v", i, outs[0], outs[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MPI pack/unpack of the static payload agrees with PBIO's view
+// of the same memory image.
+func TestQuickMPIAgreesWithPBIO(t *testing.T) {
+	ctx := pbio.NewContext(pbio.WithPlatform(Paper))
+	const n = 25
+	f, err := ctx.RegisterFields("PayloadStatic", StaticPayloadFields(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := mpidt.FromFormat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type staticPayload struct {
+		Seq    int32
+		Count  int32
+		Values [n]float32
+	}
+	b, err := ctx.Bind(f, &staticPayload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := orderOf(Paper)
+	prop := func(seq int32, vals [n]float32) bool {
+		for i := range vals {
+			if vals[i] != vals[i] {
+				vals[i] = 0
+			}
+		}
+		in := staticPayload{Seq: seq, Count: n, Values: vals}
+		mem, err := b.EncodeBody(nil, &in)
+		if err != nil {
+			return false
+		}
+		packed, err := mpidt.Pack(mem, order, 1, dt, nil)
+		if err != nil {
+			return false
+		}
+		mem2 := make([]byte, len(mem))
+		if err := mpidt.Unpack(packed, mem2, order, 1, dt); err != nil {
+			return false
+		}
+		var out staticPayload
+		if err := ctx.DecodeBody(f, mem2, &out); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

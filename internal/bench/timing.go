@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"math"
+	"time"
+)
+
+// Options tunes measurement effort: how long each batch runs and how many
+// batches contribute to the reported minimum.
+type Options struct {
+	// BatchTime is the target wall time per measurement batch.
+	BatchTime time.Duration
+	// Batches is the number of batches; the fastest batch is reported
+	// (standard practice for CPU microbenchmarks: the minimum is the
+	// least noise-contaminated estimate).
+	Batches int
+	// MinIters is the minimum iterations per batch.
+	MinIters int
+}
+
+// DefaultOptions give stable numbers in a few seconds per figure.
+func DefaultOptions() Options {
+	return Options{BatchTime: 4 * time.Millisecond, Batches: 7, MinIters: 3}
+}
+
+// QuickOptions keep unit tests fast.
+func QuickOptions() Options {
+	return Options{BatchTime: 200 * time.Microsecond, Batches: 2, MinIters: 1}
+}
+
+func (o Options) normalize() Options {
+	if o.BatchTime == 0 {
+		o.BatchTime = 4 * time.Millisecond
+	}
+	if o.Batches == 0 {
+		o.Batches = 7
+	}
+	if o.MinIters == 0 {
+		o.MinIters = 3
+	}
+	return o
+}
+
+// timeOp measures the cost of one call to f in nanoseconds, as the fastest
+// of several timed batches.  The first error aborts measurement.
+func timeOp(o Options, f func() error) (float64, error) {
+	o = o.normalize()
+	// Warm-up (also surfaces errors before committing to batches).
+	for i := 0; i < 2; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	best := math.MaxFloat64
+	for b := 0; b < o.Batches; b++ {
+		iters := 0
+		start := time.Now()
+		var elapsed time.Duration
+		for elapsed < o.BatchTime || iters < o.MinIters {
+			if err := f(); err != nil {
+				return 0, err
+			}
+			iters++
+			elapsed = time.Since(start)
+		}
+		per := float64(elapsed.Nanoseconds()) / float64(iters)
+		if per < best {
+			best = per
+		}
+	}
+	return best, nil
+}

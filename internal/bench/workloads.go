@@ -1,0 +1,374 @@
+// Package bench defines the workloads and measurement harness that
+// regenerate every figure in the paper's evaluation (Section 4): format
+// registration costs and the Remote Discovery Multiplier (Figures 3 and 6),
+// marshal times with XMIT-generated versus native metadata (Figure 7),
+// send-side encode times across binary communication mechanisms (Figure 8),
+// and the XML-as-wire-format size and latency comparisons (Figure 1 and the
+// §4.1/§5 expansion claims).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+	"github.com/open-metadata/xmit/internal/xsd"
+)
+
+// pad extends s with '.' to exactly n bytes (deterministic string payloads
+// that pin encoded sizes to the paper's figures).
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s[:n]
+	}
+	return s + strings.Repeat(".", n-len(s))
+}
+
+// ---- Proof-of-concept structures (paper Figure 3) -------------------------
+//
+// Three structures whose sparc32 sizes are 32, 52, and 180 bytes.  The
+// first two are flat; the third is "constructed primarily of composing
+// other structures", which is why the paper's RDM stays low for it relative
+// to its size.
+
+// Poc32 is the 32-byte flight event (modelled on the paper's asdOff
+// example, Figure 2).
+type Poc32 struct {
+	CenterId  string
+	Airline   string
+	FlightNum int32
+	Off       uint32
+	Lat       float32
+	Lon       float32
+	Alt       int32
+	Speed     int32
+}
+
+// Poc52 is the 52-byte flat surveillance record.
+type Poc52 struct {
+	Airport string
+	Sensor  string
+	Seq     int32
+	Mode    uint32
+	Lat     float32
+	Lon     float32
+	Alt     int32
+	Speed   int32
+	Heading float32
+	Climb   float32
+	Squawk  uint32
+	MsgType int32
+	Age     int32
+}
+
+// PocInner and PocMid compose Poc180.
+type PocInner struct {
+	X    float32
+	Y    float32
+	Z    float32
+	Flag int32
+}
+
+// PocMid composes three PocInner values.
+type PocMid struct {
+	A  PocInner
+	B  PocInner
+	C  PocInner
+	Id int32
+}
+
+// Poc180 is the 180-byte nested structure.
+type Poc180 struct {
+	Id    int32
+	Ts    int32
+	Name  string
+	Unit  string
+	M1    PocMid
+	M2    PocMid
+	M3    PocMid
+	Crc   uint32
+	Flags uint32
+}
+
+// RegWorkload is one row of a registration experiment: the compiled-in
+// field lists (the PBIO baseline), the XML document (the XMIT path), and a
+// sample value that pins the encoded size.
+type RegWorkload struct {
+	Name string
+	// Fields maps format name -> field list, in registration order
+	// (nested formats first).
+	FieldSets []NamedFields
+	Schema    string
+	Sample    any
+	// WantStructSize/WantEncodedSize pin the paper's reported sizes
+	// (0 = unpinned).
+	WantStructSize  int
+	WantEncodedSize int
+}
+
+// NamedFields is one compiled-in format registration.
+type NamedFields struct {
+	Name   string
+	Fields []pbio.IOField
+}
+
+// Poc32Sample returns the canonical sample value (encoded size 72 on
+// sparc32, as in Figure 3's "32 [72]").
+func Poc32Sample() *Poc32 {
+	return &Poc32{
+		CenterId:  pad("KATL-TRACON", 15),
+		Airline:   pad("DeltaAirLines", 17),
+		FlightNum: 882, Off: 0x2A5F11, Lat: 33.64, Lon: -84.43, Alt: 1200, Speed: 180,
+	}
+}
+
+// Poc52Sample returns the canonical sample (encoded size 104, "52 [104]").
+func Poc52Sample() *Poc52 {
+	return &Poc52{
+		Airport: pad("Atlanta Hartsfield-Jackson", 31),
+		Sensor:  pad("ASDE-X-3", 13),
+		Seq:     10091, Mode: 3, Lat: 33.6407, Lon: -84.4277,
+		Alt: 1025, Speed: 140, Heading: 272.5, Climb: -3.25,
+		Squawk: 01200, MsgType: 7, Age: 2,
+	}
+}
+
+// Poc180Sample returns the canonical sample (encoded size 268, "180 [268]").
+func Poc180Sample() *Poc180 {
+	mid := PocMid{
+		A:  PocInner{X: 1, Y: 2, Z: 3, Flag: 1},
+		B:  PocInner{X: -1, Y: -2, Z: -3, Flag: 0},
+		C:  PocInner{X: 0.5, Y: 0.25, Z: 0.125, Flag: 2},
+		Id: 44,
+	}
+	return &Poc180{
+		Id: 5, Ts: 99999,
+		Name: pad("NCSA-Environmental-Hydrology-Demo-Feed", 48),
+		Unit: pad("metres-above-datum", 32),
+		M1:   mid, M2: mid, M3: mid,
+		Crc: 0xCAFEBABE, Flags: 0x3,
+	}
+}
+
+// PocWorkloads returns the three Figure 3 workloads.
+func PocWorkloads() []RegWorkload {
+	poc32Fields := []pbio.IOField{
+		{Name: "centerId", Type: "string"},
+		{Name: "airline", Type: "string"},
+		{Name: "flightNum", Type: "integer"},
+		{Name: "off", Type: "unsigned long"},
+		{Name: "lat", Type: "float"},
+		{Name: "lon", Type: "float"},
+		{Name: "alt", Type: "integer"},
+		{Name: "speed", Type: "integer"},
+	}
+	poc52Fields := []pbio.IOField{
+		{Name: "airport", Type: "string"},
+		{Name: "sensor", Type: "string"},
+		{Name: "seq", Type: "integer"},
+		{Name: "mode", Type: "unsigned"},
+		{Name: "lat", Type: "float"},
+		{Name: "lon", Type: "float"},
+		{Name: "alt", Type: "integer"},
+		{Name: "speed", Type: "integer"},
+		{Name: "heading", Type: "float"},
+		{Name: "climb", Type: "float"},
+		{Name: "squawk", Type: "unsigned"},
+		{Name: "msgType", Type: "integer"},
+		{Name: "age", Type: "integer"},
+	}
+	innerFields := []pbio.IOField{
+		{Name: "x", Type: "float"},
+		{Name: "y", Type: "float"},
+		{Name: "z", Type: "float"},
+		{Name: "flag", Type: "integer"},
+	}
+	midFields := []pbio.IOField{
+		{Name: "a", Type: "PocInner"},
+		{Name: "b", Type: "PocInner"},
+		{Name: "c", Type: "PocInner"},
+		{Name: "id", Type: "integer"},
+	}
+	poc180Fields := []pbio.IOField{
+		{Name: "id", Type: "integer"},
+		{Name: "ts", Type: "integer"},
+		{Name: "name", Type: "string"},
+		{Name: "unit", Type: "string"},
+		{Name: "m1", Type: "PocMid"},
+		{Name: "m2", Type: "PocMid"},
+		{Name: "m3", Type: "PocMid"},
+		{Name: "crc", Type: "unsigned"},
+		{Name: "flags", Type: "unsigned"},
+	}
+	return []RegWorkload{
+		{
+			Name:      "Poc32",
+			FieldSets: []NamedFields{{Name: "Poc32", Fields: poc32Fields}},
+			Sample:    Poc32Sample(), WantStructSize: 32, WantEncodedSize: 72,
+		},
+		{
+			Name:      "Poc52",
+			FieldSets: []NamedFields{{Name: "Poc52", Fields: poc52Fields}},
+			Sample:    Poc52Sample(), WantStructSize: 52, WantEncodedSize: 104,
+		},
+		{
+			Name: "Poc180",
+			FieldSets: []NamedFields{
+				{Name: "PocInner", Fields: innerFields},
+				{Name: "PocMid", Fields: midFields},
+				{Name: "Poc180", Fields: poc180Fields},
+			},
+			Sample: Poc180Sample(), WantStructSize: 180, WantEncodedSize: 268,
+		},
+	}
+}
+
+// BuildFormats registers a workload's compiled-in field lists into a fresh
+// context on the given platform and returns the top-level format.
+func (w *RegWorkload) BuildFormats(p *platform.Platform) (*pbio.Context, *meta.Format, error) {
+	ctx := pbio.NewContext(pbio.WithPlatform(p))
+	var last *meta.Format
+	for _, fs := range w.FieldSets {
+		f, err := ctx.RegisterFields(fs.Name, fs.Fields)
+		if err != nil {
+			return nil, nil, err
+		}
+		last = f
+	}
+	return ctx, last, nil
+}
+
+// SchemaFor derives the workload's XML document from its compiled-in
+// definition, so both registration paths describe byte-identical formats.
+func (w *RegWorkload) SchemaFor(p *platform.Platform) (string, error) {
+	_, f, err := w.BuildFormats(p)
+	if err != nil {
+		return "", err
+	}
+	s, err := xsd.FromFormat(f)
+	if err != nil {
+		return "", err
+	}
+	return s.String(), nil
+}
+
+// IOFieldsFromFormat reconstructs compiled-in field lists (nested formats
+// first) from metadata, used to build the native-registration baseline for
+// formats defined in schema documents.  The reconstructed lists register to
+// byte-identical formats.
+func IOFieldsFromFormat(f *meta.Format) ([]NamedFields, error) {
+	var out []NamedFields
+	seen := map[string]bool{}
+	var add func(f *meta.Format) error
+	add = func(f *meta.Format) error {
+		if seen[f.Name] {
+			return nil
+		}
+		seen[f.Name] = true
+		var fields []pbio.IOField
+		for i := range f.Fields {
+			fl := &f.Fields[i]
+			if fl.Sub != nil {
+				if err := add(fl.Sub); err != nil {
+					return err
+				}
+			}
+			typ, err := typeString(fl)
+			if err != nil {
+				return fmt.Errorf("bench: format %q: %w", f.Name, err)
+			}
+			fields = append(fields, pbio.IOField{Name: fl.Name, Type: typ})
+		}
+		out = append(out, NamedFields{Name: f.Name, Fields: fields})
+		return nil
+	}
+	if err := add(f); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func typeString(fl *meta.Field) (string, error) {
+	var base string
+	switch fl.Kind {
+	case meta.Integer:
+		base = fmt.Sprintf("integer(%d)", fl.Size)
+	case meta.Unsigned:
+		base = fmt.Sprintf("unsigned(%d)", fl.Size)
+	case meta.Enum:
+		base = fmt.Sprintf("enumeration(%d)", fl.Size)
+	case meta.Float:
+		if fl.Size == 8 {
+			base = "double"
+		} else {
+			base = "float"
+		}
+	case meta.Char:
+		base = "char"
+	case meta.Boolean:
+		base = fmt.Sprintf("boolean(%d)", fl.Size)
+	case meta.String:
+		base = "string"
+	case meta.Struct:
+		base = fl.Sub.Name
+	default:
+		return "", fmt.Errorf("field %q: unsupported kind %s", fl.Name, fl.Kind)
+	}
+	switch {
+	case fl.IsDynamic():
+		return fmt.Sprintf("%s[%s]", base, fl.LengthField), nil
+	case fl.IsStaticArray():
+		return fmt.Sprintf("%s[%d]", base, fl.StaticDim), nil
+	default:
+		return base, nil
+	}
+}
+
+// ---- Figure 8 payloads -----------------------------------------------------
+
+// Payload is the Figure 8 message shape: a small header plus a float array
+// sized so the binary encoding hits the figure's 100 B / 1 KB / 10 KB /
+// 100 KB points.
+type Payload struct {
+	Seq    int32
+	Count  int32
+	Values []float32
+}
+
+// PayloadSizes are the binary data sizes of Figure 8's x-axis.
+var PayloadSizes = []int{100, 1000, 10000, 100000}
+
+// NewPayload builds a payload whose PBIO body is exactly `bytes` long on a
+// 32-bit platform (12-byte fixed block + 4 bytes per value).
+func NewPayload(bytes int) (*Payload, error) {
+	if bytes < 12 || bytes%4 != 0 {
+		return nil, fmt.Errorf("bench: payload size %d not representable", bytes)
+	}
+	n := (bytes - 12) / 4
+	p := &Payload{Seq: 1, Count: int32(n), Values: make([]float32, n)}
+	for i := range p.Values {
+		p.Values[i] = float32(i%100) * 0.5
+	}
+	return p, nil
+}
+
+// PayloadFields is the compiled-in definition of the dynamic payload.
+func PayloadFields() []pbio.IOField {
+	return []pbio.IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "count", Type: "integer"},
+		{Name: "values", Type: "float[count]"},
+	}
+}
+
+// StaticPayloadFields is the fixed-size variant used for the MPI baseline
+// (MPI derived datatypes describe static struct layouts).
+func StaticPayloadFields(n int) []pbio.IOField {
+	return []pbio.IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "count", Type: "integer"},
+		{Name: "values", Type: fmt.Sprintf("float[%d]", n)},
+	}
+}

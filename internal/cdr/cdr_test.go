@@ -1,0 +1,262 @@
+package cdr
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+type msg struct {
+	Tag  byte
+	Id   int32
+	Wide int64
+	F    float32
+	D    float64
+	S    string
+	N    int32
+	V    []float64
+	G    [3]int16
+	B    bool
+	P    inner
+	K    int32
+	Ps   []inner
+}
+
+type inner struct {
+	X float64
+	L string
+}
+
+func newCodec(t *testing.T, p *platform.Platform) *Codec {
+	t.Helper()
+	ctx := pbio.NewContext(pbio.WithPlatform(p))
+	if _, err := ctx.RegisterFields("inner", []pbio.IOField{
+		{Name: "x", Type: "double"},
+		{Name: "l", Type: "string"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterFields("msg", []pbio.IOField{
+		{Name: "tag", Type: "char"},
+		{Name: "id", Type: "integer"},
+		{Name: "wide", Type: "integer(8)"},
+		{Name: "f", Type: "float"},
+		{Name: "d", Type: "double"},
+		{Name: "s", Type: "string"},
+		{Name: "n", Type: "integer"},
+		{Name: "v", Type: "double[n]"},
+		{Name: "g", Type: "integer(2)[3]"},
+		{Name: "b", Type: "boolean"},
+		{Name: "p", Type: "inner"},
+		{Name: "k", Type: "integer"},
+		{Name: "ps", Type: "inner[k]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(f, &msg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sample() msg {
+	return msg{
+		Tag: 7, Id: -32000, Wide: -1234567890123, F: 1.5, D: -2.25,
+		S: "common data representation", N: 2, V: []float64{3.5, -4.5},
+		G: [3]int16{-1, 0, 32767}, B: true,
+		P: inner{X: 0.125, L: "origin"}, K: 2,
+		Ps: []inner{{X: 1, L: "a"}, {X: 2, L: ""}},
+	}
+}
+
+func TestRoundTripBothOrders(t *testing.T) {
+	for _, p := range []*platform.Platform{platform.Sparc32, platform.X8664} {
+		c := newCodec(t, p)
+		in := sample()
+		enc, err := c.Encode(nil, &in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFlag := byte(1)
+		if p.BigEndian() {
+			wantFlag = 0
+		}
+		if enc[0] != wantFlag {
+			t.Errorf("%s: byte order flag = %d, want %d", p, enc[0], wantFlag)
+		}
+		var out msg
+		if err := c.Decode(enc, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%s:\n in  %+v\n out %+v", p, in, out)
+		}
+	}
+}
+
+// TestReaderMakesRight: a message encoded by a big-endian sender decodes on
+// a codec built for a little-endian platform, because the flag byte governs.
+func TestReaderMakesRight(t *testing.T) {
+	be := newCodec(t, platform.Sparc32)
+	le := newCodec(t, platform.X8664)
+	in := sample()
+	enc, err := be.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out msg
+	if err := le.Decode(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("cross-order decode:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestAlignmentPadding(t *testing.T) {
+	// char followed by double must pad 7 bytes (alignment from body start).
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	f, err := ctx.RegisterFields("pad", []pbio.IOField{
+		{Name: "c", Type: "char"},
+		{Name: "d", Type: "double"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type padMsg struct {
+		C byte
+		D float64
+	}
+	c, err := NewCodec(f, &padMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.Encode(nil, &padMsg{C: 1, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 (flag+pad) + 1 (char) + 7 (pad) + 8 (double) = 20.
+	if len(enc) != 20 {
+		t.Errorf("encoded length = %d, want 20 (CDR alignment)", len(enc))
+	}
+	var out padMsg
+	if err := c.Decode(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.C != 1 || out.D != 2 {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+func TestLengthMemberSynthesized(t *testing.T) {
+	c := newCodec(t, platform.X8664)
+	in := sample()
+	in.N = 99 // wrong on purpose; slice length must win
+	in.K = 0
+	enc, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out msg
+	if err := c.Decode(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 || out.K != 2 {
+		t.Errorf("length members = %d, %d, want 2, 2", out.N, out.K)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := newCodec(t, platform.X8664)
+	in := sample()
+	enc, _ := c.Encode(nil, &in)
+
+	var out msg
+	if err := c.Decode(enc[:2], &out); err == nil {
+		t.Error("short message should fail")
+	}
+	if err := c.Decode(enc[:12], &out); err == nil {
+		t.Error("truncated body should fail")
+	}
+	if err := c.Decode(enc, out); err == nil {
+		t.Error("non-pointer target should fail")
+	}
+	var wrong struct{ X int }
+	if err := c.Decode(enc, &wrong); err == nil {
+		t.Error("wrong type should fail")
+	}
+	if _, err := c.Encode(nil, (*msg)(nil)); err == nil {
+		t.Error("nil pointer should fail")
+	}
+	if _, err := c.Encode(nil, &wrong); err == nil {
+		t.Error("wrong encode type should fail")
+	}
+
+	ctx := pbio.NewContext()
+	f, _ := ctx.RegisterFields("M", []pbio.IOField{{Name: "x", Type: "integer"}})
+	if _, err := NewCodec(f, 1); err == nil {
+		t.Error("non-struct sample should fail")
+	}
+}
+
+// Property: corrupt bodies never panic.
+func TestQuickGarbage(t *testing.T) {
+	c := newCodec(t, platform.Sparc32)
+	prop := func(body []byte) bool {
+		var out msg
+		_ = c.Decode(body, &out)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary values round-trip.
+func TestQuickRoundTrip(t *testing.T) {
+	c := newCodec(t, platform.Sparc32)
+	prop := func(id int32, s string, v []float64, x float64) bool {
+		if len(v) > 30 {
+			v = v[:30]
+		}
+		for i := range v {
+			if v[i] != v[i] {
+				v[i] = 0
+			}
+		}
+		if x != x {
+			x = 0
+		}
+		in := msg{Id: id, S: s, V: v, P: inner{X: x, L: s}, G: [3]int16{1, 2, 3}}
+		in.N = int32(len(v))
+		enc, err := c.Encode(nil, &in)
+		if err != nil {
+			return false
+		}
+		var out msg
+		if err := c.Decode(enc, &out); err != nil {
+			return false
+		}
+		if out.V == nil {
+			out.V = []float64{}
+		}
+		if in.V == nil {
+			in.V = []float64{}
+		}
+		if out.Ps == nil {
+			out.Ps = []inner{}
+		}
+		if in.Ps == nil {
+			in.Ps = []inner{}
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+	"github.com/open-metadata/xmit/internal/xsd"
+)
+
+// GenerateFormat translates a loaded complexType into native PBIO metadata
+// for the given platform.  This is the heart of XMIT (paper §3.1): each
+// element node's XML Schema data type is mapped to a native kind and size,
+// structure offsets are assigned by the platform's C layout rules, and the
+// result is ordinary metadata — the BCM cannot tell it from compiled-in
+// field lists.
+//
+// The translation is recomputed on every call (no hidden caching), so its
+// cost is exactly what registration benchmarks measure.
+func (t *Toolkit) GenerateFormat(typeName string, p *platform.Platform) (*meta.Format, error) {
+	return t.generateFormat(typeName, p, make(map[string]bool))
+}
+
+func (t *Toolkit) generateFormat(typeName string, p *platform.Platform, active map[string]bool) (*meta.Format, error) {
+	ct := t.lookupType(typeName)
+	if ct == nil {
+		return nil, fmt.Errorf("core: no loaded complexType named %q", typeName)
+	}
+	if active[typeName] {
+		return nil, fmt.Errorf("core: complexType %q is recursively defined", typeName)
+	}
+	active[typeName] = true
+	defer delete(active, typeName)
+
+	defs := make([]meta.FieldDef, 0, len(ct.Elements))
+	for _, el := range ct.Elements {
+		def := meta.FieldDef{Name: el.Name}
+		switch {
+		case el.Builtin != "":
+			kind, class, err := xsd.BuiltinMapping(el.Builtin)
+			if err != nil {
+				return nil, fmt.Errorf("core: type %q element %q: %w", typeName, el.Name, err)
+			}
+			def.Kind, def.Class = kind, class
+		case el.Ref != "":
+			if e := t.Enum(el.Ref); e != nil {
+				// Named enumeration: an unsigned index on the wire,
+				// symbolic values retained in the toolkit metadata.
+				def.Kind, def.Class = meta.Enum, platform.Enum
+				break
+			}
+			sub, err := t.generateFormat(el.Ref, p, active)
+			if err != nil {
+				return nil, err
+			}
+			def.Kind, def.Sub = meta.Struct, sub
+		default:
+			return nil, fmt.Errorf("core: type %q element %q has no resolvable type", typeName, el.Name)
+		}
+		switch el.Occurs {
+		case xsd.OccursStatic:
+			def.StaticDim = el.StaticDim
+		case xsd.OccursDynamic:
+			def.LengthField = el.DimField
+		}
+		defs = append(defs, def)
+	}
+	f, err := meta.Build(typeName, p, defs)
+	if err != nil {
+		return nil, fmt.Errorf("core: translating %q: %w", typeName, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The paper's conclusion names "dynamic incorporation of new message
+// formats into applications at run-time" as future work.  Watcher provides
+// it: metadata URLs are revalidated on an interval, and changed documents
+// are reinstalled into the toolkit's type space, with the application
+// notified so it can re-register affected formats.
+
+// WatchEvent reports one observed change (or failure) for a watched URL.
+type WatchEvent struct {
+	// URL is the watched document.
+	URL string
+	// Types lists the complexTypes (re)installed from the new document.
+	Types []string
+	// Err is non-nil when a refresh attempt failed; the watcher keeps
+	// running and the previously loaded definitions stay in force.
+	Err error
+}
+
+// Watcher revalidates metadata documents periodically.
+type Watcher struct {
+	tk       *Toolkit
+	interval time.Duration
+	urls     []string
+	onChange func(WatchEvent)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Watch loads every URL (if not already loaded) and starts revalidating
+// them on the given interval, invoking onChange from the watcher goroutine
+// whenever a document's contents change or a refresh fails.  Close the
+// returned watcher to stop.
+func (t *Toolkit) Watch(interval time.Duration, onChange func(WatchEvent), urls ...string) (*Watcher, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("core: watch interval must be positive, got %v", interval)
+	}
+	if onChange == nil {
+		return nil, fmt.Errorf("core: watch needs an onChange callback")
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("core: watch needs at least one URL")
+	}
+	for _, u := range urls {
+		if _, err := t.LoadURL(u); err != nil {
+			return nil, fmt.Errorf("core: initial load of %s: %w", u, err)
+		}
+	}
+	w := &Watcher{
+		tk:       t,
+		interval: interval,
+		urls:     append([]string(nil), urls...),
+		onChange: onChange,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w, nil
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			for _, u := range w.urls {
+				changed, names, err := w.tk.RefreshURL(u)
+				switch {
+				case err != nil:
+					w.onChange(WatchEvent{URL: u, Err: err})
+				case changed:
+					w.onChange(WatchEvent{URL: u, Types: names})
+				}
+			}
+		}
+	}
+}
+
+// URLs returns the watched URLs.
+func (w *Watcher) URLs() []string { return append([]string(nil), w.urls...) }
+
+// Close stops the watcher and waits for its goroutine to exit.  It is safe
+// to call multiple times.
+func (w *Watcher) Close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/discovery"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+func TestWatcherDetectsChange(t *testing.T) {
+	srv := discovery.NewDocServer()
+	srv.Publish("hydro.xsd", []byte(hydroSchemas))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	url := ts.URL + "/hydro.xsd"
+
+	tk := NewToolkit()
+	var mu sync.Mutex
+	var events []WatchEvent
+	w, err := tk.Watch(5*time.Millisecond, func(ev WatchEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.URLs(); len(got) != 1 || got[0] != url {
+		t.Errorf("URLs = %v", got)
+	}
+	// The initial load already happened.
+	if tk.Type("SimpleData") == nil {
+		t.Fatal("initial load missing")
+	}
+
+	// No change yet: give it a few ticks, expect no change events.
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	for _, ev := range events {
+		if ev.Err == nil {
+			t.Errorf("unexpected change event %+v", ev)
+		}
+	}
+	events = nil
+	mu.Unlock()
+
+	// Publish an evolved document.
+	evolved := strings.Replace(hydroSchemas,
+		`<xsd:element name="timestep" type="xsd:integer" />`,
+		`<xsd:element name="timestep" type="xsd:integer" /><xsd:element name="rev" type="xsd:integer" />`,
+		1)
+	srv.Publish("hydro.xsd", []byte(evolved))
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("watcher missed the published change")
+	}
+	ev := events[0]
+	if ev.URL != url || ev.Err != nil || len(ev.Types) != 2 {
+		t.Fatalf("event = %+v", ev)
+	}
+	f, err := tk.GenerateFormat("SimpleData", platform.Sparc32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FieldByName("rev") < 0 {
+		t.Error("evolved field not installed")
+	}
+}
+
+func TestWatcherReportsErrors(t *testing.T) {
+	srv := discovery.NewDocServer()
+	srv.Publish("a.xsd", []byte(hydroSchemas))
+	ts := httptest.NewServer(srv)
+	url := ts.URL + "/a.xsd"
+
+	tk := NewToolkit()
+	errs := make(chan WatchEvent, 16)
+	w, err := tk.Watch(5*time.Millisecond, func(ev WatchEvent) {
+		if ev.Err != nil {
+			select {
+			case errs <- ev:
+			default:
+			}
+		}
+	}, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ts.Close() // pull the server out from under the watcher
+	select {
+	case ev := <-errs:
+		if ev.URL != url {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher never reported the unreachable server")
+	}
+	// Definitions loaded before the failure remain usable.
+	if tk.Type("SimpleData") == nil {
+		t.Error("existing definitions were lost")
+	}
+}
+
+func TestWatcherValidation(t *testing.T) {
+	tk := NewToolkit()
+	cb := func(WatchEvent) {}
+	if _, err := tk.Watch(0, cb, "x"); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := tk.Watch(time.Second, nil, "x"); err == nil {
+		t.Error("nil callback should fail")
+	}
+	if _, err := tk.Watch(time.Second, cb); err == nil {
+		t.Error("no URLs should fail")
+	}
+	if _, err := tk.Watch(time.Second, cb, "http://127.0.0.1:1/nope.xsd"); err == nil {
+		t.Error("failed initial load should fail")
+	}
+}
+
+func TestWatcherCloseIdempotent(t *testing.T) {
+	srv := discovery.NewDocServer()
+	srv.Publish("a.xsd", []byte(hydroSchemas))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	tk := NewToolkit()
+	w, err := tk.Watch(time.Millisecond, func(WatchEvent) {}, ts.URL+"/a.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w.Close() // must not panic or hang
+}

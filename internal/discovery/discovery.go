@@ -1,0 +1,175 @@
+// Package discovery implements the metadata discovery step of the XMIT
+// decomposition: retrieving XML metadata documents from wherever they live
+// (HTTP servers, the local filesystem, or in-process publishers) and
+// caching them so that re-registration is cheap.
+//
+// Because discovery is orthogonal to binding and marshaling (paper §2), the
+// rest of the toolkit only ever sees document bytes; swapping an HTTP
+// repository for a file-based one changes nothing downstream.
+package discovery
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxDocumentSize bounds a fetched metadata document (schemas are small;
+// anything larger is a misconfiguration or abuse).
+const maxDocumentSize = 4 << 20
+
+// Repository fetches and caches metadata documents by URL.  Supported URL
+// forms: http:// and https:// (fetched with conditional revalidation),
+// file:// and bare paths (read from the filesystem).  A Repository is safe
+// for concurrent use.
+type Repository struct {
+	client *http.Client
+
+	mu    sync.RWMutex
+	cache map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	data         []byte
+	etag         string
+	lastModified string
+	fetchedAt    time.Time
+}
+
+// RepoOption configures a Repository.
+type RepoOption func(*Repository)
+
+// WithHTTPClient substitutes the HTTP client used for retrieval.
+func WithHTTPClient(c *http.Client) RepoOption {
+	return func(r *Repository) { r.client = c }
+}
+
+// NewRepository creates an empty document repository.
+func NewRepository(opts ...RepoOption) *Repository {
+	r := &Repository{
+		client: &http.Client{Timeout: 10 * time.Second},
+		cache:  make(map[string]*cacheEntry),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Fetch returns the document at the URL, from cache when available.
+func (r *Repository) Fetch(url string) ([]byte, error) {
+	r.mu.RLock()
+	e := r.cache[url]
+	r.mu.RUnlock()
+	if e != nil {
+		return e.data, nil
+	}
+	data, _, err := r.Refresh(url)
+	return data, err
+}
+
+// Refresh revalidates the document at the URL against its origin and
+// reports whether its contents changed since the cached copy.  This is how
+// a long-running component picks up centrally published format changes.
+func (r *Repository) Refresh(url string) (data []byte, changed bool, err error) {
+	switch {
+	case strings.HasPrefix(url, "http://"), strings.HasPrefix(url, "https://"):
+		return r.refreshHTTP(url)
+	case strings.HasPrefix(url, "file://"):
+		return r.refreshFile(url, strings.TrimPrefix(url, "file://"))
+	default:
+		return r.refreshFile(url, url)
+	}
+}
+
+func (r *Repository) refreshFile(url, path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("discovery: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(io.LimitReader(f, maxDocumentSize+1))
+	if err != nil {
+		return nil, false, fmt.Errorf("discovery: reading %s: %w", path, err)
+	}
+	if len(data) > maxDocumentSize {
+		return nil, false, fmt.Errorf("discovery: document %s exceeds %d bytes", path, maxDocumentSize)
+	}
+	return r.store(url, data, "", "")
+}
+
+func (r *Repository) refreshHTTP(url string) ([]byte, bool, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("discovery: %w", err)
+	}
+	r.mu.RLock()
+	if e := r.cache[url]; e != nil {
+		if e.etag != "" {
+			req.Header.Set("If-None-Match", e.etag)
+		}
+		if e.lastModified != "" {
+			req.Header.Set("If-Modified-Since", e.lastModified)
+		}
+	}
+	r.mu.RUnlock()
+
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("discovery: fetching %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusNotModified {
+		r.mu.RLock()
+		e := r.cache[url]
+		r.mu.RUnlock()
+		if e != nil {
+			return e.data, false, nil
+		}
+		return nil, false, fmt.Errorf("discovery: %s: 304 with no cached copy", url)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("discovery: fetching %s: %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxDocumentSize+1))
+	if err != nil {
+		return nil, false, fmt.Errorf("discovery: reading %s: %w", url, err)
+	}
+	if len(data) > maxDocumentSize {
+		return nil, false, fmt.Errorf("discovery: document %s exceeds %d bytes", url, maxDocumentSize)
+	}
+	return r.store(url, data, resp.Header.Get("ETag"), resp.Header.Get("Last-Modified"))
+}
+
+func (r *Repository) store(url string, data []byte, etag, lastModified string) ([]byte, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.cache[url]
+	changed := prev == nil || string(prev.data) != string(data)
+	r.cache[url] = &cacheEntry{data: data, etag: etag, lastModified: lastModified, fetchedAt: time.Now()}
+	return data, changed, nil
+}
+
+// Invalidate drops the cached copy of a URL (or all URLs when url is "").
+func (r *Repository) Invalidate(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if url == "" {
+		r.cache = make(map[string]*cacheEntry)
+		return
+	}
+	delete(r.cache, url)
+}
+
+// Cached reports whether a URL is in the cache.
+func (r *Repository) Cached(url string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.cache[url]
+	return ok
+}

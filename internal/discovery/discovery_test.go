@@ -1,0 +1,234 @@
+package discovery
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+const doc1 = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="A"><xsd:element name="x" type="xsd:int"/></xsd:complexType>
+</xsd:schema>`
+
+const doc2 = `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="A"><xsd:element name="x" type="xsd:int"/>
+  <xsd:element name="y" type="xsd:float"/></xsd:complexType>
+</xsd:schema>`
+
+func TestDocServerPublishFetchRefresh(t *testing.T) {
+	srv := NewDocServer()
+	srv.Publish("formats/a.xsd", []byte(doc1))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	repo := NewRepository()
+	url := ts.URL + "/formats/a.xsd"
+	data, err := repo.Fetch(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != doc1 {
+		t.Errorf("fetched %q", data)
+	}
+	if !repo.Cached(url) {
+		t.Error("document should be cached after fetch")
+	}
+
+	// Unchanged refresh: 304 path, changed=false.
+	data, changed, err := repo.Refresh(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || string(data) != doc1 {
+		t.Errorf("refresh reported changed=%v", changed)
+	}
+
+	// Central change propagates on next refresh.
+	srv.Publish("formats/a.xsd", []byte(doc2))
+	data, changed, err = repo.Refresh(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || string(data) != doc2 {
+		t.Errorf("refresh after publish: changed=%v data=%q", changed, data)
+	}
+}
+
+func TestDocServerNotFoundAndMethods(t *testing.T) {
+	srv := NewDocServer()
+	srv.Publish("a.xsd", []byte(doc1))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/missing.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing doc: %s", resp.Status)
+	}
+
+	resp, err = http.Post(ts.URL+"/a.xsd", "text/xml", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: %s", resp.Status)
+	}
+
+	resp, err = http.Head(ts.URL + "/a.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") == "" {
+		t.Errorf("HEAD: %s etag=%q", resp.Status, resp.Header.Get("ETag"))
+	}
+
+	if names := srv.Names(); len(names) != 1 || names[0] != "a.xsd" {
+		t.Errorf("Names = %v", names)
+	}
+	srv.Remove("a.xsd")
+	if len(srv.Names()) != 0 {
+		t.Error("Remove did not unpublish")
+	}
+}
+
+func TestConditionalGetSavesTransfer(t *testing.T) {
+	srv := NewDocServer()
+	srv.Publish("a.xsd", []byte(doc1))
+	var fullResponses atomic.Int32
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, r)
+		if rec.Code == http.StatusOK {
+			fullResponses.Add(1)
+		}
+		for k, v := range rec.Header() {
+			w.Header()[k] = v
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(rec.Body.Bytes())
+	})
+	ts := httptest.NewServer(wrapped)
+	defer ts.Close()
+
+	repo := NewRepository()
+	url := ts.URL + "/a.xsd"
+	if _, err := repo.Fetch(url); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := repo.Refresh(url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := fullResponses.Load(); n != 1 {
+		t.Errorf("%d full responses, want 1 (refreshes must revalidate)", n)
+	}
+}
+
+func TestFetchFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.xsd")
+	if err := os.WriteFile(p, []byte(doc1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repo := NewRepository()
+	for _, url := range []string{p, "file://" + p} {
+		data, err := repo.Fetch(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != doc1 {
+			t.Errorf("fetched %q", data)
+		}
+	}
+	// Changed file detected on refresh.
+	if err := os.WriteFile(p, []byte(doc2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, changed, err := repo.Refresh(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Error("file change not detected")
+	}
+	if _, err := repo.Fetch(filepath.Join(dir, "missing.xsd")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.xsd")
+	os.WriteFile(p, []byte(doc1), 0o644)
+	repo := NewRepository()
+	repo.Fetch(p)
+	repo.Invalidate(p)
+	if repo.Cached(p) {
+		t.Error("Invalidate(url) did not drop entry")
+	}
+	repo.Fetch(p)
+	repo.Invalidate("")
+	if repo.Cached(p) {
+		t.Error("Invalidate(\"\") did not drop all")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	repo := NewRepository()
+	if _, err := repo.Fetch(ts.URL + "/a.xsd"); err == nil {
+		t.Error("500 should surface as error")
+	}
+	if _, err := repo.Fetch("http://127.0.0.1:1/nope.xsd"); err == nil {
+		t.Error("connection failure should surface as error")
+	}
+}
+
+func TestDirHandler(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.xsd"), []byte(doc1), 0o644)
+	os.WriteFile(filepath.Join(dir, "secret.txt"), []byte("no"), 0o644)
+	ts := httptest.NewServer(DirHandler(dir))
+	defer ts.Close()
+
+	repo := NewRepository()
+	data, err := repo.Fetch(ts.URL + "/a.xsd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != doc1 {
+		t.Errorf("fetched %q", data)
+	}
+	for _, bad := range []string{"/secret.txt", "/missing.xsd", "/"} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %s, want 404", bad, resp.Status)
+		}
+	}
+	// Raw traversal attempts (which a Go client would normalise away)
+	// must be rejected by the handler itself.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "http://host/x/", nil)
+	req.URL.Path = "/../escape.xsd"
+	DirHandler(dir).ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("raw traversal = %d, want 404", rec.Code)
+	}
+}

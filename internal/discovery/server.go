@@ -1,0 +1,113 @@
+package discovery
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DocServer is an in-process metadata publisher: named XML documents served
+// over HTTP with strong ETags, so that format changes made at the server
+// propagate to every component that re-validates (the centralised-change
+// property of paper §3).  It implements http.Handler.
+type DocServer struct {
+	mu   sync.RWMutex
+	docs map[string]publishedDoc
+}
+
+type publishedDoc struct {
+	data []byte
+	etag string
+}
+
+// NewDocServer creates an empty publisher.
+func NewDocServer() *DocServer {
+	return &DocServer{docs: make(map[string]publishedDoc)}
+}
+
+// Publish installs (or replaces) the document served at /name.
+func (s *DocServer) Publish(name string, data []byte) {
+	sum := sha256.Sum256(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[strings.TrimPrefix(name, "/")] = publishedDoc{
+		data: append([]byte(nil), data...),
+		etag: fmt.Sprintf(`"%x"`, sum[:8]),
+	}
+}
+
+// Remove unpublishes a document.
+func (s *DocServer) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.docs, strings.TrimPrefix(name, "/"))
+}
+
+// Names lists the published document names, sorted.
+func (s *DocServer) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for n := range s.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP serves published documents with ETag revalidation.
+func (s *DocServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(path.Clean(r.URL.Path), "/")
+	s.mu.RLock()
+	doc, ok := s.docs[name]
+	s.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Header().Set("ETag", doc.etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && match == doc.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(doc.data)
+}
+
+// DirHandler serves *.xsd and *.xml files beneath dir, for hosting schema
+// documents out of a filesystem tree (the paper hosted its formats on an
+// Apache server).
+func DirHandler(dir string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(path.Clean(r.URL.Path), "/")
+		if name == "" || strings.Contains(name, "..") {
+			http.NotFound(w, r)
+			return
+		}
+		ext := filepath.Ext(name)
+		if ext != ".xsd" && ext != ".xml" {
+			http.NotFound(w, r)
+			return
+		}
+		data, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(name)))
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Write(data)
+	})
+}

@@ -1,0 +1,242 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="centerID" type="xsd:string" />
+    <xsd:element name="airline" type="xsd:string" />
+    <xsd:element name="flightNum" type="xsd:integer" />
+    <xsd:element name="off" type="xsd:unsignedLong" />
+  </xsd:complexType>
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="size" />
+  </xsd:complexType>
+</xsd:schema>`
+
+func TestParseSchema(t *testing.T) {
+	doc, err := ParseString(sampleSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Local != "schema" || doc.Root.Space != XSDNamespace {
+		t.Fatalf("root = %s (%s)", doc.Root.Local, doc.Root.Space)
+	}
+	cts := doc.Root.Descendants("complexType")
+	if len(cts) != 2 {
+		t.Fatalf("found %d complexTypes, want 2", len(cts))
+	}
+	if name, _ := cts[0].Attr("name"); name != "ASDOffEvent" {
+		t.Errorf("first complexType name = %q", name)
+	}
+	els := cts[0].ChildrenByName("element")
+	if len(els) != 4 {
+		t.Fatalf("ASDOffEvent has %d elements, want 4", len(els))
+	}
+	if typ, _ := els[3].Attr("type"); typ != "xsd:unsignedLong" {
+		t.Errorf("off type = %q", typ)
+	}
+	data := cts[1].Children[1]
+	if v := data.AttrDefault("dimensionName", "?"); v != "size" {
+		t.Errorf("dimensionName = %q", v)
+	}
+	if v := data.AttrDefault("missing", "dflt"); v != "dflt" {
+		t.Errorf("AttrDefault = %q", v)
+	}
+	if _, ok := data.Attr("nope"); ok {
+		t.Error("Attr should report absence")
+	}
+}
+
+func TestParseTextAndStructure(t *testing.T) {
+	doc, err := ParseString(`<a>hello <b>nested</b> world</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Text != "hello  world" {
+		t.Errorf("root text = %q", doc.Root.Text)
+	}
+	b := doc.Root.FirstChild("b")
+	if b == nil || b.Text != "nested" {
+		t.Fatalf("b = %+v", b)
+	}
+	if b.Parent != doc.Root {
+		t.Error("parent pointer wrong")
+	}
+	if b.Path() != "a/b" {
+		t.Errorf("Path = %q", b.Path())
+	}
+	if doc.Root.FirstChild("zzz") != nil {
+		t.Error("FirstChild of missing name should be nil")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<a>`,
+		`<a></b>`,
+		`< a`,
+		`text only`,
+		`<a/><b/>`,
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("<a>")
+	}
+	for i := 0; i < 200; i++ {
+		sb.WriteString("</a>")
+	}
+	if _, err := ParseString(sb.String()); err == nil {
+		t.Error("deeply nested document should be rejected")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	doc, _ := ParseString(`<a><b><c/></b><d/></a>`)
+	var visited []string
+	doc.Root.Walk(func(e *Element) bool {
+		visited = append(visited, e.Local)
+		return e.Local != "b" // prune below b
+	})
+	if strings.Join(visited, ",") != "a,b,d" {
+		t.Errorf("visited = %v", visited)
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	doc, err := ParseString(sampleSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := doc.WriteXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `xmlns:xsd="http://www.w3.org/2001/XMLSchema"`) {
+		t.Errorf("serialised output missing xsd namespace:\n%s", out)
+	}
+	// The serialised document must re-parse to an equivalent tree.
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if !equalTrees(doc.Root, doc2.Root) {
+		t.Errorf("round-tripped tree differs:\n%s", out)
+	}
+}
+
+func TestWriteXMLEscaping(t *testing.T) {
+	doc, err := ParseString(`<a v="x&amp;y&lt;&#34;z"><t>a &lt; b &amp; c</t></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := doc.WriteXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatalf("re-parse escaped: %v\n%s", err, sb.String())
+	}
+	v, _ := doc2.Root.Attr("v")
+	if v != `x&y<"z` {
+		t.Errorf("attr = %q", v)
+	}
+	if doc2.Root.FirstChild("t").Text != "a < b & c" {
+		t.Errorf("text = %q", doc2.Root.FirstChild("t").Text)
+	}
+}
+
+func equalTrees(a, b *Element) bool {
+	if a.Space != b.Space || a.Local != b.Local || a.Text != b.Text ||
+		len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !equalTrees(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: any tree built from sanitised random names/values survives a
+// serialise/parse round trip.
+func TestQuickWriteParseRoundTrip(t *testing.T) {
+	prop := func(names []string, values []string) bool {
+		root := &Element{Local: "root"}
+		cur := root
+		for i, n := range names {
+			name := sanitizeName(n)
+			el := &Element{Local: name, Parent: cur}
+			if i < len(values) {
+				el.Attrs = append(el.Attrs, Attr{Local: "v", Value: printable(values[i])})
+				el.Text = printable(values[len(values)-1-i])
+			}
+			cur.Children = append(cur.Children, el)
+			if i%3 == 0 {
+				cur = el
+			}
+		}
+		var sb strings.Builder
+		doc := &Document{Root: root}
+		if err := doc.WriteXML(&sb); err != nil {
+			return false
+		}
+		doc2, err := ParseString(sb.String())
+		if err != nil {
+			t.Logf("re-parse failed: %v\n%s", err, sb.String())
+			return false
+		}
+		return equalTrees(root, doc2.Root)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeName(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('e')
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			sb.WriteRune(r)
+		}
+	}
+	if sb.Len() > 20 {
+		return sb.String()[:20]
+	}
+	return sb.String()
+}
+
+func printable(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 0x20 && r < 0x7f {
+			sb.WriteRune(r)
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}

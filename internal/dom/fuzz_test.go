@@ -1,0 +1,25 @@
+package dom
+
+import "testing"
+
+// FuzzParse drives the fast scanner with arbitrary input.  Invariants: no
+// panic; success implies a non-nil root; and when both the fast scanner
+// and the encoding/xml reference accept a document, their trees agree.
+func FuzzParse(f *testing.F) {
+	for _, doc := range corpus {
+		f.Add([]byte(doc))
+	}
+	f.Add([]byte(`<a><b attr="&#x41;">t</b><![CDATA[x]]></a>`))
+	f.Add([]byte(`<!DOCTYPE a [<!ENTITY x "y">]><a/>`))
+	f.Add([]byte(`<a xmlns:p="u"><p:b p:c="d"/></a>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fast, errFast := ParseBytes(data)
+		if errFast == nil && fast.Root == nil {
+			t.Fatal("nil root without error")
+		}
+		std, errStd := ParseStdString(string(data))
+		if errFast == nil && errStd == nil && !equalTrees(fast.Root, std.Root) {
+			t.Fatalf("parsers disagree on %q", data)
+		}
+	})
+}

@@ -1,0 +1,568 @@
+package dom
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a fast, allocation-conscious XML scanner producing
+// the same Element trees as the encoding/xml-based parser (kept as
+// ParseStd).  The original XMIT used Xerces-C, a native-code parser; this
+// scanner plays that role, and the two parsers are checked against each
+// other by differential tests.  The supported dialect is the one metadata
+// documents use: elements, attributes, namespaces, character data, CDATA,
+// comments, processing instructions, a DOCTYPE prologue, and the standard
+// entities.
+
+// ParseBytes parses an XML document with the fast scanner.
+func ParseBytes(data []byte) (*Document, error) {
+	s := &scanner{data: data}
+	return s.run()
+}
+
+// Parse reads an XML document into a tree using the fast scanner.
+// Element and attribute names carry resolved namespace URIs in Space.
+func Parse(r io.Reader) (*Document, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dom: %w", err)
+	}
+	return ParseBytes(data)
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string) (*Document, error) {
+	return ParseBytes([]byte(s))
+}
+
+type scanner struct {
+	data []byte
+	pos  int
+
+	// Namespace scopes: each element pushes the bindings it declares.
+	nsStack  []nsBinding
+	nsMarks  []int
+	defaults []string // default namespace stack
+}
+
+type nsBinding struct {
+	prefix string
+	uri    string
+}
+
+func (s *scanner) errf(format string, args ...any) error {
+	return fmt.Errorf("dom: offset %d: %s", s.pos, fmt.Sprintf(format, args...))
+}
+
+func (s *scanner) run() (*Document, error) {
+	var root, cur *Element
+	depth := 0
+	s.defaults = append(s.defaults, "")
+	var text strings.Builder
+
+	flushText := func() {
+		if cur != nil && text.Len() > 0 {
+			cur.Text += text.String()
+		}
+		text.Reset()
+	}
+
+	for {
+		s.skipInterElement(&text, cur)
+		if s.pos >= len(s.data) {
+			break
+		}
+		if s.data[s.pos] != '<' {
+			return nil, s.errf("unexpected character %q", s.data[s.pos])
+		}
+		switch {
+		case s.has("</"):
+			flushText()
+			name, err := s.readEndTag()
+			if err != nil {
+				return nil, err
+			}
+			if cur == nil {
+				return nil, s.errf("unbalanced end element </%s>", name)
+			}
+			expect := cur.Local
+			if i := strings.IndexByte(name, ':'); i >= 0 {
+				name = name[i+1:]
+			}
+			if name != expect {
+				return nil, s.errf("end tag </%s> does not match <%s>", name, expect)
+			}
+			cur.Text = strings.TrimSpace(cur.Text)
+			cur = cur.Parent
+			s.popNS()
+			depth--
+		case s.has("<!--"):
+			if err := s.skipUntil("-->"); err != nil {
+				return nil, err
+			}
+		case s.has("<![CDATA["):
+			start := s.pos + len("<![CDATA[")
+			end := indexFrom(s.data, start, "]]>")
+			if end < 0 {
+				return nil, s.errf("unterminated CDATA section")
+			}
+			text.Write(s.data[start:end])
+			s.pos = end + 3
+		case s.has("<!DOCTYPE"), s.has("<!doctype"):
+			if err := s.skipDoctype(); err != nil {
+				return nil, err
+			}
+		case s.has("<?"):
+			if err := s.skipUntil("?>"); err != nil {
+				return nil, err
+			}
+		default:
+			flushText()
+			el, selfClose, err := s.readStartTag(cur)
+			if err != nil {
+				return nil, err
+			}
+			depth++
+			if depth > maxDepth {
+				return nil, s.errf("document nested deeper than %d elements", maxDepth)
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, s.errf("multiple root elements")
+				}
+				root = el
+			} else {
+				cur.Children = append(cur.Children, el)
+			}
+			if selfClose {
+				s.popNS()
+				depth--
+			} else {
+				cur = el
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("dom: document has no root element")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("dom: unterminated element %s", cur.Local)
+	}
+	return &Document{Root: root}, nil
+}
+
+// skipInterElement consumes character data up to the next '<' (or EOF),
+// decoding entities into text when inside an element.
+func (s *scanner) skipInterElement(text *strings.Builder, cur *Element) {
+	for s.pos < len(s.data) && s.data[s.pos] != '<' {
+		// Bulk-copy the run up to the next markup or entity.
+		run := s.pos
+		for run < len(s.data) && s.data[run] != '<' && s.data[run] != '&' {
+			run++
+		}
+		if run > s.pos {
+			if cur != nil {
+				text.Write(s.data[s.pos:run])
+			}
+			s.pos = run
+			continue
+		}
+		// s.data[s.pos] == '&'
+		r, n := decodeEntity(s.data[s.pos:])
+		if n > 0 {
+			if cur != nil {
+				text.WriteString(r)
+			}
+			s.pos += n
+			continue
+		}
+		if cur != nil {
+			text.WriteByte('&')
+		}
+		s.pos++
+	}
+}
+
+func (s *scanner) has(prefix string) bool {
+	return len(s.data)-s.pos >= len(prefix) && string(s.data[s.pos:s.pos+len(prefix)]) == prefix
+}
+
+func (s *scanner) skipUntil(marker string) error {
+	end := indexFrom(s.data, s.pos, marker)
+	if end < 0 {
+		return s.errf("unterminated %q construct", marker)
+	}
+	s.pos = end + len(marker)
+	return nil
+}
+
+func indexFrom(data []byte, start int, marker string) int {
+	i := bytes.Index(data[start:], []byte(marker))
+	if i < 0 {
+		return -1
+	}
+	return start + i
+}
+
+// skipDoctype handles an (optionally bracketed) DOCTYPE declaration.
+func (s *scanner) skipDoctype() error {
+	depth := 0
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				s.pos++
+				return nil
+			}
+		}
+		s.pos++
+	}
+	return s.errf("unterminated DOCTYPE")
+}
+
+func (s *scanner) readEndTag() (string, error) {
+	s.pos += 2 // "</"
+	name, err := s.readName()
+	if err != nil {
+		return "", err
+	}
+	s.skipSpace()
+	if s.pos >= len(s.data) || s.data[s.pos] != '>' {
+		return "", s.errf("malformed end tag </%s", name)
+	}
+	s.pos++
+	return name, nil
+}
+
+// readStartTag parses "<name attr=... >" and returns the element with
+// namespaces resolved.
+func (s *scanner) readStartTag(parent *Element) (*Element, bool, error) {
+	s.pos++ // '<'
+	rawName, err := s.readName()
+	if err != nil {
+		return nil, false, err
+	}
+	type rawAttr struct{ name, value string }
+	var attrs []rawAttr
+	selfClose := false
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.data) {
+			return nil, false, s.errf("unterminated start tag <%s", rawName)
+		}
+		switch s.data[s.pos] {
+		case '>':
+			s.pos++
+			goto done
+		case '/':
+			if !s.has("/>") {
+				return nil, false, s.errf("stray '/' in tag <%s>", rawName)
+			}
+			s.pos += 2
+			selfClose = true
+			goto done
+		}
+		name, err := s.readName()
+		if err != nil {
+			return nil, false, err
+		}
+		s.skipSpace()
+		if s.pos >= len(s.data) || s.data[s.pos] != '=' {
+			return nil, false, s.errf("attribute %q missing '='", name)
+		}
+		s.pos++
+		s.skipSpace()
+		value, err := s.readAttrValue()
+		if err != nil {
+			return nil, false, err
+		}
+		attrs = append(attrs, rawAttr{name: name, value: value})
+	}
+done:
+	// Open a namespace scope and apply declarations before resolving.
+	s.pushNS()
+	for _, a := range attrs {
+		switch {
+		case a.name == "xmlns":
+			s.defaults[len(s.defaults)-1] = a.value
+		case strings.HasPrefix(a.name, "xmlns:"):
+			if a.value == "" {
+				// Undeclaring a prefix is an XML 1.1 feature; the
+				// metadata dialect (like XML 1.0 namespaces) forbids it.
+				return nil, false, s.errf("empty namespace URI for prefix %q", a.name[6:])
+			}
+			s.nsStack = append(s.nsStack, nsBinding{prefix: a.name[6:], uri: a.value})
+		}
+	}
+	el := &Element{Parent: parent}
+	prefix, local := splitName(rawName)
+	el.Local = local
+	if prefix != "" {
+		uri, ok := s.lookupNS(prefix)
+		if !ok {
+			return nil, false, s.errf("undeclared namespace prefix %q", prefix)
+		}
+		el.Space = uri
+	} else {
+		el.Space = s.defaults[len(s.defaults)-1]
+	}
+	for _, a := range attrs {
+		if a.name == "xmlns" || strings.HasPrefix(a.name, "xmlns:") {
+			continue
+		}
+		ap, al := splitName(a.name)
+		attr := Attr{Local: al, Value: a.value}
+		if ap != "" {
+			uri, ok := s.lookupNS(ap)
+			if !ok {
+				return nil, false, s.errf("undeclared namespace prefix %q", ap)
+			}
+			attr.Space = uri
+		}
+		el.Attrs = append(el.Attrs, attr)
+	}
+	return el, selfClose, nil
+}
+
+func (s *scanner) pushNS() {
+	s.nsMarks = append(s.nsMarks, len(s.nsStack))
+	s.defaults = append(s.defaults, s.defaults[len(s.defaults)-1])
+}
+
+func (s *scanner) popNS() {
+	if n := len(s.nsMarks); n > 0 {
+		s.nsStack = s.nsStack[:s.nsMarks[n-1]]
+		s.nsMarks = s.nsMarks[:n-1]
+		s.defaults = s.defaults[:len(s.defaults)-1]
+	}
+}
+
+func (s *scanner) lookupNS(prefix string) (string, bool) {
+	for i := len(s.nsStack) - 1; i >= 0; i-- {
+		if s.nsStack[i].prefix == prefix {
+			return s.nsStack[i].uri, true
+		}
+	}
+	// The xml: prefix is implicitly bound.
+	if prefix == "xml" {
+		return "http://www.w3.org/XML/1998/namespace", true
+	}
+	return "", false
+}
+
+func splitName(name string) (prefix, local string) {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return "", name
+}
+
+// validName enforces QName shape: at most one colon, neither leading nor
+// trailing.
+func validName(name string) bool {
+	i := strings.IndexByte(name, ':')
+	if i < 0 {
+		return name != ""
+	}
+	return i > 0 && i < len(name)-1 && strings.IndexByte(name[i+1:], ':') < 0
+}
+
+func (s *scanner) skipSpace() {
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case ' ', '\t', '\r', '\n':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':', c >= 0x80:
+		return true
+	case !first && (c >= '0' && c <= '9' || c == '-' || c == '.'):
+		return true
+	}
+	return false
+}
+
+func (s *scanner) readName() (string, error) {
+	start := s.pos
+	if s.pos >= len(s.data) || !isNameByte(s.data[s.pos], true) {
+		return "", s.errf("expected a name")
+	}
+	s.pos++
+	for s.pos < len(s.data) && isNameByte(s.data[s.pos], false) {
+		s.pos++
+	}
+	name := internName(s.data[start:s.pos])
+	if !validName(name) {
+		return "", s.errf("malformed name %q", name)
+	}
+	return name, nil
+}
+
+// internName avoids allocating for the names that dominate metadata
+// documents.
+func internName(b []byte) string {
+	switch len(b) {
+	case 4:
+		if string(b) == "name" {
+			return "name"
+		}
+		if string(b) == "type" {
+			return "type"
+		}
+	case 9:
+		if string(b) == "maxOccurs" {
+			return "maxOccurs"
+		}
+		if string(b) == "minOccurs" {
+			return "minOccurs"
+		}
+	case 10:
+		if string(b) == "xsd:schema" {
+			return "xsd:schema"
+		}
+	case 11:
+		if string(b) == "xsd:element" {
+			return "xsd:element"
+		}
+	case 13:
+		if string(b) == "dimensionName" {
+			return "dimensionName"
+		}
+	case 15:
+		if string(b) == "xsd:complexType" {
+			return "xsd:complexType"
+		}
+	case 18:
+		if string(b) == "dimensionPlacement" {
+			return "dimensionPlacement"
+		}
+	}
+	return string(b)
+}
+
+func (s *scanner) readAttrValue() (string, error) {
+	if s.pos >= len(s.data) {
+		return "", s.errf("missing attribute value")
+	}
+	quote := s.data[s.pos]
+	if quote != '"' && quote != '\'' {
+		return "", s.errf("attribute value must be quoted")
+	}
+	s.pos++
+	start := s.pos
+	// Fast path: no entities.
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		if c == quote {
+			v := string(s.data[start:s.pos])
+			s.pos++
+			return v, nil
+		}
+		if c == '&' {
+			return s.readAttrValueSlow(start, quote)
+		}
+		if c == '<' {
+			return "", s.errf("'<' in attribute value")
+		}
+		s.pos++
+	}
+	return "", s.errf("unterminated attribute value")
+}
+
+func (s *scanner) readAttrValueSlow(start int, quote byte) (string, error) {
+	var b strings.Builder
+	b.Write(s.data[start:s.pos])
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		switch c {
+		case quote:
+			s.pos++
+			return b.String(), nil
+		case '&':
+			r, n := decodeEntity(s.data[s.pos:])
+			if n == 0 {
+				return "", s.errf("malformed entity reference")
+			}
+			b.WriteString(r)
+			s.pos += n
+		case '<':
+			return "", s.errf("'<' in attribute value")
+		default:
+			b.WriteByte(c)
+			s.pos++
+		}
+	}
+	return "", s.errf("unterminated attribute value")
+}
+
+// decodeEntity decodes one entity reference at the start of data, returning
+// the replacement text and the number of input bytes consumed (0 if the
+// reference is malformed or unknown).
+func decodeEntity(data []byte) (string, int) {
+	end := -1
+	for i := 1; i < len(data) && i < 12; i++ {
+		if data[i] == ';' {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return "", 0
+	}
+	ref := string(data[1:end])
+	switch ref {
+	case "amp":
+		return "&", end + 1
+	case "lt":
+		return "<", end + 1
+	case "gt":
+		return ">", end + 1
+	case "quot":
+		return `"`, end + 1
+	case "apos":
+		return "'", end + 1
+	}
+	if len(ref) > 1 && ref[0] == '#' {
+		var n rune
+		digits := ref[1:]
+		base := 10
+		if digits[0] == 'x' || digits[0] == 'X' {
+			base = 16
+			digits = digits[1:]
+		}
+		if digits == "" {
+			return "", 0
+		}
+		for _, c := range digits {
+			var d rune
+			switch {
+			case c >= '0' && c <= '9':
+				d = c - '0'
+			case base == 16 && c >= 'a' && c <= 'f':
+				d = c - 'a' + 10
+			case base == 16 && c >= 'A' && c <= 'F':
+				d = c - 'A' + 10
+			default:
+				return "", 0
+			}
+			n = n*rune(base) + d
+			if n > 0x10FFFF {
+				return "", 0
+			}
+		}
+		return string(n), end + 1
+	}
+	return "", 0
+}

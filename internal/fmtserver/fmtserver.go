@@ -1,0 +1,359 @@
+// Package fmtserver implements the format server: a network service that
+// maps content-derived format IDs to format metadata.  Senders register the
+// formats they use; receivers that encounter an unknown ID in a data stream
+// resolve it here.  This realises the "metadata provided by a directory
+// server" discovery mode the paper's orthogonality argument calls for —
+// switching a system from compiled-in metadata to server-provided metadata
+// changes discovery only, not binding or marshaling.
+package fmtserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"github.com/open-metadata/xmit/internal/meta"
+)
+
+// Registry is the server-side store: canonical metadata keyed by format ID.
+// It is safe for concurrent use and usable in-process (without the TCP
+// layer) as a pbio.FormatResolver.
+type Registry struct {
+	mu   sync.RWMutex
+	byID map[meta.FormatID][]byte
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[meta.FormatID][]byte)}
+}
+
+// RegisterCanonical validates canonical format bytes and stores them,
+// returning the format's ID.  Registration is idempotent.
+func (r *Registry) RegisterCanonical(data []byte) (meta.FormatID, error) {
+	f, err := meta.ParseCanonical(data)
+	if err != nil {
+		return 0, err
+	}
+	id := f.ID()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		r.byID[id] = append([]byte(nil), data...)
+	}
+	return id, nil
+}
+
+// Register stores a format, returning its ID.
+func (r *Registry) Register(f *meta.Format) (meta.FormatID, error) {
+	return r.RegisterCanonical(f.Canonical())
+}
+
+// LookupCanonical returns the canonical bytes for an ID.
+func (r *Registry) LookupCanonical(id meta.FormatID) ([]byte, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	data, ok := r.byID[id]
+	return data, ok
+}
+
+// ResolveFormat implements pbio.FormatResolver for in-process use.
+func (r *Registry) ResolveFormat(id meta.FormatID) (*meta.Format, error) {
+	data, ok := r.LookupCanonical(id)
+	if !ok {
+		return nil, fmt.Errorf("fmtserver: format %s not registered", id)
+	}
+	return meta.ParseCanonical(data)
+}
+
+// IDs returns all registered format IDs, sorted.
+func (r *Registry) IDs() []meta.FormatID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]meta.FormatID, 0, len(r.byID))
+	for id := range r.byID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Wire protocol: length-prefixed frames both ways.
+//
+//	request:  u32 length | u8 op     | payload
+//	response: u32 length | u8 status | payload
+//
+// ops: 1 register (payload = canonical bytes; ok payload = 8-byte ID)
+//
+//	2 lookup   (payload = 8-byte ID; ok payload = canonical bytes)
+//
+// status: 0 ok, 1 not found, 2 error (payload = message text).
+const (
+	opRegister = 1
+	opLookup   = 2
+
+	statusOK       = 0
+	statusNotFound = 1
+	statusError    = 2
+
+	maxFrame = 1 << 20
+)
+
+// Server serves a Registry over TCP.
+type Server struct {
+	Registry *Registry
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer creates a server over a (possibly shared) registry.
+func NewServer(reg *Registry) *Server {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Server{Registry: reg, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch op {
+		case opRegister:
+			id, err := s.Registry.RegisterCanonical(payload)
+			if err != nil {
+				writeFrame(conn, statusError, []byte(err.Error()))
+				continue
+			}
+			var idb [8]byte
+			binary.BigEndian.PutUint64(idb[:], uint64(id))
+			writeFrame(conn, statusOK, idb[:])
+		case opLookup:
+			if len(payload) != 8 {
+				writeFrame(conn, statusError, []byte("lookup payload must be 8 bytes"))
+				continue
+			}
+			id := meta.FormatID(binary.BigEndian.Uint64(payload))
+			data, ok := s.Registry.LookupCanonical(id)
+			if !ok {
+				writeFrame(conn, statusNotFound, nil)
+				continue
+			}
+			writeFrame(conn, statusOK, data)
+		default:
+			writeFrame(conn, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
+		}
+	}
+}
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func writeFrame(w io.Writer, tag byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = tag
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (tag byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("fmtserver: frame of %d bytes out of range", n)
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// Client talks to a format server.  It caches resolved formats, keeps one
+// connection open, and reconnects transparently after failures.  Client
+// implements pbio.FormatResolver.
+type Client struct {
+	addr string
+
+	mu    sync.Mutex
+	conn  net.Conn
+	cache map[meta.FormatID]*meta.Format
+}
+
+// NewClient creates a client for the server at addr.  No connection is made
+// until the first call.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, cache: make(map[meta.FormatID]*meta.Format)}
+}
+
+// ErrNotFound is returned when the server does not know a format ID.
+var ErrNotFound = errors.New("fmtserver: format not found")
+
+func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				return 0, nil, fmt.Errorf("fmtserver: connecting to %s: %w", c.addr, err)
+			}
+			c.conn = conn
+		}
+		if err := writeFrame(c.conn, op, payload); err == nil {
+			status, resp, err := readFrame(c.conn)
+			if err == nil {
+				return status, resp, nil
+			}
+		}
+		// Connection went bad; drop it and retry once.
+		c.conn.Close()
+		c.conn = nil
+	}
+	return 0, nil, fmt.Errorf("fmtserver: lost connection to %s", c.addr)
+}
+
+// Register uploads a format and returns its server-assigned (content
+// derived) ID.
+func (c *Client) Register(f *meta.Format) (meta.FormatID, error) {
+	status, resp, err := c.roundTrip(opRegister, f.Canonical())
+	if err != nil {
+		return 0, err
+	}
+	switch status {
+	case statusOK:
+		if len(resp) != 8 {
+			return 0, fmt.Errorf("fmtserver: malformed register response")
+		}
+		id := meta.FormatID(binary.BigEndian.Uint64(resp))
+		c.mu.Lock()
+		c.cache[id] = f
+		c.mu.Unlock()
+		return id, nil
+	case statusError:
+		return 0, fmt.Errorf("fmtserver: register rejected: %s", resp)
+	default:
+		return 0, fmt.Errorf("fmtserver: unexpected register status %d", status)
+	}
+}
+
+// ResolveFormat fetches the metadata for an ID, from cache when possible.
+func (c *Client) ResolveFormat(id meta.FormatID) (*meta.Format, error) {
+	c.mu.Lock()
+	if f, ok := c.cache[id]; ok {
+		c.mu.Unlock()
+		return f, nil
+	}
+	c.mu.Unlock()
+
+	var idb [8]byte
+	binary.BigEndian.PutUint64(idb[:], uint64(id))
+	status, resp, err := c.roundTrip(opLookup, idb[:])
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case statusOK:
+		f, err := meta.ParseCanonical(resp)
+		if err != nil {
+			return nil, err
+		}
+		if f.ID() != id {
+			return nil, fmt.Errorf("fmtserver: server returned format %s for %s", f.ID(), id)
+		}
+		c.mu.Lock()
+		c.cache[id] = f
+		c.mu.Unlock()
+		return f, nil
+	case statusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	case statusError:
+		return nil, fmt.Errorf("fmtserver: lookup failed: %s", resp)
+	default:
+		return nil, fmt.Errorf("fmtserver: unexpected lookup status %d", status)
+	}
+}
+
+// Close tears down the client connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}

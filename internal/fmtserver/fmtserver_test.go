@@ -1,0 +1,261 @@
+package fmtserver
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+func sampleFormat(t *testing.T) *meta.Format {
+	t.Helper()
+	f, err := meta.Build("SimpleData", platform.Sparc32, []meta.FieldDef{
+		{Name: "timestep", Kind: meta.Integer, Class: platform.Int},
+		{Name: "size", Kind: meta.Integer, Class: platform.Int},
+		{Name: "data", Kind: meta.Float, Class: platform.Float, LengthField: "size"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	f := sampleFormat(t)
+	id, err := reg.Register(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != f.ID() {
+		t.Errorf("ID = %s, want %s", id, f.ID())
+	}
+	// Idempotent.
+	id2, err := reg.Register(f)
+	if err != nil || id2 != id {
+		t.Errorf("re-register: %s, %v", id2, err)
+	}
+	got, err := reg.ResolveFormat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != id {
+		t.Error("resolved format mismatch")
+	}
+	if _, err := reg.ResolveFormat(meta.FormatID(1)); err == nil {
+		t.Error("unknown ID should fail")
+	}
+	if _, err := reg.RegisterCanonical([]byte("junk")); err == nil {
+		t.Error("invalid canonical bytes should be rejected")
+	}
+	if ids := reg.IDs(); len(ids) != 1 || ids[0] != id {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	f := sampleFormat(t)
+
+	sender := NewClient(addr)
+	defer sender.Close()
+	id, err := sender.Register(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != f.ID() {
+		t.Errorf("registered ID %s, want %s", id, f.ID())
+	}
+
+	receiver := NewClient(addr)
+	defer receiver.Close()
+	got, err := receiver.ResolveFormat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != id || got.Name != "SimpleData" {
+		t.Errorf("resolved %s (%s)", got.Name, got.ID())
+	}
+	// Second resolve hits the client cache (server could even be gone).
+	if _, err := receiver.ResolveFormat(id); err != nil {
+		t.Errorf("cached resolve failed: %v", err)
+	}
+}
+
+func TestClientNotFound(t *testing.T) {
+	_, addr := startServer(t)
+	c := NewClient(addr)
+	defer c.Close()
+	_, err := c.ResolveFormat(meta.FormatID(0xabcdef))
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestClientReconnect(t *testing.T) {
+	srv, addr := startServer(t)
+	f := sampleFormat(t)
+	c := NewClient(addr)
+	defer c.Close()
+	if _, err := c.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server-side connections; the next call must reconnect.
+	srv.mu.Lock()
+	for conn := range srv.conns {
+		conn.Close()
+	}
+	srv.mu.Unlock()
+	g, err := meta.Build("Other", platform.X8664, []meta.FieldDef{
+		{Name: "x", Kind: meta.Integer, Class: platform.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(g); err != nil {
+		t.Errorf("register after connection loss: %v", err)
+	}
+}
+
+func TestClientServerGone(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Close()
+	c := NewClient(addr)
+	defer c.Close()
+	if _, err := c.ResolveFormat(meta.FormatID(1)); err == nil {
+		t.Error("resolve against dead server should fail")
+	}
+}
+
+// TestPBIOIntegration: a receiver with no local formats decodes messages by
+// resolving IDs through the format server — out-of-band discovery.
+func TestPBIOIntegration(t *testing.T) {
+	_, addr := startServer(t)
+
+	// Sender registers with the server and encodes.
+	senderCtx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	f, err := senderCtx.RegisterFields("SimpleData", []pbio.IOField{
+		{Name: "timestep", Type: "integer"},
+		{Name: "size", Type: "integer"},
+		{Name: "data", Type: "float[size]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := NewClient(addr)
+	defer pub.Close()
+	if _, err := pub.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	type SimpleData struct {
+		Timestep int32
+		Size     int32
+		Data     []float32
+	}
+	in := SimpleData{Timestep: 3, Data: []float32{1.5, 2.5}}
+	b, _ := senderCtx.Bind(f, &in)
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Receiver knows nothing locally.
+	sub := NewClient(addr)
+	defer sub.Close()
+	recvCtx := pbio.NewContext(pbio.WithResolver(sub))
+	var out SimpleData
+	if _, err := recvCtx.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Timestep != 3 || out.Data[1] != 2.5 {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	f := sampleFormat(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(addr)
+			defer c.Close()
+			id, err := c.Register(f)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 4; j++ {
+				if _, err := c.ResolveFormat(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Unknown op.
+	if err := writeFrame(conn, 99, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	status, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusError || len(payload) == 0 {
+		t.Errorf("unknown op: status %d payload %q", status, payload)
+	}
+	// Bad lookup payload size.
+	if err := writeFrame(conn, opLookup, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	status, _, err = readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusError {
+		t.Errorf("bad lookup: status %d", status)
+	}
+	// Bad register payload.
+	if err := writeFrame(conn, opRegister, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	status, _, err = readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusError {
+		t.Errorf("bad register: status %d", status)
+	}
+}

@@ -1,0 +1,73 @@
+package hydro
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/iofile"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestPipelineArchive runs the pipeline with archiving and replays the
+// resulting PBIO file with an empty context: the file must be fully
+// self-describing and its contents consistent with the run report.
+func TestPipelineArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frames.pbf")
+	rep, err := RunPipeline(PipelineConfig{
+		Grid:        Config{Nx: 16, Ny: 16, Seed: 8},
+		Steps:       5,
+		Sinks:       1,
+		ArchivePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := iofile.Open(path, pbio.NewContext(pbio.WithPlatform(platform.X8664)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var metas, frames int
+	var lastStep int32
+	for {
+		f, body, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch f.Name {
+		case "GridMeta":
+			metas++
+			var gm GridMeta
+			if err := r.Context().DecodeBody(f, body, &gm); err != nil {
+				t.Fatal(err)
+			}
+			if gm.Nx != 16 || gm.Ny != 16 {
+				t.Errorf("archived grid %dx%d", gm.Nx, gm.Ny)
+			}
+		case "SimpleData":
+			frames++
+			var sd SimpleData
+			if err := r.Context().DecodeBody(f, body, &sd); err != nil {
+				t.Fatal(err)
+			}
+			if int(sd.Size) != 16*16 {
+				t.Errorf("archived frame has %d values", sd.Size)
+			}
+			lastStep = sd.Timestep
+		default:
+			t.Errorf("unexpected archived format %q", f.Name)
+		}
+	}
+	if metas != rep.FramesEmitted || frames != rep.FramesEmitted {
+		t.Errorf("archived %d metas / %d frames, want %d each", metas, frames, rep.FramesEmitted)
+	}
+	if lastStep != int32(rep.StepsRun) {
+		t.Errorf("last archived step = %d, want %d", lastStep, rep.StepsRun)
+	}
+}

@@ -1,0 +1,225 @@
+// Package hydro reimplements the paper's demonstration application: the
+// NCSA component-based visualization system for hydrology data (paper §4.5,
+// Figure 5).  Distributed components — a data source, a presend filter, a
+// 2-D flow solver, a coupler, and Vis5D-style visualization sinks — share a
+// set of message formats and communicate over the PBIO transport with
+// metadata discovered through XMIT.
+//
+// The paper's hydrology input files are not available; the data source
+// generates synthetic terrain and rainfall with a seeded generator, and the
+// flow solver is a real 2-D shallow-water relaxation kernel, so every
+// message format carries live, realistically-shaped payloads.
+package hydro
+
+import (
+	"github.com/open-metadata/xmit/internal/core"
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+// SchemaDocument is the application's shared message-format document, the
+// artifact the paper hosts on an HTTP server.  Structure sizes on the
+// paper's sparc32 platform match Figure 6: SimpleData 12 B, JoinRequest
+// 20 B, ControlMsg 44 B, GridMeta 152 B.
+const SchemaDocument = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="JoinRequest">
+    <xsd:element name="name" type="xsd:string" />
+    <xsd:element name="server" type="xsd:unsignedLong" />
+    <xsd:element name="ip_addr" type="xsd:unsignedLong" />
+    <xsd:element name="pid" type="xsd:unsignedLong" />
+    <xsd:element name="ds_addr" type="xsd:unsignedLong" />
+  </xsd:complexType>
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="size" />
+  </xsd:complexType>
+  <xsd:complexType name="ControlMsg">
+    <xsd:element name="command" type="xsd:integer" />
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="dt" type="xsd:float" />
+    <xsd:element name="iso_level" type="xsd:float" />
+    <xsd:element name="pan_x" type="xsd:float" />
+    <xsd:element name="pan_y" type="xsd:float" />
+    <xsd:element name="zoom" type="xsd:float" />
+    <xsd:element name="palette_id" type="xsd:integer" />
+    <xsd:element name="refresh_rate" type="xsd:integer" />
+    <xsd:element name="flags" type="xsd:unsignedInt" />
+    <xsd:element name="quality" type="xsd:integer" />
+  </xsd:complexType>
+  <xsd:complexType name="GridMeta">
+    <xsd:element name="nx" type="xsd:integer" />
+    <xsd:element name="ny" type="xsd:integer" />
+    <xsd:element name="nsteps" type="xsd:integer" />
+    <xsd:element name="step_index" type="xsd:integer" />
+    <xsd:element name="x0" type="xsd:float" />
+    <xsd:element name="y0" type="xsd:float" />
+    <xsd:element name="dx" type="xsd:float" />
+    <xsd:element name="dy" type="xsd:float" />
+    <xsd:element name="t" type="xsd:float" />
+    <xsd:element name="dt" type="xsd:float" />
+    <xsd:element name="gravity" type="xsd:float" />
+    <xsd:element name="viscosity" type="xsd:float" />
+    <xsd:element name="h_min" type="xsd:float" />
+    <xsd:element name="h_max" type="xsd:float" />
+    <xsd:element name="h_mean" type="xsd:float" />
+    <xsd:element name="u_min" type="xsd:float" />
+    <xsd:element name="u_max" type="xsd:float" />
+    <xsd:element name="v_min" type="xsd:float" />
+    <xsd:element name="v_max" type="xsd:float" />
+    <xsd:element name="energy_k" type="xsd:float" />
+    <xsd:element name="energy_p" type="xsd:float" />
+    <xsd:element name="mass" type="xsd:float" />
+    <xsd:element name="courant" type="xsd:float" />
+    <xsd:element name="inflow" type="xsd:float" />
+    <xsd:element name="outflow" type="xsd:float" />
+    <xsd:element name="rain_rate" type="xsd:float" />
+    <xsd:element name="evap_rate" type="xsd:float" />
+    <xsd:element name="seed_lo" type="xsd:unsignedInt" />
+    <xsd:element name="seed_hi" type="xsd:unsignedInt" />
+    <xsd:element name="boundary_n" type="xsd:integer" />
+    <xsd:element name="boundary_s" type="xsd:integer" />
+    <xsd:element name="boundary_e" type="xsd:integer" />
+    <xsd:element name="boundary_w" type="xsd:integer" />
+    <xsd:element name="palette_id" type="xsd:integer" />
+    <xsd:element name="iso_levels" type="xsd:integer" />
+    <xsd:element name="frame_id" type="xsd:integer" />
+    <xsd:element name="quality" type="xsd:integer" />
+    <xsd:element name="checksum" type="xsd:unsignedInt" />
+  </xsd:complexType>
+</xsd:schema>`
+
+// JoinRequest is sent by a component attaching to the coupler (paper
+// Figure 4).  20 bytes on sparc32.
+type JoinRequest struct {
+	Name   string `xmit:"name"`
+	Server uint32 `xmit:"server"`
+	IPAddr uint32 `xmit:"ip_addr"`
+	Pid    uint32 `xmit:"pid"`
+	DsAddr uint32 `xmit:"ds_addr"`
+}
+
+// SimpleData carries one scalar field of the simulation grid (paper
+// Figures 1 and 4).  12 bytes on sparc32 plus the array payload.
+type SimpleData struct {
+	Timestep int32     `xmit:"timestep"`
+	Size     int32     `xmit:"size"`
+	Data     []float32 `xmit:"data"`
+}
+
+// Control commands exchanged on the GUI feedback channels.
+const (
+	CmdNone     = 0
+	CmdPause    = 1
+	CmdResume   = 2
+	CmdSetView  = 3
+	CmdSetIso   = 4
+	CmdShutdown = 5
+)
+
+// ControlMsg travels the dashed control/feedback channels of Figure 5.
+// 44 bytes on sparc32.
+type ControlMsg struct {
+	Command     int32   `xmit:"command"`
+	Timestep    int32   `xmit:"timestep"`
+	Dt          float32 `xmit:"dt"`
+	IsoLevel    float32 `xmit:"iso_level"`
+	PanX        float32 `xmit:"pan_x"`
+	PanY        float32 `xmit:"pan_y"`
+	Zoom        float32 `xmit:"zoom"`
+	PaletteID   int32   `xmit:"palette_id"`
+	RefreshRate int32   `xmit:"refresh_rate"`
+	Flags       uint32  `xmit:"flags"`
+	Quality     int32   `xmit:"quality"`
+}
+
+// GridMeta describes the simulation grid and per-step statistics.  It is
+// the primitive-heavy 152-byte structure whose registration the paper's
+// Figure 6 shows as the worst case (RDM 4): many leaf fields mean much
+// more XML to parse relative to its byte size.
+type GridMeta struct {
+	Nx        int32   `xmit:"nx"`
+	Ny        int32   `xmit:"ny"`
+	Nsteps    int32   `xmit:"nsteps"`
+	StepIndex int32   `xmit:"step_index"`
+	X0        float32 `xmit:"x0"`
+	Y0        float32 `xmit:"y0"`
+	Dx        float32 `xmit:"dx"`
+	Dy        float32 `xmit:"dy"`
+	T         float32 `xmit:"t"`
+	Dt        float32 `xmit:"dt"`
+	Gravity   float32 `xmit:"gravity"`
+	Viscosity float32 `xmit:"viscosity"`
+	HMin      float32 `xmit:"h_min"`
+	HMax      float32 `xmit:"h_max"`
+	HMean     float32 `xmit:"h_mean"`
+	UMin      float32 `xmit:"u_min"`
+	UMax      float32 `xmit:"u_max"`
+	VMin      float32 `xmit:"v_min"`
+	VMax      float32 `xmit:"v_max"`
+	EnergyK   float32 `xmit:"energy_k"`
+	EnergyP   float32 `xmit:"energy_p"`
+	Mass      float32 `xmit:"mass"`
+	Courant   float32 `xmit:"courant"`
+	Inflow    float32 `xmit:"inflow"`
+	Outflow   float32 `xmit:"outflow"`
+	RainRate  float32 `xmit:"rain_rate"`
+	EvapRate  float32 `xmit:"evap_rate"`
+	SeedLo    uint32  `xmit:"seed_lo"`
+	SeedHi    uint32  `xmit:"seed_hi"`
+	BoundaryN int32   `xmit:"boundary_n"`
+	BoundaryS int32   `xmit:"boundary_s"`
+	BoundaryE int32   `xmit:"boundary_e"`
+	BoundaryW int32   `xmit:"boundary_w"`
+	PaletteID int32   `xmit:"palette_id"`
+	IsoLevels int32   `xmit:"iso_levels"`
+	FrameID   int32   `xmit:"frame_id"`
+	Quality   int32   `xmit:"quality"`
+	Checksum  uint32  `xmit:"checksum"`
+}
+
+// FormatNames lists the application formats in the order Figure 6 plots
+// their structure sizes (12, 20, 44, 152 on sparc32).
+var FormatNames = []string{"SimpleData", "JoinRequest", "ControlMsg", "GridMeta"}
+
+// Formats holds the registered application formats and their binding
+// tokens for one PBIO context.
+type Formats struct {
+	JoinRequest *meta.Format
+	SimpleData  *meta.Format
+	ControlMsg  *meta.Format
+	GridMeta    *meta.Format
+}
+
+// LoadFormats discovers the application metadata through an XMIT toolkit
+// (from the given URL, or from the embedded document when url is empty) and
+// registers every format with the context.
+func LoadFormats(tk *core.Toolkit, url string, ctx *pbio.Context) (*Formats, error) {
+	var err error
+	if url != "" {
+		_, err = tk.LoadURL(url)
+	} else {
+		_, err = tk.LoadString(SchemaDocument)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f := &Formats{}
+	for _, spec := range []struct {
+		name string
+		dst  **meta.Format
+	}{
+		{"JoinRequest", &f.JoinRequest},
+		{"SimpleData", &f.SimpleData},
+		{"ControlMsg", &f.ControlMsg},
+		{"GridMeta", &f.GridMeta},
+	} {
+		tok, err := tk.Register(spec.name, ctx)
+		if err != nil {
+			return nil, err
+		}
+		*spec.dst = tok.Format
+	}
+	return f, nil
+}

@@ -1,0 +1,420 @@
+package hydro
+
+import (
+	"math"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/core"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestFormatSizesMatchPaper pins the four application formats to the
+// structure sizes plotted in the paper's Figure 6: 12, 20, 44, 152 bytes
+// on the sparc32 testbed.
+func TestFormatSizesMatchPaper(t *testing.T) {
+	tk := core.NewToolkit()
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	fm, err := LoadFormats(tk, "", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		size int
+		got  int
+	}{
+		{"SimpleData", 12, fm.SimpleData.Size},
+		{"JoinRequest", 20, fm.JoinRequest.Size},
+		{"ControlMsg", 44, fm.ControlMsg.Size},
+		{"GridMeta", 152, fm.GridMeta.Size},
+	}
+	for _, c := range cases {
+		if c.got != c.size {
+			t.Errorf("%s structure size = %d, want %d (paper Figure 6)", c.name, c.got, c.size)
+		}
+	}
+	// GridMeta is the primitive-heavy worst case: one leaf field per 4
+	// bytes.
+	if n := fm.GridMeta.FieldCount(); n != 38 {
+		t.Errorf("GridMeta has %d leaf fields, want 38", n)
+	}
+}
+
+// TestFormatsRoundTrip pushes each message type through a full
+// encode/decode cycle using XMIT-generated metadata.
+func TestFormatsRoundTrip(t *testing.T) {
+	tk := core.NewToolkit()
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	fm, err := LoadFormats(tk, "", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jr := JoinRequest{Name: "vis5d-component-0", Server: 2, IPAddr: 0x0a000001, Pid: 4242, DsAddr: 0xdead}
+	bjr, err := ctx.Bind(fm.JoinRequest, &jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := bjr.Encode(&jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr2 JoinRequest
+	if _, err := ctx.Decode(msg, &jr2); err != nil {
+		t.Fatal(err)
+	}
+	if jr2 != jr {
+		t.Errorf("JoinRequest: %+v != %+v", jr2, jr)
+	}
+
+	sd := SimpleData{Timestep: 7, Data: []float32{1, 2, 3, 4, 5}}
+	bsd, _ := ctx.Bind(fm.SimpleData, &sd)
+	msg, err = bsd.Encode(&sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd2 SimpleData
+	if _, err := ctx.Decode(msg, &sd2); err != nil {
+		t.Fatal(err)
+	}
+	if sd2.Size != 5 || sd2.Data[4] != 5 {
+		t.Errorf("SimpleData: %+v", sd2)
+	}
+
+	cm := ControlMsg{Command: CmdSetView, PanX: 1, PanY: -1, Zoom: 2, Flags: 0x80000001}
+	bcm, _ := ctx.Bind(fm.ControlMsg, &cm)
+	msg, _ = bcm.Encode(&cm)
+	var cm2 ControlMsg
+	if _, err := ctx.Decode(msg, &cm2); err != nil {
+		t.Fatal(err)
+	}
+	if cm2 != cm {
+		t.Errorf("ControlMsg: %+v != %+v", cm2, cm)
+	}
+
+	gm := GridMeta{Nx: 64, Ny: 32, HMax: 2.5, Checksum: 0xffffffff, BoundaryW: 1}
+	bgm, _ := ctx.Bind(fm.GridMeta, &gm)
+	msg, _ = bgm.Encode(&gm)
+	var gm2 GridMeta
+	if _, err := ctx.Decode(msg, &gm2); err != nil {
+		t.Fatal(err)
+	}
+	if gm2 != gm {
+		t.Errorf("GridMeta: %+v != %+v", gm2, gm)
+	}
+}
+
+func TestSimDefaultsAndErrors(t *testing.T) {
+	if _, err := NewSim(Config{Nx: 2, Ny: 2}); err == nil {
+		t.Error("tiny grid should be rejected")
+	}
+	s, err := NewSim(Config{Nx: 16, Ny: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Dt <= 0 || cfg.Gravity != 9.81 || cfg.Dx != 1 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+// TestSimDeterminism: same seed, same simulation.
+func TestSimDeterminism(t *testing.T) {
+	run := func() uint32 {
+		s, err := NewSim(Config{Nx: 24, Ny: 20, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			s.StepOnce()
+		}
+		return s.Stats().ChecksumOfHeights
+	}
+	if run() != run() {
+		t.Error("simulation is not deterministic for a fixed seed")
+	}
+	s1, _ := NewSim(Config{Nx: 24, Ny: 20, Seed: 42})
+	s2, _ := NewSim(Config{Nx: 24, Ny: 20, Seed: 43})
+	if s1.Stats().ChecksumOfHeights == s2.Stats().ChecksumOfHeights {
+		t.Error("different seeds should produce different terrain")
+	}
+}
+
+// TestSimMassConservation: with reflective boundaries and no rain, total
+// water mass is conserved up to floating-point drift.
+func TestSimMassConservation(t *testing.T) {
+	s, err := NewSim(Config{Nx: 32, Ny: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Stats().Mass
+	for i := 0; i < 200; i++ {
+		s.StepOnce()
+	}
+	m1 := s.Stats().Mass
+	if rel := math.Abs(m1-m0) / m0; rel > 1e-6 {
+		t.Errorf("mass drifted by %.3g (from %g to %g)", rel, m0, m1)
+	}
+}
+
+// TestSimStability: the scheme must stay finite and the dam-break must
+// actually move water (velocities nonzero).
+func TestSimStability(t *testing.T) {
+	s, err := NewSim(Config{Nx: 32, Ny: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s.StepOnce()
+	}
+	st := s.Stats()
+	if math.IsNaN(st.HMax) || math.IsInf(st.HMax, 0) || st.HMax > 100 {
+		t.Fatalf("solution blew up: %+v", st)
+	}
+	if st.UMax == 0 && st.VMax == 0 {
+		t.Error("no flow developed")
+	}
+	if st.HMin < 0 {
+		t.Error("negative water depth")
+	}
+	if st.Courant <= 0 || st.Courant > 1.5 {
+		t.Errorf("courant number %.3f out of the stable range", st.Courant)
+	}
+}
+
+func TestSimRain(t *testing.T) {
+	s, err := NewSim(Config{Nx: 16, Ny: 16, Seed: 1, Rain: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Stats().Mass
+	for i := 0; i < 50; i++ {
+		s.StepOnce()
+	}
+	if s.Stats().Mass <= m0 {
+		t.Error("rain should add mass")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	field := []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+	}
+	out, onx, ony, err := Downsample(field, 4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onx != 2 || ony != 2 {
+		t.Fatalf("downsampled dims %dx%d", onx, ony)
+	}
+	// Block (0,0) = mean(1,2,5,6) = 3.5.
+	if out[0] != 3.5 {
+		t.Errorf("out[0] = %v", out[0])
+	}
+	// Bottom row blocks average the remaining single row.
+	if out[2] != 9.5 {
+		t.Errorf("out[2] = %v", out[2])
+	}
+	if _, _, _, err := Downsample(field, 5, 3, 2); err == nil {
+		t.Error("bad dims should fail")
+	}
+	if _, _, _, err := Downsample(field, 4, 3, 0); err == nil {
+		t.Error("zero factor should fail")
+	}
+	same, _, _, err := Downsample(field, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range field {
+		if same[i] != field[i] {
+			t.Fatal("factor 1 should be identity")
+		}
+	}
+}
+
+// TestMetaConsistency: the GridMeta emitted by the solver reflects its
+// statistics.
+func TestMetaConsistency(t *testing.T) {
+	s, err := NewSim(Config{Nx: 16, Ny: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepOnce()
+	m := s.Meta(3)
+	st := s.Stats()
+	if m.FrameID != 3 || m.StepIndex != 1 {
+		t.Errorf("meta ids: %+v", m)
+	}
+	if m.HMax != float32(st.HMax) || m.Checksum != st.ChecksumOfHeights {
+		t.Error("meta stats disagree with Stats()")
+	}
+	if m.Nx != 16 || m.Ny != 16 {
+		t.Error("meta grid dims wrong")
+	}
+}
+
+// TestPipelineEndToEnd runs the full Figure 5 dataflow in-process.
+func TestPipelineEndToEnd(t *testing.T) {
+	rep, err := RunPipeline(PipelineConfig{
+		Grid:  Config{Nx: 24, Ny: 24, Seed: 11},
+		Steps: 6,
+		Sinks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StepsRun != 6 || rep.FramesEmitted != 6 {
+		t.Errorf("steps/frames = %d/%d", rep.StepsRun, rep.FramesEmitted)
+	}
+	for i, s := range rep.Sinks {
+		if s.Frames != 6 {
+			t.Errorf("sink %d saw %d frames, want 6", i, s.Frames)
+		}
+		if s.LastStep != 6 {
+			t.Errorf("sink %d last step %d", i, s.LastStep)
+		}
+		if s.MinH < 0 || s.MaxH <= s.MinH {
+			t.Errorf("sink %d stats: min %g max %g", i, s.MinH, s.MaxH)
+		}
+		if s.FeedbackOut != 1 {
+			t.Errorf("sink %d sent %d feedback messages", i, s.FeedbackOut)
+		}
+	}
+	// Joins: source->presend, presend->flow, flow->coupler, sinks->coupler.
+	if rep.Joins != 3+2 {
+		t.Errorf("joins = %d, want 5", rep.Joins)
+	}
+	if rep.ControlReceived != 2 {
+		t.Errorf("solver saw %d control messages, want 2", rep.ControlReceived)
+	}
+	if rep.FinalMeta.StepIndex != 6 || rep.FinalMeta.Mass <= 0 {
+		t.Errorf("final meta: %+v", rep.FinalMeta)
+	}
+}
+
+// TestPipelineDownsample: presend reduces the grid the solver runs on.
+func TestPipelineDownsample(t *testing.T) {
+	rep, err := RunPipeline(PipelineConfig{
+		Grid:       Config{Nx: 32, Ny: 32, Seed: 2},
+		Steps:      3,
+		Downsample: 2,
+		Sinks:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalMeta.Nx != 16 || rep.FinalMeta.Ny != 16 {
+		t.Errorf("solver grid = %dx%d, want 16x16 after presend decimation",
+			rep.FinalMeta.Nx, rep.FinalMeta.Ny)
+	}
+	if rep.Sinks[0].Frames != 3 {
+		t.Errorf("sink frames = %d", rep.Sinks[0].Frames)
+	}
+}
+
+// TestPipelineEmitEvery: frames are decimated in time.
+func TestPipelineEmitEvery(t *testing.T) {
+	rep, err := RunPipeline(PipelineConfig{
+		Grid:      Config{Nx: 16, Ny: 16, Seed: 2},
+		Steps:     10,
+		EmitEvery: 5,
+		Sinks:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesEmitted != 2 || rep.Sinks[0].Frames != 2 {
+		t.Errorf("frames = %d/%d, want 2", rep.FramesEmitted, rep.Sinks[0].Frames)
+	}
+}
+
+// TestPipelineOverTCP runs the same dataflow with every inter-component
+// link carried over loopback TCP — the distributed deployment shape.
+func TestPipelineOverTCP(t *testing.T) {
+	rep, err := RunPipeline(PipelineConfig{
+		Grid:   Config{Nx: 16, Ny: 16, Seed: 4},
+		Steps:  4,
+		Sinks:  2,
+		UseTCP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesEmitted != 4 {
+		t.Errorf("frames = %d", rep.FramesEmitted)
+	}
+	for i, s := range rep.Sinks {
+		if s.Frames != 4 {
+			t.Errorf("sink %d frames = %d", i, s.Frames)
+		}
+	}
+	if rep.Joins != 5 {
+		t.Errorf("joins = %d, want 5", rep.Joins)
+	}
+}
+
+// TestPipelineLargerScale soaks the full dataflow at a bigger grid and
+// longer run, with decimation in space and time plus rainfall — closer to
+// the demo's production shape.
+func TestPipelineLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large pipeline soak skipped in -short mode")
+	}
+	rep, err := RunPipeline(PipelineConfig{
+		Grid:       Config{Nx: 96, Ny: 96, Seed: 1849, Rain: 0.0001},
+		Steps:      40,
+		EmitEvery:  4,
+		Downsample: 2,
+		Sinks:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesEmitted != 10 {
+		t.Errorf("frames = %d", rep.FramesEmitted)
+	}
+	if rep.FinalMeta.Nx != 48 || rep.FinalMeta.Ny != 48 {
+		t.Errorf("grid = %dx%d", rep.FinalMeta.Nx, rep.FinalMeta.Ny)
+	}
+	for i, s := range rep.Sinks {
+		if s.Frames != 10 || s.LastStep != 40 {
+			t.Errorf("sink %d: %+v", i, s)
+		}
+	}
+	// Rain fell the whole run; mass must exceed the dry baseline run.
+	if rep.FinalMeta.Mass <= 0 || rep.FinalMeta.Courant > 1.5 {
+		t.Errorf("final meta: %+v", rep.FinalMeta)
+	}
+}
+
+// TestPipelineMixedPlatforms gives every component a different simulated
+// ABI: each hop crosses byte order and word size, so every message is
+// converted by the receiver. Values must still arrive intact.
+func TestPipelineMixedPlatforms(t *testing.T) {
+	rep, err := RunPipeline(PipelineConfig{
+		Grid:           Config{Nx: 20, Ny: 20, Seed: 77},
+		Steps:          5,
+		Sinks:          3, // 7 components > 5 platforms: the cycle wraps
+		MixedPlatforms: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesEmitted != 5 {
+		t.Errorf("frames = %d", rep.FramesEmitted)
+	}
+	for i, s := range rep.Sinks {
+		if s.Frames != 5 || s.LastStep != 5 {
+			t.Errorf("sink %d: %+v", i, s)
+		}
+		if s.MaxH <= s.MinH || s.MinH < 0 {
+			t.Errorf("sink %d water range [%g, %g]", i, s.MinH, s.MaxH)
+		}
+	}
+	if rep.ControlReceived != 3 {
+		t.Errorf("control = %d, want 3", rep.ControlReceived)
+	}
+}

@@ -1,0 +1,317 @@
+package hydro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Nx, Ny are the grid dimensions.
+	Nx, Ny int
+	// Dx, Dy are the cell sizes in metres (default 1).
+	Dx, Dy float64
+	// Dt is the time step in seconds (default chosen for stability).
+	Dt float64
+	// Gravity is the gravitational acceleration (default 9.81).
+	Gravity float64
+	// Damping is the velocity damping factor per step (default 0.998).
+	Damping float64
+	// Seed drives the synthetic terrain and initial conditions.
+	Seed int64
+	// Rain adds uniform rainfall (metres of water per step) when > 0.
+	Rain float64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Nx < 3 || c.Ny < 3 {
+		return fmt.Errorf("hydro: grid %dx%d too small (need at least 3x3)", c.Nx, c.Ny)
+	}
+	if c.Dx == 0 {
+		c.Dx = 1
+	}
+	if c.Dy == 0 {
+		c.Dy = 1
+	}
+	if c.Gravity == 0 {
+		c.Gravity = 9.81
+	}
+	if c.Dt == 0 {
+		// CFL-ish default for ~1 m water depth.
+		c.Dt = 0.1 * math.Min(c.Dx, c.Dy) / math.Sqrt(c.Gravity*2)
+	}
+	if c.Damping == 0 {
+		c.Damping = 0.998
+	}
+	return nil
+}
+
+// Sim is a 2-D shallow-water simulation on a regular grid: water depth H
+// over terrain B, with depth-averaged velocities U, V.  The integration is
+// the classic height-field scheme (advection-free momentum update plus
+// continuity), reflective boundaries, and gentle damping — simple, stable,
+// and produces realistically structured data for the messaging layers.
+type Sim struct {
+	cfg  Config
+	Step int
+	T    float64
+
+	H, U, V, B []float64
+	h0         []float64 // previous-step depths, for a conservative update
+	rain       float64
+	rng        *rand.Rand
+}
+
+// NewSim builds a simulation with synthetic terrain and a dam-break
+// initial condition derived from the seed.
+func NewSim(cfg Config) (*Sim, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	n := cfg.Nx * cfg.Ny
+	s := &Sim{
+		cfg:  cfg,
+		H:    make([]float64, n),
+		U:    make([]float64, n),
+		V:    make([]float64, n),
+		B:    make([]float64, n),
+		h0:   make([]float64, n),
+		rain: cfg.Rain,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.generateTerrain()
+	s.initialWater()
+	return s, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+func (s *Sim) idx(i, j int) int { return j*s.cfg.Nx + i }
+
+// generateTerrain sums a gentle slope with a few random Gaussian hills —
+// the stand-in for the NCSA hydrology dataset (see DESIGN.md).
+func (s *Sim) generateTerrain() {
+	nx, ny := s.cfg.Nx, s.cfg.Ny
+	type hill struct{ cx, cy, amp, sig float64 }
+	hills := make([]hill, 6)
+	for k := range hills {
+		hills[k] = hill{
+			cx:  s.rng.Float64() * float64(nx),
+			cy:  s.rng.Float64() * float64(ny),
+			amp: 0.2 + 0.8*s.rng.Float64(),
+			sig: 3 + s.rng.Float64()*float64(nx)/6,
+		}
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			b := 0.05 * float64(i) / float64(nx) // valley slope
+			for _, h := range hills {
+				dx, dy := float64(i)-h.cx, float64(j)-h.cy
+				b += h.amp * math.Exp(-(dx*dx+dy*dy)/(2*h.sig*h.sig))
+			}
+			s.B[s.idx(i, j)] = b
+		}
+	}
+}
+
+// initialWater sets a dam-break column in one quadrant over a thin film.
+func (s *Sim) initialWater() {
+	nx, ny := s.cfg.Nx, s.cfg.Ny
+	cx := nx/4 + s.rng.Intn(nx/4)
+	cy := ny/4 + s.rng.Intn(ny/4)
+	r := float64(min(nx, ny)) / 5
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			h := 0.1 // thin film everywhere keeps the scheme smooth
+			dx, dy := float64(i-cx), float64(j-cy)
+			if d := math.Sqrt(dx*dx + dy*dy); d < r {
+				h += 1.5 * (1 - d/r)
+			}
+			s.H[s.idx(i, j)] = h
+		}
+	}
+}
+
+// StepOnce advances the simulation one time step.
+func (s *Sim) StepOnce() {
+	nx, ny := s.cfg.Nx, s.cfg.Ny
+	dt, g := s.cfg.Dt, s.cfg.Gravity
+	dx, dy := s.cfg.Dx, s.cfg.Dy
+
+	// Momentum: accelerate down the free-surface gradient.
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx-1; i++ {
+			k := s.idx(i, j)
+			etaL := s.H[k] + s.B[k]
+			etaR := s.H[k+1] + s.B[k+1]
+			s.U[k] += -g * dt * (etaR - etaL) / dx
+			s.U[k] *= s.cfg.Damping
+		}
+	}
+	for j := 0; j < ny-1; j++ {
+		for i := 0; i < nx; i++ {
+			k := s.idx(i, j)
+			etaD := s.H[k] + s.B[k]
+			etaU := s.H[k+nx] + s.B[k+nx]
+			s.V[k] += -g * dt * (etaU - etaD) / dy
+			s.V[k] *= s.cfg.Damping
+		}
+	}
+	// Continuity: move water along the staggered velocities.  Fluxes are
+	// computed from the previous step's depths so that each interface
+	// contributes equal and opposite amounts to its two cells — exact
+	// mass conservation up to rounding.
+	copy(s.h0, s.H)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			k := s.idx(i, j)
+			var dq float64
+			if i < nx-1 {
+				dq -= flux(s.U[k], s.h0[k], s.h0[k+1]) * dt / dx
+			}
+			if i > 0 {
+				dq += flux(s.U[k-1], s.h0[k-1], s.h0[k]) * dt / dx
+			}
+			if j < ny-1 {
+				dq -= flux(s.V[k], s.h0[k], s.h0[k+nx]) * dt / dy
+			}
+			if j > 0 {
+				dq += flux(s.V[k-nx], s.h0[k-nx], s.h0[k]) * dt / dy
+			}
+			s.H[k] += dq + s.rain
+			if s.H[k] < 0 {
+				s.H[k] = 0
+			}
+		}
+	}
+	s.Step++
+	s.T += dt
+}
+
+// flux upwinds the depth carried by an interface velocity.
+func flux(vel, hUp, hDown float64) float64 {
+	if vel >= 0 {
+		return vel * hUp
+	}
+	return vel * hDown
+}
+
+// Stats summarises one step for the GridMeta message.
+type Stats struct {
+	HMin, HMax, HMean          float64
+	UMin, UMax, VMin, VMax     float64
+	Mass, EnergyK, EnergyP     float64
+	Courant                    float64
+	Inflow, Outflow            float64
+	RainRate, EvaporationRate  float64
+	ChecksumOfHeights          uint32
+	BoundaryReflectiveAllSides bool
+}
+
+// Stats computes the current summary.
+func (s *Sim) Stats() Stats {
+	st := Stats{HMin: math.Inf(1), HMax: math.Inf(-1), UMin: math.Inf(1),
+		UMax: math.Inf(-1), VMin: math.Inf(1), VMax: math.Inf(-1),
+		BoundaryReflectiveAllSides: true, RainRate: s.rain}
+	var sum, maxSpeed float64
+	var csum uint32
+	for k, h := range s.H {
+		if h < st.HMin {
+			st.HMin = h
+		}
+		if h > st.HMax {
+			st.HMax = h
+		}
+		sum += h
+		u, v := s.U[k], s.V[k]
+		if u < st.UMin {
+			st.UMin = u
+		}
+		if u > st.UMax {
+			st.UMax = u
+		}
+		if v < st.VMin {
+			st.VMin = v
+		}
+		if v > st.VMax {
+			st.VMax = v
+		}
+		sp := math.Hypot(u, v)
+		if sp > maxSpeed {
+			maxSpeed = sp
+		}
+		st.EnergyK += 0.5 * h * (u*u + v*v)
+		st.EnergyP += 0.5 * s.cfg.Gravity * h * h
+		csum = csum*31 + uint32(math.Float32bits(float32(h)))
+	}
+	n := float64(len(s.H))
+	st.Mass = sum * s.cfg.Dx * s.cfg.Dy
+	st.HMean = sum / n
+	st.Courant = (maxSpeed + math.Sqrt(s.cfg.Gravity*math.Max(st.HMax, 0))) *
+		s.cfg.Dt / math.Min(s.cfg.Dx, s.cfg.Dy)
+	st.ChecksumOfHeights = csum
+	return st
+}
+
+// HeightField returns the water depths as float32, the payload of a
+// SimpleData message.
+func (s *Sim) HeightField() []float32 {
+	out := make([]float32, len(s.H))
+	for k, h := range s.H {
+		out[k] = float32(h)
+	}
+	return out
+}
+
+// Meta fills a GridMeta message for the current step.
+func (s *Sim) Meta(frameID int32) GridMeta {
+	st := s.Stats()
+	return GridMeta{
+		Nx: int32(s.cfg.Nx), Ny: int32(s.cfg.Ny),
+		StepIndex: int32(s.Step),
+		X0:        0, Y0: 0,
+		Dx: float32(s.cfg.Dx), Dy: float32(s.cfg.Dy),
+		T: float32(s.T), Dt: float32(s.cfg.Dt),
+		Gravity: float32(s.cfg.Gravity), Viscosity: float32(1 - s.cfg.Damping),
+		HMin: float32(st.HMin), HMax: float32(st.HMax), HMean: float32(st.HMean),
+		UMin: float32(st.UMin), UMax: float32(st.UMax),
+		VMin: float32(st.VMin), VMax: float32(st.VMax),
+		EnergyK: float32(st.EnergyK), EnergyP: float32(st.EnergyP),
+		Mass: float32(st.Mass), Courant: float32(st.Courant),
+		RainRate: float32(s.rain),
+		SeedLo:   uint32(s.cfg.Seed), SeedHi: uint32(uint64(s.cfg.Seed) >> 32),
+		BoundaryN: 1, BoundaryS: 1, BoundaryE: 1, BoundaryW: 1,
+		FrameID: frameID, Checksum: st.ChecksumOfHeights,
+	}
+}
+
+// Downsample decimates a field by the given factor in each dimension —
+// the presend component's data reduction for remote visualization.
+func Downsample(field []float32, nx, ny, factor int) ([]float32, int, int, error) {
+	if factor < 1 {
+		return nil, 0, 0, fmt.Errorf("hydro: downsample factor %d", factor)
+	}
+	if nx*ny != len(field) {
+		return nil, 0, 0, fmt.Errorf("hydro: field of %d values is not %dx%d", len(field), nx, ny)
+	}
+	onx := (nx + factor - 1) / factor
+	ony := (ny + factor - 1) / factor
+	out := make([]float32, onx*ony)
+	for oj := 0; oj < ony; oj++ {
+		for oi := 0; oi < onx; oi++ {
+			// Average the source block.
+			var sum float32
+			var cnt int
+			for j := oj * factor; j < min((oj+1)*factor, ny); j++ {
+				for i := oi * factor; i < min((oi+1)*factor, nx); i++ {
+					sum += field[j*nx+i]
+					cnt++
+				}
+			}
+			out[oj*onx+oi] = sum / float32(cnt)
+		}
+	}
+	return out, onx, ony, nil
+}

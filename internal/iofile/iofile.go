@@ -1,0 +1,271 @@
+// Package iofile implements PBIO's second transport: self-describing
+// binary data files.  The paper's definition of PBIO covers structures
+// "transmitted in binary form over computer networks or written to data
+// files in a heterogeneous computing environment" — this is the data-file
+// half.
+//
+// A file is a magic header followed by frames.  Format frames carry
+// canonical metadata; data frames carry a format ID and a message body.
+// Every format is written before its first use, so any reader — on any
+// simulated platform, with or without compiled-in knowledge of the formats
+// — can decode the file, including into dynamic records.
+package iofile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+const (
+	fileMagic = "XMITPBF1"
+
+	frameFormat = 1
+	frameData   = 2
+
+	maxFrame = 256 << 20
+)
+
+// Writer appends self-describing messages to a stream.
+type Writer struct {
+	w         *bufio.Writer
+	closer    io.Closer
+	announced map[meta.FormatID]bool
+	err       error
+}
+
+// NewWriter starts a PBIO file on w, writing the header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return nil, err
+	}
+	fw := &Writer{w: bw, announced: make(map[meta.FormatID]bool)}
+	if c, ok := w.(io.Closer); ok {
+		fw.closer = c
+	}
+	return fw, nil
+}
+
+// Create creates (or truncates) a PBIO file on disk.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends one message marshalled with the binding.
+func (w *Writer) Write(b *pbio.Binding, v any) error {
+	if w.err != nil {
+		return w.err
+	}
+	msg, err := b.Encode(v)
+	if err != nil {
+		return err
+	}
+	return w.writeMessage(b.ID(), b.Format(), msg)
+}
+
+// WriteRecord appends a dynamic record using the given context for
+// encoding.
+func (w *Writer) WriteRecord(ctx *pbio.Context, r *pbio.Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	msg, err := ctx.EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+	return w.writeMessage(r.Format().ID(), r.Format(), msg)
+}
+
+func (w *Writer) writeMessage(id meta.FormatID, f *meta.Format, msg []byte) error {
+	if !w.announced[id] {
+		if err := w.writeFrame(frameFormat, f.Canonical()); err != nil {
+			return err
+		}
+		w.announced[id] = true
+	}
+	return w.writeFrame(frameData, msg)
+}
+
+func (w *Writer) writeFrame(kind byte, payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = kind
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush forces buffered frames to the underlying stream.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Close flushes and closes the underlying stream if it is closable.
+func (w *Writer) Close() error {
+	if err := w.Flush(); err != nil {
+		if w.closer != nil {
+			w.closer.Close()
+		}
+		return err
+	}
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
+}
+
+// Reader iterates the messages of a PBIO file, registering embedded
+// metadata into its context as it goes.
+type Reader struct {
+	r      *bufio.Reader
+	closer io.Closer
+	ctx    *pbio.Context
+	buf    []byte
+}
+
+// NewReader opens a PBIO stream, validating the header.  Messages decode
+// through ctx (which may be empty: the file carries its own metadata).
+func NewReader(r io.Reader, ctx *pbio.Context) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("iofile: reading header: %w", err)
+	}
+	if string(hdr) != fileMagic {
+		return nil, fmt.Errorf("iofile: bad magic %q", hdr)
+	}
+	rd := &Reader{r: br, ctx: ctx}
+	if c, ok := r.(io.Closer); ok {
+		rd.closer = c
+	}
+	return rd, nil
+}
+
+// Open opens a PBIO file on disk.
+func Open(path string, ctx *pbio.Context) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f, ctx)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Context returns the reader's decoding context.
+func (r *Reader) Context() *pbio.Context { return r.ctx }
+
+// Next returns the wire format and body of the next data message, or
+// io.EOF at end of file.  The body is valid until the following call.
+func (r *Reader) Next() (*meta.Format, []byte, error) {
+	for {
+		kind, payload, err := r.readFrame()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch kind {
+		case frameFormat:
+			f, err := meta.ParseCanonical(payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("iofile: bad embedded metadata: %w", err)
+			}
+			if _, err := r.ctx.RegisterFormat(f); err != nil {
+				return nil, nil, err
+			}
+		case frameData:
+			if len(payload) < 8 {
+				return nil, nil, fmt.Errorf("iofile: data frame of %d bytes lacks a format ID", len(payload))
+			}
+			id := meta.FormatID(binary.BigEndian.Uint64(payload))
+			f, err := r.ctx.LookupFormat(id)
+			if err != nil {
+				return nil, nil, err
+			}
+			return f, payload[8:], nil
+		default:
+			return nil, nil, fmt.Errorf("iofile: unknown frame kind %d", kind)
+		}
+	}
+}
+
+// Read decodes the next message into out, returning its wire format.
+func (r *Reader) Read(out any) (*meta.Format, error) {
+	f, body, err := r.Next()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.ctx.DecodeBody(f, body, out); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadRecord decodes the next message as a dynamic record.
+func (r *Reader) ReadRecord() (*pbio.Record, error) {
+	f, body, err := r.Next()
+	if err != nil {
+		return nil, err
+	}
+	return r.ctx.DecodeRecordBody(f, body)
+}
+
+func (r *Reader) readFrame() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("iofile: truncated frame header")
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("iofile: frame of %d bytes out of range", n)
+	}
+	need := int(n) - 1
+	if cap(r.buf) < need {
+		r.buf = make([]byte, need)
+	}
+	buf := r.buf[:need]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return 0, nil, fmt.Errorf("iofile: truncated frame: %w", err)
+	}
+	return hdr[4], buf, nil
+}
+
+// Close closes the underlying stream if it is closable.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}

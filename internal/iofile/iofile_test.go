@@ -1,0 +1,260 @@
+package iofile
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+type event struct {
+	Seq  int32
+	Temp float32
+	Note string
+}
+
+type frame struct {
+	Step int32
+	N    int32
+	Vals []float64
+}
+
+func writerContext(t *testing.T, p *platform.Platform) (*pbio.Context, *pbio.Binding, *pbio.Binding) {
+	t.Helper()
+	ctx := pbio.NewContext(pbio.WithPlatform(p))
+	ef, err := ctx.RegisterFields("event", []pbio.IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "temp", Type: "float"},
+		{Name: "note", Type: "string"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := ctx.RegisterFields("frame", []pbio.IOField{
+		{Name: "step", Type: "integer"},
+		{Name: "n", Type: "integer"},
+		{Name: "vals", Type: "double[n]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := ctx.Bind(ef, &event{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := ctx.Bind(ff, &frame{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, eb, fb
+}
+
+func TestWriteReadMixedStream(t *testing.T) {
+	_, eb, fb := writerContext(t, platform.Sparc32)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Write(eb, &event{Seq: int32(i), Temp: float32(i) + 0.5, Note: "e"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(fb, &frame{Step: int32(i), Vals: []float64{float64(i), 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reader on a different platform with an empty context: everything
+	// needed is in the file.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), pbio.NewContext(pbio.WithPlatform(platform.X8664)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		var e event
+		f, err := r.Read(&e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Name != "event" || e.Seq != int32(i) || e.Temp != float32(i)+0.5 {
+			t.Errorf("event %d: %s %+v", i, f.Name, e)
+		}
+		var fr frame
+		if _, err := r.Read(&fr); err != nil {
+			t.Fatal(err)
+		}
+		if fr.Step != int32(i) || fr.N != 2 || fr.Vals[1] != 2 {
+			t.Errorf("frame %d: %+v", i, fr)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Errorf("want io.EOF at end, got %v", err)
+	}
+}
+
+// TestMetadataWrittenOnce: n messages of one format produce exactly one
+// format frame.
+func TestMetadataWrittenOnce(t *testing.T) {
+	_, eb, _ := writerContext(t, platform.Sparc32)
+	var one, many bytes.Buffer
+	w1, _ := NewWriter(&one)
+	w1.Write(eb, &event{Seq: 1})
+	w1.Flush()
+	wN, _ := NewWriter(&many)
+	for i := 0; i < 10; i++ {
+		wN.Write(eb, &event{Seq: int32(i)})
+	}
+	wN.Flush()
+	perMsg := 5 + 8 + eb.Format().Size // frame header + ID + empty-string body
+	if got, want := many.Len()-one.Len(), 9*perMsg; got != want {
+		t.Errorf("9 extra messages cost %d bytes, want %d (metadata must not repeat)", got, want)
+	}
+}
+
+func TestFileRoundTripOnDisk(t *testing.T) {
+	_, eb, _ := writerContext(t, platform.X86)
+	path := filepath.Join(t.TempDir(), "events.pbf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(eb, &event{Seq: 7, Note: "disk"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path, pbio.NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var e event
+	if _, err := r.Read(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 7 || e.Note != "disk" {
+		t.Errorf("decoded %+v", e)
+	}
+	if r.Context() == nil {
+		t.Error("Context accessor broken")
+	}
+}
+
+// TestRecordsAndEvolution: records write and read; a reader decoding into
+// an older struct shape still works.
+func TestRecordsAndEvolution(t *testing.T) {
+	ctx, eb, _ := writerContext(t, platform.Sparc32)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := pbio.NewRecord(eb.Format())
+	rec.Set("seq", 5)
+	rec.Set("note", "as-record")
+	if err := w.WriteRecord(ctx, rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()), pbio.NewContext())
+	back, err := r.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Get("note"); v.(string) != "as-record" {
+		t.Errorf("note = %v", v)
+	}
+
+	// Old reader: struct lacking the "note" field.
+	r2, _ := NewReader(bytes.NewReader(buf.Bytes()), pbio.NewContext())
+	var old struct{ Seq int32 }
+	if _, err := r2.Read(&old); err != nil {
+		t.Fatal(err)
+	}
+	if old.Seq != 5 {
+		t.Errorf("old reader decoded %+v", old)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	ctx := pbio.NewContext()
+	if _, err := NewReader(bytes.NewReader([]byte("NOTMAGIC")), ctx); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("XMIT")), ctx); err == nil {
+		t.Error("short header should fail")
+	}
+
+	// Truncated frame.
+	_, eb, _ := writerContext(t, platform.Sparc32)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(eb, &event{Seq: 1})
+	w.Flush()
+	data := buf.Bytes()
+	for _, cut := range []int{9, 12, len(data) - 3} {
+		r, err := NewReader(bytes.NewReader(data[:cut]), pbio.NewContext())
+		if err != nil {
+			continue
+		}
+		var e event
+		if _, err := r.Read(&e); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+
+	// Corrupt frame kind.
+	mut := append([]byte(nil), data...)
+	mut[len(fileMagic)+4] = 99
+	r, _ := NewReader(bytes.NewReader(mut), pbio.NewContext())
+	var e event
+	if _, err := r.Read(&e); err == nil {
+		t.Error("unknown frame kind should fail")
+	}
+
+	// Corrupt metadata payload.
+	mut2 := append([]byte(nil), data...)
+	mut2[len(fileMagic)+5] ^= 0xff
+	r2, _ := NewReader(bytes.NewReader(mut2), pbio.NewContext())
+	if _, err := r2.Read(&e); err == nil {
+		t.Error("corrupt metadata should fail")
+	}
+}
+
+// TestHeterogeneousFile: files written on every platform read everywhere.
+func TestHeterogeneousFile(t *testing.T) {
+	for _, wp := range platform.All() {
+		_, eb, fb := writerContext(t, wp)
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Write(eb, &event{Seq: 11, Temp: -2.5, Note: wp.Name})
+		w.Write(fb, &frame{Step: 3, Vals: []float64{1.5}})
+		w.Flush()
+		for _, rp := range platform.All() {
+			r, err := NewReader(bytes.NewReader(buf.Bytes()), pbio.NewContext(pbio.WithPlatform(rp)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var e event
+			if _, err := r.Read(&e); err != nil {
+				t.Fatalf("%s->%s: %v", wp, rp, err)
+			}
+			if e.Seq != 11 || e.Temp != -2.5 || e.Note != wp.Name {
+				t.Errorf("%s->%s: %+v", wp, rp, e)
+			}
+			var fr frame
+			if _, err := r.Read(&fr); err != nil {
+				t.Fatal(err)
+			}
+			if fr.Vals[0] != 1.5 {
+				t.Errorf("%s->%s: %+v", wp, rp, fr)
+			}
+		}
+	}
+}

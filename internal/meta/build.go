@@ -1,0 +1,119 @@
+package meta
+
+import (
+	"fmt"
+
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// FieldDef is the input to Build: a field description independent of any
+// platform.  Sizes and offsets are resolved against a platform ABI.
+type FieldDef struct {
+	// Name is the field name.
+	Name string
+	// Kind classifies the value.
+	Kind Kind
+	// Class selects the C primitive class whose platform size and
+	// alignment the field uses.  Ignored for String and Struct fields.
+	Class platform.Class
+	// ExplicitSize, when non-zero, overrides the platform size of the
+	// class (it must be a power of two no larger than 16).
+	ExplicitSize int
+	// StaticDim declares a fixed-size array of StaticDim elements.
+	StaticDim int
+	// LengthField declares a dynamic array sized at run time by the
+	// named integer field.
+	LengthField string
+	// Sub is the nested format for Struct fields; it must have been
+	// built for the same platform.
+	Sub *Format
+}
+
+// Build computes the complete Format for the given field definitions on the
+// given platform, assigning C-struct offsets, sizes, and alignment, and
+// validating the result.  This is the "native metadata construction" step
+// shared by compiled-in registration and XMIT's run-time translation.
+func Build(name string, p *platform.Platform, defs []FieldDef) (*Format, error) {
+	if p == nil {
+		return nil, fmt.Errorf("meta: nil platform building format %q", name)
+	}
+	f := &Format{
+		Name:        name,
+		PointerSize: p.PointerSize(),
+		BigEndian:   p.BigEndian(),
+		Platform:    p.Name,
+	}
+	items := make([]platform.Item, len(defs))
+	f.Fields = make([]Field, len(defs))
+	for i, d := range defs {
+		fl := Field{
+			Name:        d.Name,
+			Kind:        d.Kind,
+			StaticDim:   d.StaticDim,
+			LengthField: d.LengthField,
+			Sub:         d.Sub,
+		}
+		var size, align int
+		switch d.Kind {
+		case String:
+			fl.Size = 1 // one character element
+			size, align = p.PointerSize(), p.AlignOf(platform.Pointer)
+			if d.StaticDim > 0 {
+				return nil, fmt.Errorf("meta: field %q: static arrays of strings are not supported", d.Name)
+			}
+		case Struct:
+			if d.Sub == nil {
+				return nil, fmt.Errorf("meta: struct field %q has no subformat", d.Name)
+			}
+			if d.Sub.Platform != p.Name {
+				return nil, fmt.Errorf("meta: struct field %q: subformat %q built for platform %q, want %q",
+					d.Name, d.Sub.Name, d.Sub.Platform, p.Name)
+			}
+			fl.Size = d.Sub.Size
+			size, align = d.Sub.Size, d.Sub.Align
+		default:
+			size = p.SizeOf(d.Class)
+			align = p.AlignOf(d.Class)
+			if d.ExplicitSize > 0 {
+				if d.ExplicitSize > 8 || d.ExplicitSize&(d.ExplicitSize-1) != 0 {
+					return nil, fmt.Errorf("meta: field %q: explicit size %d is not a power of two <= 8",
+						d.Name, d.ExplicitSize)
+				}
+				size = d.ExplicitSize
+				// Explicitly sized fields align naturally, capped at the
+				// platform's strictest natural alignment.
+				align = size
+				if m := p.AlignOf(platform.Double); align > m {
+					align = m
+				}
+			}
+			fl.Size = size
+		}
+		if fl.IsDynamic() {
+			// Dynamic arrays occupy a pointer slot regardless of element type.
+			size, align = p.PointerSize(), p.AlignOf(platform.Pointer)
+			if d.StaticDim > 0 {
+				return nil, fmt.Errorf("meta: field %q is both static and dynamic", d.Name)
+			}
+		}
+		count := 1
+		if d.StaticDim > 0 {
+			count = d.StaticDim
+		}
+		items[i] = platform.Item{Name: d.Name, Size: size, Align: align, Count: count}
+		f.Fields[i] = fl
+	}
+	res, err := platform.Layout(items)
+	if err != nil {
+		return nil, fmt.Errorf("meta: laying out format %q: %w", name, err)
+	}
+	for i := range f.Fields {
+		f.Fields[i].Offset = res.Offsets[i]
+	}
+	f.Size = res.Size
+	f.Align = res.Align
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,135 @@
+package meta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The compatibility rules below implement PBIO's restricted format
+// evolution: a receiver can decode any wire format whose fields are a
+// name-compatible superset or subset of the fields it expects.  Fields
+// present on the wire but unknown to the receiver are skipped; fields the
+// receiver expects but the wire lacks are zeroed.  A field shared by both
+// sides must be value-convertible (numeric widths and byte orders convert
+// freely; strings match strings; nested records match recursively).
+
+// MatchKind classifies the disposition of one field during matching.
+type MatchKind int
+
+const (
+	// MatchExact means the wire field maps to a native field.
+	MatchExact MatchKind = iota
+	// MatchSkipped means the wire field has no native counterpart and
+	// its contents are ignored (sender evolved ahead of receiver).
+	MatchSkipped
+	// MatchZeroed means the native field has no wire counterpart and is
+	// set to its zero value (receiver evolved ahead of sender).
+	MatchZeroed
+)
+
+// FieldMatch records the disposition of one field pair.
+type FieldMatch struct {
+	Kind        MatchKind
+	WireIndex   int // -1 when Kind == MatchZeroed
+	NativeIndex int // -1 when Kind == MatchSkipped
+}
+
+// MatchReport is the result of matching a wire format against a native one.
+type MatchReport struct {
+	Matches []FieldMatch
+	// Exact reports whether every field matched positionally with
+	// identical kind, size, and offset (the homogeneous fast path).
+	Exact bool
+}
+
+// Match computes the field correspondence between a wire format and the
+// native format a receiver is bound to.  It returns an error if a shared
+// field is not value-convertible.
+func Match(wire, native *Format) (*MatchReport, error) {
+	rep := &MatchReport{}
+	nativeUsed := make([]bool, len(native.Fields))
+	exact := len(wire.Fields) == len(native.Fields) &&
+		wire.BigEndian == native.BigEndian &&
+		wire.PointerSize == native.PointerSize &&
+		wire.Size == native.Size
+	for wi := range wire.Fields {
+		wf := &wire.Fields[wi]
+		ni := native.FieldByName(wf.Name)
+		if ni < 0 {
+			rep.Matches = append(rep.Matches, FieldMatch{Kind: MatchSkipped, WireIndex: wi, NativeIndex: -1})
+			exact = false
+			continue
+		}
+		nf := &native.Fields[ni]
+		if err := convertible(wf, nf); err != nil {
+			return nil, fmt.Errorf("meta: format %q field %q: %w", wire.Name, wf.Name, err)
+		}
+		nativeUsed[ni] = true
+		rep.Matches = append(rep.Matches, FieldMatch{Kind: MatchExact, WireIndex: wi, NativeIndex: ni})
+		if ni != wi || wf.Kind != nf.Kind || wf.Size != nf.Size || wf.Offset != nf.Offset ||
+			wf.StaticDim != nf.StaticDim || !strings.EqualFold(wf.LengthField, nf.LengthField) {
+			exact = false
+		}
+		if wf.Kind == Struct && exact {
+			subRep, err := Match(wf.Sub, nf.Sub)
+			if err != nil {
+				return nil, err
+			}
+			if !subRep.Exact {
+				exact = false
+			}
+		}
+	}
+	for ni := range native.Fields {
+		if !nativeUsed[ni] {
+			rep.Matches = append(rep.Matches, FieldMatch{Kind: MatchZeroed, WireIndex: -1, NativeIndex: ni})
+			exact = false
+		}
+	}
+	rep.Exact = exact
+	return rep, nil
+}
+
+// convertible reports whether a wire field's values can be converted into a
+// native field.
+func convertible(wire, native *Field) error {
+	// Array shape must agree.
+	switch {
+	case wire.IsDynamic() != native.IsDynamic():
+		return fmt.Errorf("dynamic array mismatch (wire %v, native %v)", wire.IsDynamic(), native.IsDynamic())
+	case wire.IsStaticArray() != native.IsStaticArray():
+		return fmt.Errorf("static array mismatch (wire dim %d, native dim %d)", wire.StaticDim, native.StaticDim)
+	}
+	if wire.IsDynamic() && !strings.EqualFold(wire.LengthField, native.LengthField) {
+		return fmt.Errorf("dynamic arrays sized by different fields (%q vs %q)", wire.LengthField, native.LengthField)
+	}
+	switch {
+	case wire.Kind.Numeric() && native.Kind.Numeric():
+		return nil
+	case wire.Kind == String && native.Kind == String:
+		return nil
+	case wire.Kind == Struct && native.Kind == Struct:
+		_, err := Match(wire.Sub, native.Sub)
+		return err
+	default:
+		return fmt.Errorf("kinds %s and %s are not convertible", wire.Kind, native.Kind)
+	}
+}
+
+// CompatibleSuperset reports whether newer can be safely sent to receivers
+// expecting older: every field of older must be present and convertible in
+// newer.  This is the check a format author runs before evolving a format.
+func CompatibleSuperset(older, newer *Format) error {
+	for i := range older.Fields {
+		of := &older.Fields[i]
+		ni := newer.FieldByName(of.Name)
+		if ni < 0 {
+			return fmt.Errorf("meta: evolved format %q dropped field %q required by %q",
+				newer.Name, of.Name, older.Name)
+		}
+		if err := convertible(&newer.Fields[ni], of); err != nil {
+			return fmt.Errorf("meta: evolved format %q field %q: %w", newer.Name, of.Name, err)
+		}
+	}
+	return nil
+}

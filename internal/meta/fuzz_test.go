@@ -1,0 +1,45 @@
+package meta
+
+import (
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// FuzzParseCanonical drives the metadata deserialiser with arbitrary bytes.
+// Invariants: no panic, and anything accepted is structurally valid and
+// re-serialises to an equal format.
+func FuzzParseCanonical(f *testing.F) {
+	sd, _ := Build("SimpleData", platform.Sparc32, []FieldDef{
+		{Name: "timestep", Kind: Integer, Class: platform.Int},
+		{Name: "size", Kind: Integer, Class: platform.Int},
+		{Name: "data", Kind: Float, Class: platform.Float, LengthField: "size"},
+	})
+	f.Add(sd.Canonical())
+	inner, _ := Build("P", platform.X8664, []FieldDef{
+		{Name: "x", Kind: Float, Class: platform.Double},
+	})
+	nested, _ := Build("N", platform.X8664, []FieldDef{
+		{Name: "s", Kind: String},
+		{Name: "p", Kind: Struct, Sub: inner},
+		{Name: "g", Kind: Unsigned, Class: platform.Short, StaticDim: 3},
+	})
+	f.Add(nested.Canonical())
+	f.Add([]byte("XMF1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseCanonical(data)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid format: %v", err)
+		}
+		h, err := ParseCanonical(g.Canonical())
+		if err != nil {
+			t.Fatalf("re-serialisation does not parse: %v", err)
+		}
+		if h.ID() != g.ID() {
+			t.Fatal("re-serialisation changed identity")
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package meta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Validate checks the structural integrity of a format: non-empty unique
+// field names, sane sizes and offsets, non-overlapping slots, dynamic array
+// length fields that exist, precede the array, and hold integers, and
+// acyclic nested formats.
+func (f *Format) Validate() error {
+	return f.validate(map[*Format]bool{})
+}
+
+func (f *Format) validate(active map[*Format]bool) error {
+	if f == nil {
+		return fmt.Errorf("meta: nil format")
+	}
+	if active[f] {
+		return fmt.Errorf("meta: format %q is recursively nested", f.Name)
+	}
+	active[f] = true
+	defer delete(active, f)
+
+	if f.Name == "" {
+		return fmt.Errorf("meta: format has no name")
+	}
+	if f.PointerSize != 4 && f.PointerSize != 8 {
+		return fmt.Errorf("meta: format %q: pointer size %d is not 4 or 8", f.Name, f.PointerSize)
+	}
+	if f.Align < 1 || f.Align&(f.Align-1) != 0 {
+		return fmt.Errorf("meta: format %q: alignment %d is not a power of two", f.Name, f.Align)
+	}
+	if f.Size%f.Align != 0 {
+		return fmt.Errorf("meta: format %q: size %d is not a multiple of alignment %d", f.Name, f.Size, f.Align)
+	}
+	seen := make(map[string]bool, len(f.Fields))
+	prevEnd := 0
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		if fl.Name == "" {
+			return fmt.Errorf("meta: format %q: field %d has no name", f.Name, i)
+		}
+		lower := strings.ToLower(fl.Name)
+		if seen[lower] {
+			return fmt.Errorf("meta: format %q: duplicate field name %q", f.Name, fl.Name)
+		}
+		seen[lower] = true
+		if fl.Kind < 0 || fl.Kind >= numKinds {
+			return fmt.Errorf("meta: format %q: field %q has invalid kind", f.Name, fl.Name)
+		}
+		if err := f.validateFieldSize(fl); err != nil {
+			return err
+		}
+		slot := fl.SlotSize(f.PointerSize)
+		if fl.Offset < prevEnd {
+			return fmt.Errorf("meta: format %q: field %q at offset %d overlaps previous field (ends at %d)",
+				f.Name, fl.Name, fl.Offset, prevEnd)
+		}
+		if fl.Offset+slot > f.Size {
+			return fmt.Errorf("meta: format %q: field %q (offset %d, slot %d) exceeds struct size %d",
+				f.Name, fl.Name, fl.Offset, slot, f.Size)
+		}
+		prevEnd = fl.Offset + slot
+		if fl.IsDynamic() {
+			if fl.StaticDim > 0 {
+				return fmt.Errorf("meta: format %q: field %q is both static and dynamic", f.Name, fl.Name)
+			}
+			j := f.FieldByName(fl.LengthField)
+			if j < 0 {
+				return fmt.Errorf("meta: format %q: field %q references unknown length field %q",
+					f.Name, fl.Name, fl.LengthField)
+			}
+			if j >= i {
+				return fmt.Errorf("meta: format %q: length field %q must precede dynamic array %q",
+					f.Name, fl.LengthField, fl.Name)
+			}
+			lf := &f.Fields[j]
+			if (lf.Kind != Integer && lf.Kind != Unsigned) || lf.StaticDim > 0 || lf.IsDynamic() {
+				return fmt.Errorf("meta: format %q: length field %q of %q must be a scalar integer",
+					f.Name, fl.LengthField, fl.Name)
+			}
+		}
+		if fl.Kind == Struct {
+			if fl.Sub == nil {
+				return fmt.Errorf("meta: format %q: struct field %q has no subformat", f.Name, fl.Name)
+			}
+			if err := fl.Sub.validate(active); err != nil {
+				return fmt.Errorf("meta: format %q: field %q: %w", f.Name, fl.Name, err)
+			}
+		} else if fl.Sub != nil {
+			return fmt.Errorf("meta: format %q: non-struct field %q has a subformat", f.Name, fl.Name)
+		}
+		if fl.Kind == String && (fl.StaticDim > 0 || fl.IsDynamic()) {
+			return fmt.Errorf("meta: format %q: field %q: arrays of strings are not supported",
+				f.Name, fl.Name)
+		}
+	}
+	return nil
+}
+
+func (f *Format) validateFieldSize(fl *Field) error {
+	bad := func(allowed string) error {
+		return fmt.Errorf("meta: format %q: field %q (%s) has size %d, want %s",
+			f.Name, fl.Name, fl.Kind, fl.Size, allowed)
+	}
+	switch fl.Kind {
+	case Integer, Unsigned, Enum:
+		switch fl.Size {
+		case 1, 2, 4, 8:
+		default:
+			return bad("1, 2, 4, or 8")
+		}
+	case Float:
+		if fl.Size != 4 && fl.Size != 8 {
+			return bad("4 or 8")
+		}
+	case Char:
+		if fl.Size != 1 {
+			return bad("1")
+		}
+	case Boolean:
+		switch fl.Size {
+		case 1, 2, 4, 8:
+		default:
+			return bad("1, 2, 4, or 8")
+		}
+	case String:
+		if fl.Size != 1 {
+			return bad("1 (per character)")
+		}
+	case Struct:
+		if fl.Sub != nil && fl.Size != fl.Sub.Size {
+			return fmt.Errorf("meta: format %q: struct field %q size %d != subformat size %d",
+				f.Name, fl.Name, fl.Size, fl.Sub.Size)
+		}
+	}
+	return nil
+}

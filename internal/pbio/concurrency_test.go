@@ -1,0 +1,111 @@
+package pbio
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestConcurrentContextUse hammers one context from many goroutines doing
+// registration, binding, encoding, and decoding at once.  Run with -race.
+func TestConcurrentContextUse(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	base, err := c.RegisterFields("SimpleData", simpleDataFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := SimpleData{Timestep: 1, Data: []float32{1, 2, 3}}
+	b, err := c.Bind(base, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 4 {
+				case 0: // register a fresh format
+					name := fmt.Sprintf("F%d_%d", g, i)
+					if _, err := c.RegisterFields(name, []IOField{
+						{Name: "x", Type: "integer"},
+						{Name: "y", Type: "double"},
+					}); err != nil {
+						errs <- err
+						return
+					}
+				case 1: // bind and encode
+					bb, err := c.Bind(base, &SimpleData{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					msg := SimpleData{Timestep: int32(i), Data: []float32{float32(g)}}
+					if _, err := bb.Encode(&msg); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // decode into a struct
+					var out SimpleData
+					if _, err := c.Decode(seed, &out); err != nil {
+						errs <- err
+						return
+					}
+				case 3: // decode as a record
+					if _, err := c.DecodeRecord(seed); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentSharedBinding uses one binding from many goroutines; the
+// encode path must be reentrant (it holds no shared buffers).
+func TestConcurrentSharedBinding(t *testing.T) {
+	c := NewContext()
+	f, _ := c.RegisterFields("kitchen", kitchenFields(c))
+	in := kitchenValue()
+	b, err := c.Bind(f, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := kitchenValue()
+			var out kitchenSink
+			for i := 0; i < 30; i++ {
+				msg, err := b.Encode(&local)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Decode(msg, &out); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

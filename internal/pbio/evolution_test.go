@@ -1,0 +1,143 @@
+package pbio
+
+import (
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// These tests exercise PBIO's restricted format evolution (paper §5):
+// fields may be added to a format without breaking receivers compiled
+// against the previous version, and new receivers can consume messages
+// from old senders (added fields decode as zero).
+
+type eventV1 struct {
+	Seq  int32
+	Temp float32
+}
+
+type eventV2 struct {
+	Seq      int32
+	Temp     float32
+	Pressure float32 // added in v2
+	Station  string  // added in v2
+}
+
+func v1Fields() []IOField {
+	return []IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "temp", Type: "float"},
+	}
+}
+
+func v2Fields() []IOField {
+	return []IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "temp", Type: "float"},
+		{Name: "pressure", Type: "float"},
+		{Name: "station", Type: "string"},
+	}
+}
+
+func TestNewSenderOldReceiver(t *testing.T) {
+	sender := NewContext(WithPlatform(platform.Sparc32))
+	f2, err := sender.RegisterFields("Event", v2Fields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := eventV2{Seq: 9, Temp: 21.5, Pressure: 1013.25, Station: "KATL"}
+	b, err := sender.Bind(f2, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The old receiver knows only the v1 Go struct, but it learns the v2
+	// wire format (by ID) — extra fields are skipped during conversion.
+	receiver := NewContext(WithPlatform(platform.X8664))
+	if _, err := receiver.RegisterFormat(f2); err != nil {
+		t.Fatal(err)
+	}
+	var out eventV1
+	if _, err := receiver.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 9 || out.Temp != 21.5 {
+		t.Errorf("old receiver decoded %+v", out)
+	}
+}
+
+func TestOldSenderNewReceiver(t *testing.T) {
+	sender := NewContext(WithPlatform(platform.Sparc32))
+	f1, err := sender.RegisterFields("Event", v1Fields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := eventV1{Seq: 4, Temp: -3.5}
+	b, err := sender.Bind(f1, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	receiver := NewContext(WithPlatform(platform.X8664))
+	if _, err := receiver.RegisterFormat(f1); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-fill the target to prove added fields are zeroed, not stale.
+	out := eventV2{Pressure: 999, Station: "stale"}
+	if _, err := receiver.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 4 || out.Temp != -3.5 {
+		t.Errorf("new receiver decoded %+v", out)
+	}
+	if out.Pressure != 0 || out.Station != "" {
+		t.Errorf("fields missing from the wire must decode to zero, got %+v", out)
+	}
+}
+
+// TestSameNameEvolutionInOneContext mirrors a long-running process that
+// re-registers an evolved format under the same name: both layouts stay
+// reachable by ID.
+func TestSameNameEvolutionInOneContext(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	f1, err := c.RegisterFields("Event", v1Fields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := c.RegisterFields("Event", v2Fields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.ID() == f2.ID() {
+		t.Fatal("evolved format must have a new ID")
+	}
+	if c.FormatByName("Event") != f2 {
+		t.Error("name lookup should return the newest registration")
+	}
+	if c.FormatByID(f1.ID()) != f1 || c.FormatByID(f2.ID()) != f2 {
+		t.Error("both versions must stay reachable by ID")
+	}
+
+	// Messages from both versions decode in the same context.
+	in1 := eventV1{Seq: 1, Temp: 10}
+	in2 := eventV2{Seq: 2, Temp: 20, Pressure: 1000, Station: "S"}
+	b1, _ := c.Bind(f1, &in1)
+	b2, _ := c.Bind(f2, &in2)
+	m1, _ := b1.Encode(&in1)
+	m2, _ := b2.Encode(&in2)
+	var out eventV2
+	if _, err := c.Decode(m1, &out); err != nil || out.Seq != 1 || out.Pressure != 0 {
+		t.Errorf("decode v1 message: %v %+v", err, out)
+	}
+	if _, err := c.Decode(m2, &out); err != nil || out.Seq != 2 || out.Pressure != 1000 {
+		t.Errorf("decode v2 message: %v %+v", err, out)
+	}
+}

@@ -1,0 +1,84 @@
+package pbio_test
+
+import (
+	"fmt"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// Classic compiled-in registration (the PBIO baseline the paper measures
+// against), heterogeneous exchange included: encoded on a big-endian
+// 32-bit layout, decoded on the host.
+func ExampleContext_RegisterFields() {
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	f, err := ctx.RegisterFields("asdOff", []pbio.IOField{
+		{Name: "centerID", Type: "string"},
+		{Name: "airline", Type: "string"},
+		{Name: "flight", Type: "integer"},
+		{Name: "off", Type: "unsigned long"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	type ASDOff struct {
+		CenterID string
+		Airline  string
+		Flight   int32
+		Off      uint32
+	}
+	in := ASDOff{CenterID: "ZTL", Airline: "DAL", Flight: 882, Off: 0x2A}
+	b, err := ctx.Bind(f, &in)
+	if err != nil {
+		panic(err)
+	}
+	msg, err := b.Encode(&in)
+	if err != nil {
+		panic(err)
+	}
+	var out ASDOff
+	if _, err := ctx.Decode(msg, &out); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s %s flight %d off %d\n", out.CenterID, out.Airline, out.Flight, out.Off)
+	// Output:
+	// ZTL DAL flight 882 off 42
+}
+
+// Format evolution: a receiver compiled against the old shape decodes a
+// message from an evolved sender — the added field is skipped.
+func ExampleContext_Decode_evolution() {
+	sender := pbio.NewContext()
+	evolved, err := sender.RegisterFields("Event", []pbio.IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "severity", Type: "float"}, // added in v2
+	})
+	if err != nil {
+		panic(err)
+	}
+	type EventV2 struct {
+		Seq      int32
+		Severity float32
+	}
+	b, err := sender.Bind(evolved, &EventV2{})
+	if err != nil {
+		panic(err)
+	}
+	msg, err := b.Encode(&EventV2{Seq: 5, Severity: 0.9})
+	if err != nil {
+		panic(err)
+	}
+
+	receiver := pbio.NewContext()
+	if _, err := receiver.RegisterFormat(evolved); err != nil { // learned in-band in real exchanges
+		panic(err)
+	}
+	type EventV1 struct{ Seq int32 } // the old compiled shape
+	var out EventV1
+	if _, err := receiver.Decode(msg, &out); err != nil {
+		panic(err)
+	}
+	fmt.Printf("seq=%d (severity skipped)\n", out.Seq)
+	// Output:
+	// seq=5 (severity skipped)
+}

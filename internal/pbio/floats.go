@@ -1,0 +1,10 @@
+package pbio
+
+import "math"
+
+// Tiny indirection over math bit-casts, shared by the scalar and array
+// conversion paths.
+
+func math32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

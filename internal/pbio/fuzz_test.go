@@ -1,0 +1,54 @@
+package pbio
+
+import (
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// FuzzDecodeBody drives the struct and record decoders with arbitrary
+// bodies against a format exercising every field kind.  Invariant: errors,
+// never panics.
+func FuzzDecodeBody(f *testing.F) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	format, err := c.RegisterFields("kitchen", kitchenFields(c))
+	if err != nil {
+		f.Fatal(err)
+	}
+	in := kitchenValue()
+	b, err := c.Bind(format, &in)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := b.EncodeBody(nil, &in)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:format.Size])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var out kitchenSink
+		_ = c.DecodeBody(format, body, &out)
+		_, _ = c.DecodeRecordBody(format, body)
+	})
+}
+
+// FuzzDecodeMessage exercises the full message path including format-ID
+// resolution.
+func FuzzDecodeMessage(f *testing.F) {
+	c := NewContext(WithPlatform(platform.X8664))
+	format, err := c.RegisterFields("SimpleData", simpleDataFields())
+	if err != nil {
+		f.Fatal(err)
+	}
+	in := SimpleData{Timestep: 1, Data: []float32{1, 2}}
+	b, _ := c.Bind(format, &in)
+	msg, _ := b.Encode(&in)
+	f.Add(msg)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out SimpleData
+		_, _ = c.Decode(data, &out)
+		_, _ = c.DecodeRecord(data)
+	})
+}

@@ -1,0 +1,705 @@
+package pbio
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// SimpleData mirrors the paper's running example.
+type SimpleData struct {
+	Timestep int32
+	Size     int32
+	Data     []float32
+}
+
+func simpleDataFields() []IOField {
+	return []IOField{
+		{Name: "timestep", Type: "integer"},
+		{Name: "size", Type: "integer"},
+		{Name: "data", Type: "float[size]"},
+	}
+}
+
+func TestRegisterFields(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	f, err := c.RegisterFields("SimpleData", simpleDataFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size != 12 {
+		t.Errorf("sparc32 SimpleData size = %d, want 12", f.Size)
+	}
+	if c.FormatByName("SimpleData") != f {
+		t.Error("registered format not retrievable by name")
+	}
+	if c.FormatByID(f.ID()) != f {
+		t.Error("registered format not retrievable by ID")
+	}
+	names := c.Formats()
+	if len(names) != 1 || names[0] != "SimpleData" {
+		t.Errorf("Formats() = %v", names)
+	}
+}
+
+func TestTypeParser(t *testing.T) {
+	c := NewContext()
+	good := map[string]struct {
+		kind meta.Kind
+	}{
+		"integer":          {meta.Integer},
+		"unsigned":         {meta.Unsigned},
+		"unsigned integer": {meta.Unsigned},
+		"long":             {meta.Integer},
+		"unsigned long":    {meta.Unsigned},
+		"float":            {meta.Float},
+		"double":           {meta.Float},
+		"char":             {meta.Char},
+		"string":           {meta.String},
+		"boolean":          {meta.Boolean},
+		"enumeration":      {meta.Enum},
+		"integer(8)":       {meta.Integer},
+		"float[4]":         {meta.Float},
+	}
+	for typ, want := range good {
+		def, err := c.parseFieldType("f", typ)
+		if err != nil {
+			t.Errorf("parse %q: %v", typ, err)
+			continue
+		}
+		if def.Kind != want.kind {
+			t.Errorf("parse %q: kind %v, want %v", typ, def.Kind, want.kind)
+		}
+	}
+	if def, _ := c.parseFieldType("f", "integer(8)"); def.ExplicitSize != 8 {
+		t.Error("explicit size not parsed")
+	}
+	if def, _ := c.parseFieldType("f", "float[16]"); def.StaticDim != 16 {
+		t.Error("static dimension not parsed")
+	}
+	if def, _ := c.parseFieldType("f", "float[count]"); def.LengthField != "count" {
+		t.Error("dynamic dimension not parsed")
+	}
+
+	bad := []string{"frobnicate", "integer(", "integer(0)", "integer(x)",
+		"float[", "float[]", "float[0]", "string(4)"}
+	for _, typ := range bad {
+		if _, err := c.parseFieldType("f", typ); err == nil {
+			t.Errorf("parse %q succeeded, want error", typ)
+		}
+	}
+}
+
+func TestNestedRegistration(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	if _, err := c.RegisterFields("Point", []IOField{
+		{Name: "x", Type: "double"},
+		{Name: "y", Type: "double"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := c.RegisterFields("Segment", []IOField{
+		{Name: "id", Type: "integer"},
+		{Name: "a", Type: "Point"},
+		{Name: "b", Type: "Point"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Size != 40 {
+		t.Errorf("Segment size = %d, want 40", seg.Size)
+	}
+	// Nested before registration must fail.
+	if _, err := c.RegisterFields("Bad", []IOField{{Name: "q", Type: "Quad"}}); err == nil {
+		t.Error("unknown nested type should fail registration")
+	}
+}
+
+func roundTrip(t *testing.T, p *platform.Platform, in, out any, fields []IOField, name string) *meta.Format {
+	t.Helper()
+	c := NewContext(WithPlatform(p))
+	f, err := c.RegisterFields(name, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Bind(f, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(msg, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != f.ID() {
+		t.Errorf("Decode reported format %s, want %s", got.ID(), f.ID())
+	}
+	return f
+}
+
+func TestRoundTripSimpleData(t *testing.T) {
+	for _, p := range platform.All() {
+		in := SimpleData{Timestep: 42, Data: []float32{1.5, -2.25, 3.75}}
+		var out SimpleData
+		roundTrip(t, p, &in, &out, simpleDataFields(), "SimpleData")
+		if out.Timestep != 42 || out.Size != 3 || len(out.Data) != 3 {
+			t.Fatalf("%s: decoded %+v", p, out)
+		}
+		for i, want := range []float32{1.5, -2.25, 3.75} {
+			if out.Data[i] != want {
+				t.Errorf("%s: Data[%d] = %v, want %v", p, i, out.Data[i], want)
+			}
+		}
+	}
+}
+
+type kitchenSink struct {
+	Count   int32
+	Label   string
+	Active  bool
+	Grade   byte
+	Mode    uint32
+	Fixed   [5]uint16
+	Vals    []float64
+	Origin  point
+	Corners []point
+	NCorn   int32
+	Neg     int64
+	Small   int8
+}
+
+type point struct {
+	X float64
+	Y float64
+	T string
+}
+
+func kitchenFields(c *Context) []IOField {
+	if _, err := c.RegisterFields("point", []IOField{
+		{Name: "x", Type: "double"},
+		{Name: "y", Type: "double"},
+		{Name: "t", Type: "string"},
+	}); err != nil {
+		panic(err)
+	}
+	return []IOField{
+		{Name: "count", Type: "integer"},
+		{Name: "label", Type: "string"},
+		{Name: "active", Type: "boolean"},
+		{Name: "grade", Type: "char"},
+		{Name: "mode", Type: "enumeration"},
+		{Name: "fixed", Type: "unsigned(2)[5]"},
+		{Name: "vals", Type: "double[count]"},
+		{Name: "origin", Type: "point"},
+		{Name: "ncorn", Type: "integer"},
+		{Name: "corners", Type: "point[ncorn]"},
+		{Name: "neg", Type: "integer(8)"},
+		{Name: "small", Type: "integer(1)"},
+	}
+}
+
+func kitchenValue() kitchenSink {
+	return kitchenSink{
+		Label:  "hello metadata",
+		Active: true,
+		Grade:  'A',
+		Mode:   7,
+		Fixed:  [5]uint16{1, 2, 3, 4, 65535},
+		Vals:   []float64{3.14159, -2.71828},
+		Origin: point{X: 1.5, Y: -0.5, T: "origin"},
+		Corners: []point{
+			{X: 10, Y: 20, T: "ne"},
+			{X: -10, Y: -20, T: ""},
+			{X: 0.25, Y: 0.125, T: "sw"},
+		},
+		Neg:   -123456789012345,
+		Small: -7,
+	}
+}
+
+func checkKitchen(t *testing.T, p string, out kitchenSink) {
+	t.Helper()
+	want := kitchenValue()
+	if out.Label != want.Label || out.Active != want.Active || out.Grade != want.Grade ||
+		out.Mode != want.Mode || out.Fixed != want.Fixed ||
+		out.Neg != want.Neg || out.Small != want.Small {
+		t.Fatalf("%s: scalar mismatch: %+v", p, out)
+	}
+	if out.Count != 2 || len(out.Vals) != 2 || out.Vals[0] != want.Vals[0] || out.Vals[1] != want.Vals[1] {
+		t.Fatalf("%s: vals mismatch: %+v", p, out)
+	}
+	if out.Origin != want.Origin {
+		t.Fatalf("%s: origin = %+v, want %+v", p, out.Origin, want.Origin)
+	}
+	if out.NCorn != 3 || len(out.Corners) != 3 {
+		t.Fatalf("%s: corners count mismatch: %+v", p, out)
+	}
+	for i := range want.Corners {
+		if out.Corners[i] != want.Corners[i] {
+			t.Errorf("%s: corner %d = %+v, want %+v", p, i, out.Corners[i], want.Corners[i])
+		}
+	}
+}
+
+// TestRoundTripKitchenSink exercises every field kind on every platform:
+// scalars of all kinds, static arrays, dynamic arrays of scalars and of
+// nested structs carrying strings.
+func TestRoundTripKitchenSink(t *testing.T) {
+	for _, p := range platform.All() {
+		c := NewContext(WithPlatform(p))
+		f, err := c.RegisterFields("kitchen", kitchenFields(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := kitchenValue()
+		b, err := c.Bind(f, &in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := b.Encode(&in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out kitchenSink
+		if _, err := c.Decode(msg, &out); err != nil {
+			t.Fatal(err)
+		}
+		checkKitchen(t, p.Name, out)
+	}
+}
+
+// TestCrossPlatform encodes on every platform and decodes the same bytes
+// everywhere: the receiver-makes-right conversion must recover identical
+// values regardless of byte order, pointer width, or long size.
+func TestCrossPlatform(t *testing.T) {
+	for _, sender := range platform.All() {
+		cs := NewContext(WithPlatform(sender))
+		f, err := cs.RegisterFields("kitchen", kitchenFields(cs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := kitchenValue()
+		b, err := cs.Bind(f, &in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := b.Encode(&in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, receiver := range platform.All() {
+			cr := NewContext(WithPlatform(receiver))
+			// The receiver learns the wire format out of band (as the
+			// transport's in-band announcement would deliver it).
+			wire, err := meta.ParseCanonical(f.Canonical())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cr.RegisterFormat(wire); err != nil {
+				t.Fatal(err)
+			}
+			var out kitchenSink
+			if _, err := cr.Decode(msg, &out); err != nil {
+				t.Fatalf("%s -> %s: %v", sender, receiver, err)
+			}
+			checkKitchen(t, sender.Name+"->"+receiver.Name, out)
+		}
+	}
+}
+
+// TestWidthConversion checks that a 4-byte wire "unsigned long" (sparc32)
+// decodes into Go fields of various widths, as the paper's cross-machine
+// exchanges require.
+func TestWidthConversion(t *testing.T) {
+	type narrow struct {
+		Addr uint64
+		Neg  int64
+	}
+	c := NewContext(WithPlatform(platform.Sparc32))
+	f, err := c.RegisterFields("M", []IOField{
+		{Name: "addr", Type: "unsigned long"},
+		{Name: "neg", Type: "integer"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type src struct {
+		Addr uint32
+		Neg  int32
+	}
+	in := src{Addr: 0xDEADBEEF, Neg: -12345}
+	b, err := c.Bind(f, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out narrow
+	if _, err := c.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Addr != 0xDEADBEEF {
+		t.Errorf("Addr = %#x, want 0xDEADBEEF", out.Addr)
+	}
+	if out.Neg != -12345 {
+		t.Errorf("Neg = %d, want -12345 (sign extension across widths)", out.Neg)
+	}
+}
+
+func TestEmptyValues(t *testing.T) {
+	c := NewContext(WithPlatform(platform.X8664))
+	f, err := c.RegisterFields("E", []IOField{
+		{Name: "n", Type: "integer"},
+		{Name: "s", Type: "string"},
+		{Name: "v", Type: "float[n]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type E struct {
+		N int
+		S string
+		V []float32
+	}
+	in := E{}
+	b, _ := c.Bind(f, &in)
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg) != 8+f.Size {
+		t.Errorf("empty message length %d, want %d (no variable section)", len(msg), 8+f.Size)
+	}
+	var out E
+	if _, err := c.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S != "" || len(out.V) != 0 || out.N != 0 {
+		t.Errorf("decoded empty = %+v", out)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	c := NewContext()
+	f, _ := c.RegisterFields("M", []IOField{{Name: "x", Type: "integer"}})
+	if _, err := c.Bind(f, 42); err == nil {
+		t.Error("binding a non-struct should fail")
+	}
+	if _, err := c.Bind(nil, struct{ X int }{}); err == nil {
+		t.Error("binding a nil format should fail")
+	}
+	type missing struct{ Y int }
+	if _, err := c.Bind(f, missing{}); err == nil {
+		t.Error("binding a struct lacking a non-length field should fail")
+	}
+	type wrongKind struct{ X string }
+	if _, err := c.Bind(f, wrongKind{}); err == nil {
+		t.Error("binding a string Go field to an integer should fail")
+	}
+
+	g, _ := c.RegisterFields("A", []IOField{
+		{Name: "n", Type: "integer"},
+		{Name: "v", Type: "float[n]"},
+	})
+	type notSlice struct {
+		N int32
+		V float32
+	}
+	if _, err := c.Bind(g, notSlice{}); err == nil {
+		t.Error("binding a scalar to a dynamic array should fail")
+	}
+	type wrongLen struct {
+		N int32
+		V [3]float32
+	}
+	if _, err := c.Bind(g, wrongLen{}); err == nil {
+		t.Error("binding an array to a dynamic array should fail")
+	}
+
+	h, _ := c.RegisterFields("S", []IOField{{Name: "v", Type: "integer[4]"}})
+	type badDim struct{ V [5]int32 }
+	if _, err := c.Bind(h, badDim{}); err == nil {
+		t.Error("static dimension mismatch should fail")
+	}
+}
+
+func TestBindCache(t *testing.T) {
+	c := NewContext()
+	f, _ := c.RegisterFields("M", []IOField{{Name: "x", Type: "integer"}})
+	type M struct{ X int32 }
+	b1, err := c.Bind(f, M{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.Bind(f, &M{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("bindings for the same (format, type) should be cached")
+	}
+	if b1.Format() != f || b1.ID() != f.ID() {
+		t.Error("binding accessors mismatch")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c := NewContext()
+	f, _ := c.RegisterFields("M", []IOField{{Name: "x", Type: "integer"}})
+	type M struct{ X int32 }
+	b, _ := c.Bind(f, M{})
+	if _, err := b.Encode((*M)(nil)); err == nil {
+		t.Error("encoding nil pointer should fail")
+	}
+	type N struct{ X int64 }
+	if _, err := b.Encode(N{}); err == nil {
+		t.Error("encoding mismatched type should fail")
+	}
+
+	// Slice longer than a static dimension.
+	g, _ := c.RegisterFields("S", []IOField{{Name: "v", Type: "integer[2]"}})
+	type S struct{ V []int32 }
+	bs, err := c.Bind(g, S{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Encode(S{V: []int32{1, 2, 3}}); err == nil {
+		t.Error("overlong slice for static array should fail at encode")
+	}
+	// Shorter slices zero-fill.
+	msg, err := bs.Encode(S{V: []int32{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct{ V [2]int32 }
+	if _, err := c.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.V != [2]int32{9, 0} {
+		t.Errorf("zero-fill decode = %v", out.V)
+	}
+}
+
+func TestSharedLengthField(t *testing.T) {
+	c := NewContext()
+	f, err := c.RegisterFields("Pair", []IOField{
+		{Name: "n", Type: "integer"},
+		{Name: "a", Type: "float[n]"},
+		{Name: "b", Type: "float[n]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type Pair struct {
+		N int32
+		A []float32
+		B []float32
+	}
+	in := Pair{A: []float32{1, 2}, B: []float32{3, 4}}
+	b, _ := c.Bind(f, &in)
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Pair
+	if _, err := c.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 || out.A[1] != 2 || out.B[0] != 3 {
+		t.Errorf("decoded %+v", out)
+	}
+	// Disagreeing lengths must be rejected.
+	if _, err := b.Encode(&Pair{A: []float32{1}, B: []float32{1, 2}}); err == nil {
+		t.Error("mismatched shared-length arrays should fail")
+	}
+}
+
+// TestLengthFieldAbsentFromGoStruct verifies that the length field may be
+// omitted from the Go struct and is synthesized from the slice.
+func TestLengthFieldAbsentFromGoStruct(t *testing.T) {
+	c := NewContext()
+	f, err := c.RegisterFields("M", []IOField{
+		{Name: "size", Type: "integer"},
+		{Name: "data", Type: "float[size]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type M struct{ Data []float32 }
+	in := M{Data: []float32{5, 6, 7}}
+	b, err := c.Bind(f, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SimpleData // has Size field; matches "size" and "data"
+	if _, err := c.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Size != 3 || len(out.Data) != 3 || out.Data[2] != 7 {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+func TestXmitTags(t *testing.T) {
+	c := NewContext()
+	f, _ := c.RegisterFields("M", []IOField{
+		{Name: "ip_addr", Type: "unsigned long"},
+		{Name: "skipme", Type: "integer"},
+	})
+	type M struct {
+		Addr    uint64 `xmit:"ip_addr"`
+		SkipMe  string `xmit:"-"`
+		Skipme2 int32  `xmit:"skipme"`
+	}
+	in := M{Addr: 99, SkipMe: "not encoded", Skipme2: 5}
+	b, err := c.Bind(f, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out M
+	if _, err := c.Decode(msg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Addr != 99 || out.Skipme2 != 5 || out.SkipMe != "" {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c := NewContext()
+	f, _ := c.RegisterFields("SimpleData", simpleDataFields())
+	in := SimpleData{Timestep: 1, Data: []float32{1, 2, 3}}
+	b, _ := c.Bind(f, &in)
+	msg, _ := b.Encode(&in)
+
+	var out SimpleData
+	if _, err := c.Decode(msg[:4], &out); err == nil {
+		t.Error("short message should fail")
+	}
+	if _, err := c.Decode(msg, out); err == nil {
+		t.Error("non-pointer target should fail")
+	}
+	if _, err := c.Decode(msg, (*SimpleData)(nil)); err == nil {
+		t.Error("nil pointer target should fail")
+	}
+	x := 5
+	if _, err := c.Decode(msg, &x); err == nil {
+		t.Error("pointer to non-struct should fail")
+	}
+	// Unknown format ID.
+	bad := append([]byte(nil), msg...)
+	bad[0] ^= 0xff
+	if _, err := c.Decode(bad, &out); err == nil {
+		t.Error("unknown format ID should fail without resolver")
+	}
+	if err := c.DecodeBody(f, msg[8:f.Size], &out); err == nil {
+		t.Error("truncated body should fail")
+	}
+}
+
+// TestCorruptMessages ensures no corrupt body can panic the decoder.
+func TestCorruptMessages(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	fk := kitchenFields(c)
+	f, err := c.RegisterFields("kitchen", fk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kitchenValue()
+	b, _ := c.Bind(f, &in)
+	msg, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := msg[8:]
+	// Truncations at every length.
+	for n := 0; n < len(body); n += 3 {
+		var out kitchenSink
+		_ = c.DecodeBody(f, body[:n], &out) // must not panic
+	}
+	// Single-byte corruptions of the fixed block (offsets, lengths).
+	for i := 0; i < f.Size; i++ {
+		mut := append([]byte(nil), body...)
+		mut[i] ^= 0xff
+		var out kitchenSink
+		_ = c.DecodeBody(f, mut, &out) // must not panic
+	}
+	// Random record decodes of corrupt bodies.
+	for i := 0; i < f.Size; i++ {
+		mut := append([]byte(nil), body...)
+		mut[i] = 0xfe
+		_, _ = c.DecodeRecordBody(f, mut)
+	}
+}
+
+func TestRegisterFormatInvalid(t *testing.T) {
+	c := NewContext()
+	bad := &meta.Format{Name: "", Size: 4, Align: 1, PointerSize: 4}
+	if _, err := c.RegisterFormat(bad); err == nil {
+		t.Error("invalid format should not register")
+	}
+}
+
+func TestLookupFormatResolver(t *testing.T) {
+	// A resolver that serves exactly one format.
+	src := NewContext(WithPlatform(platform.Sparc32))
+	f, _ := src.RegisterFields("SimpleData", simpleDataFields())
+
+	c := NewContext(WithResolver(resolverFunc(func(id meta.FormatID) (*meta.Format, error) {
+		if id == f.ID() {
+			return meta.ParseCanonical(f.Canonical())
+		}
+		return nil, errNotFound
+	})))
+	got, err := c.LookupFormat(f.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != f.ID() {
+		t.Error("resolved format has wrong ID")
+	}
+	// Second lookup must hit the local cache.
+	if c.FormatByID(f.ID()) == nil {
+		t.Error("resolved format not cached")
+	}
+	if _, err := c.LookupFormat(meta.FormatID(1)); err == nil {
+		t.Error("unknown ID should fail")
+	}
+}
+
+type resolverFunc func(meta.FormatID) (*meta.Format, error)
+
+func (r resolverFunc) ResolveFormat(id meta.FormatID) (*meta.Format, error) { return r(id) }
+
+var errNotFound = &notFoundError{}
+
+type notFoundError struct{}
+
+func (*notFoundError) Error() string { return "not found" }
+
+func TestLookupFormatBadResolver(t *testing.T) {
+	other := NewContext()
+	g, _ := other.RegisterFields("Other", []IOField{{Name: "x", Type: "integer"}})
+	c := NewContext(WithResolver(resolverFunc(func(meta.FormatID) (*meta.Format, error) {
+		return g, nil // wrong format for any requested ID
+	})))
+	if _, err := c.LookupFormat(meta.FormatID(12345)); err == nil ||
+		!strings.Contains(err.Error(), "resolver returned") {
+		t.Errorf("mismatched resolver answer should fail, got %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+package pbio
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// Property-based round-trip tests: for arbitrary values, encoding on an
+// arbitrary sender platform and decoding on an arbitrary receiver platform
+// recovers the values exactly (up to deliberate width narrowing, which these
+// formats avoid).
+
+type quickMsg struct {
+	A int32
+	B int64
+	C uint16
+	D uint64
+	E float32
+	F float64
+	G bool
+	H byte
+	S string
+	N int32
+	V []float64
+	W []int32
+	K int32
+	P []qpoint
+}
+
+type qpoint struct {
+	X float32
+	L string
+}
+
+func quickFields(c *Context) []IOField {
+	if _, err := c.RegisterFields("qpoint", []IOField{
+		{Name: "x", Type: "float"},
+		{Name: "l", Type: "string"},
+	}); err != nil {
+		panic(err)
+	}
+	return []IOField{
+		{Name: "a", Type: "integer"},
+		{Name: "b", Type: "integer(8)"},
+		{Name: "c", Type: "unsigned(2)"},
+		{Name: "d", Type: "unsigned(8)"},
+		{Name: "e", Type: "float"},
+		{Name: "f", Type: "double"},
+		{Name: "g", Type: "boolean"},
+		{Name: "h", Type: "char"},
+		{Name: "s", Type: "string"},
+		{Name: "n", Type: "integer"},
+		{Name: "v", Type: "double[n]"},
+		{Name: "w", Type: "integer[n]"},
+		{Name: "k", Type: "integer"},
+		{Name: "p", Type: "qpoint[k]"},
+	}
+}
+
+func sanitizeQuickMsg(m *quickMsg) {
+	// Shared length field: V and W must agree; N/K are synthesized.
+	n := len(m.V)
+	if len(m.W) < n {
+		n = len(m.W)
+	}
+	if n > 50 {
+		n = 50
+	}
+	m.V = m.V[:n]
+	m.W = m.W[:n]
+	if len(m.P) > 20 {
+		m.P = m.P[:20]
+	}
+	m.N = int32(n)
+	m.K = int32(len(m.P))
+	// NaNs compare unequal to themselves; normalise them.
+	if m.E != m.E {
+		m.E = 0
+	}
+	if m.F != m.F {
+		m.F = 0
+	}
+	for i := range m.V {
+		if math.IsNaN(m.V[i]) {
+			m.V[i] = 0
+		}
+	}
+	for i := range m.P {
+		if m.P[i].X != m.P[i].X {
+			m.P[i].X = 0
+		}
+	}
+}
+
+func TestQuickRoundTripAllPlatformPairs(t *testing.T) {
+	plats := platform.All()
+	// Pre-build contexts and bindings once; quick will drive values.
+	type pair struct {
+		sender, receiver *Context
+		binding          *Binding
+	}
+	var pairs []pair
+	for _, sp := range plats {
+		cs := NewContext(WithPlatform(sp))
+		f, err := cs.RegisterFields("quick", quickFields(cs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cs.Bind(f, &quickMsg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rp := range plats {
+			cr := NewContext(WithPlatform(rp))
+			if _, err := cr.RegisterFormat(f); err != nil {
+				t.Fatal(err)
+			}
+			pairs = append(pairs, pair{cs, cr, b})
+		}
+	}
+	i := 0
+	prop := func(m quickMsg) bool {
+		sanitizeQuickMsg(&m)
+		pr := pairs[i%len(pairs)]
+		i++
+		msg, err := pr.binding.Encode(&m)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		var out quickMsg
+		if _, err := pr.receiver.Decode(msg, &out); err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		if out.V == nil {
+			out.V = []float64{}
+		}
+		if m.V == nil {
+			m.V = []float64{}
+		}
+		if out.W == nil {
+			out.W = []int32{}
+		}
+		if m.W == nil {
+			m.W = []int32{}
+		}
+		if out.P == nil {
+			out.P = []qpoint{}
+		}
+		if m.P == nil {
+			m.P = []qpoint{}
+		}
+		if !reflect.DeepEqual(m, out) {
+			t.Logf("mismatch:\n in  %+v\n out %+v", m, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: record-based encoding and struct-based encoding of the same
+// logical values produce messages that decode identically.
+func TestQuickRecordStructAgree(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	f, err := c.RegisterFields("rs", []IOField{
+		{Name: "a", Type: "integer"},
+		{Name: "s", Type: "string"},
+		{Name: "n", Type: "integer"},
+		{Name: "v", Type: "float[n]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rs struct {
+		A int32
+		S string
+		N int32
+		V []float32
+	}
+	b, err := c.Bind(f, &rs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a int32, s string, v []float32) bool {
+		if len(v) > 30 {
+			v = v[:30]
+		}
+		for i := range v {
+			if v[i] != v[i] {
+				v[i] = 0
+			}
+		}
+		in := rs{A: a, S: s, N: int32(len(v)), V: v}
+		m1, err := b.Encode(&in)
+		if err != nil {
+			return false
+		}
+		r := NewRecord(f)
+		if r.Set("a", a) != nil || r.Set("s", s) != nil || r.Set("v", v) != nil {
+			return false
+		}
+		m2, err := c.EncodeRecord(r)
+		if err != nil {
+			return false
+		}
+		var o1, o2 rs
+		if _, err := c.Decode(m1, &o1); err != nil {
+			return false
+		}
+		if _, err := c.Decode(m2, &o2); err != nil {
+			return false
+		}
+		if o1.V == nil {
+			o1.V = []float32{}
+		}
+		if o2.V == nil {
+			o2.V = []float32{}
+		}
+		return reflect.DeepEqual(o1, o2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary garbage bodies never panics.
+func TestQuickDecodeGarbage(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	fk := kitchenFields(c)
+	f, err := c.RegisterFields("kitchen", fk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(body []byte) bool {
+		var out kitchenSink
+		_ = c.DecodeBody(f, body, &out) // error or success, never panic
+		_, _ = c.DecodeRecordBody(f, body)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

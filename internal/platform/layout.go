@@ -1,0 +1,66 @@
+package platform
+
+import "fmt"
+
+// Item describes one struct member for the layout engine.  A member is a
+// scalar, a static array of scalars, or a nested struct (in which case Size
+// and Align describe the nested struct as a whole and Count its array
+// multiplicity).
+type Item struct {
+	// Name is used only for error messages.
+	Name string
+	// Size is the size in bytes of one element of the member.
+	Size int
+	// Align is the alignment requirement in bytes of one element.
+	Align int
+	// Count is the number of elements (1 for a scalar, n for a static
+	// array of n elements).
+	Count int
+}
+
+// Result is the computed layout of a struct: the byte offset of each member,
+// the total size including trailing padding, and the alignment of the struct
+// itself.
+type Result struct {
+	Offsets []int
+	Size    int
+	Align   int
+}
+
+// Layout computes the C layout of a struct with the given members, using the
+// standard rules shared by all System V ABIs: each member is placed at the
+// next offset aligned to its alignment; the struct's alignment is the
+// maximum member alignment; the struct's size is rounded up to a multiple of
+// its alignment.  An empty struct has size 0 and alignment 1.
+func Layout(items []Item) (Result, error) {
+	res := Result{Offsets: make([]int, len(items)), Align: 1}
+	off := 0
+	for i, it := range items {
+		if it.Size < 0 {
+			return Result{}, fmt.Errorf("platform: member %q has negative size %d", it.Name, it.Size)
+		}
+		if it.Count < 1 {
+			return Result{}, fmt.Errorf("platform: member %q has element count %d", it.Name, it.Count)
+		}
+		a := it.Align
+		if a < 1 {
+			a = 1
+		}
+		if a&(a-1) != 0 {
+			return Result{}, fmt.Errorf("platform: member %q alignment %d is not a power of two", it.Name, a)
+		}
+		off = alignUp(off, a)
+		res.Offsets[i] = off
+		off += it.Size * it.Count
+		if a > res.Align {
+			res.Align = a
+		}
+	}
+	res.Size = alignUp(off, res.Align)
+	return res, nil
+}
+
+// alignUp rounds n up to the next multiple of a (a must be a power of two).
+func alignUp(n, a int) int {
+	return (n + a - 1) &^ (a - 1)
+}

@@ -1,0 +1,177 @@
+// Package platform models the target machine architectures that a binary
+// communication mechanism must bridge: byte order, primitive data sizes, and
+// structure field alignment.
+//
+// The original XMIT/PBIO system ran across heterogeneous hardware (big-endian
+// SPARC workstations talking to little-endian x86 machines).  This package
+// reproduces that heterogeneity in simulation: a Platform value describes the
+// C ABI of one architecture, and the layout engine (see Layout) computes the
+// exact byte offsets a C compiler for that architecture would assign to the
+// fields of a struct.  Encoders lay out wire messages according to the
+// sender's Platform; decoders convert from any Platform to native Go values.
+package platform
+
+import "fmt"
+
+// ByteOrder identifies the endianness of a platform.
+type ByteOrder int
+
+const (
+	// LittleEndian stores the least significant byte first.
+	LittleEndian ByteOrder = iota
+	// BigEndian stores the most significant byte first.
+	BigEndian
+)
+
+// String returns "little-endian" or "big-endian".
+func (o ByteOrder) String() string {
+	if o == BigEndian {
+		return "big-endian"
+	}
+	return "little-endian"
+}
+
+// Class enumerates the C primitive type classes whose size and alignment
+// vary between platforms.  A metadata field refers to a Class; the Platform
+// resolves it to a concrete size and alignment.
+type Class int
+
+const (
+	// Char is the C "char" type (always 1 byte).
+	Char Class = iota
+	// Short is the C "short" type.
+	Short
+	// Int is the C "int" type.
+	Int
+	// Long is the C "long" type.
+	Long
+	// LongLong is the C "long long" type.
+	LongLong
+	// Float is the C "float" type (IEEE-754 single precision).
+	Float
+	// Double is the C "double" type (IEEE-754 double precision).
+	Double
+	// Pointer is a data pointer ("void *").
+	Pointer
+	// Bool is the C99 "_Bool" type.
+	Bool
+	// Enum is a C enumeration (an int on every ABI modelled here).
+	Enum
+
+	numClasses
+)
+
+var classNames = [...]string{
+	Char: "char", Short: "short", Int: "int", Long: "long",
+	LongLong: "long long", Float: "float", Double: "double",
+	Pointer: "pointer", Bool: "bool", Enum: "enum",
+}
+
+// String returns the C-style name of the class.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Platform describes the data representation rules of one target
+// architecture: the byte order and, per primitive class, the storage size
+// and the alignment requirement within a struct.
+type Platform struct {
+	// Name identifies the platform (for example "sparc32").
+	Name string
+	// Order is the platform byte order.
+	Order ByteOrder
+
+	sizes  [numClasses]int
+	aligns [numClasses]int
+}
+
+// SizeOf returns the storage size in bytes of the given class.
+func (p *Platform) SizeOf(c Class) int {
+	if c < 0 || c >= numClasses {
+		return 0
+	}
+	return p.sizes[c]
+}
+
+// AlignOf returns the struct-field alignment in bytes of the given class.
+func (p *Platform) AlignOf(c Class) int {
+	if c < 0 || c >= numClasses {
+		return 0
+	}
+	return p.aligns[c]
+}
+
+// BigEndian reports whether the platform is big-endian.
+func (p *Platform) BigEndian() bool { return p.Order == BigEndian }
+
+// PointerSize returns the size of a data pointer in bytes.
+func (p *Platform) PointerSize() int { return p.sizes[Pointer] }
+
+// String returns the platform name.
+func (p *Platform) String() string { return p.Name }
+
+// newPlatform builds a platform where each class has the given size and is
+// aligned to its own size (the rule used by every ABI modelled here), except
+// for overrides applied afterwards.
+func newPlatform(name string, order ByteOrder, sizes map[Class]int) *Platform {
+	p := &Platform{Name: name, Order: order}
+	for c, s := range sizes {
+		p.sizes[c] = s
+		p.aligns[c] = s
+	}
+	return p
+}
+
+// Predefined platforms.  Sizes follow the conventional ABIs:
+//
+//	sparc32  ILP32 big-endian (the paper's Sun Ultra 1 / Solaris 7 testbed)
+//	sparc64  LP64 big-endian
+//	x86      ILP32 little-endian (i386 System V; note double aligns to 4)
+//	x86_64   LP64 little-endian (System V AMD64)
+//	ppc32    ILP32 big-endian
+var (
+	Sparc32 = newPlatform("sparc32", BigEndian, map[Class]int{
+		Char: 1, Short: 2, Int: 4, Long: 4, LongLong: 8,
+		Float: 4, Double: 8, Pointer: 4, Bool: 1, Enum: 4,
+	})
+	Sparc64 = newPlatform("sparc64", BigEndian, map[Class]int{
+		Char: 1, Short: 2, Int: 4, Long: 8, LongLong: 8,
+		Float: 4, Double: 8, Pointer: 8, Bool: 1, Enum: 4,
+	})
+	X86 = func() *Platform {
+		p := newPlatform("x86", LittleEndian, map[Class]int{
+			Char: 1, Short: 2, Int: 4, Long: 4, LongLong: 8,
+			Float: 4, Double: 8, Pointer: 4, Bool: 1, Enum: 4,
+		})
+		// The i386 System V ABI aligns double and long long to 4 bytes.
+		p.aligns[Double] = 4
+		p.aligns[LongLong] = 4
+		return p
+	}()
+	X8664 = newPlatform("x86_64", LittleEndian, map[Class]int{
+		Char: 1, Short: 2, Int: 4, Long: 8, LongLong: 8,
+		Float: 4, Double: 8, Pointer: 8, Bool: 1, Enum: 4,
+	})
+	PPC32 = newPlatform("ppc32", BigEndian, map[Class]int{
+		Char: 1, Short: 2, Int: 4, Long: 4, LongLong: 8,
+		Float: 4, Double: 8, Pointer: 4, Bool: 1, Enum: 4,
+	})
+)
+
+// All lists every predefined platform.
+func All() []*Platform {
+	return []*Platform{Sparc32, Sparc64, X86, X8664, PPC32}
+}
+
+// ByName returns the predefined platform with the given name, or nil.
+func ByName(name string) *Platform {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}

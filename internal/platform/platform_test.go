@@ -1,0 +1,238 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredefinedSizes(t *testing.T) {
+	cases := []struct {
+		p     *Platform
+		class Class
+		size  int
+		align int
+	}{
+		{Sparc32, Long, 4, 4},
+		{Sparc32, Pointer, 4, 4},
+		{Sparc32, Double, 8, 8},
+		{Sparc64, Long, 8, 8},
+		{Sparc64, Pointer, 8, 8},
+		{X86, Double, 8, 4},
+		{X86, LongLong, 8, 4},
+		{X8664, Long, 8, 8},
+		{X8664, Pointer, 8, 8},
+		{PPC32, Double, 8, 8},
+		{X86, Char, 1, 1},
+		{Sparc32, Short, 2, 2},
+		{Sparc32, Enum, 4, 4},
+		{Sparc32, Bool, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.p.SizeOf(c.class); got != c.size {
+			t.Errorf("%s sizeof(%s) = %d, want %d", c.p, c.class, got, c.size)
+		}
+		if got := c.p.AlignOf(c.class); got != c.align {
+			t.Errorf("%s alignof(%s) = %d, want %d", c.p, c.class, got, c.align)
+		}
+	}
+}
+
+func TestByteOrder(t *testing.T) {
+	if !Sparc32.BigEndian() || !Sparc64.BigEndian() || !PPC32.BigEndian() {
+		t.Error("SPARC and PPC platforms must be big-endian")
+	}
+	if X86.BigEndian() || X8664.BigEndian() {
+		t.Error("x86 platforms must be little-endian")
+	}
+	if LittleEndian.String() != "little-endian" || BigEndian.String() != "big-endian" {
+		t.Error("ByteOrder.String mismatch")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, p := range All() {
+		if ByName(p.Name) != p {
+			t.Errorf("ByName(%q) did not return the canonical platform", p.Name)
+		}
+	}
+	if ByName("vax") != nil {
+		t.Error("ByName of unknown platform should return nil")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Long.String() != "long" || Pointer.String() != "pointer" {
+		t.Error("Class.String mismatch")
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Error("out-of-range Class.String mismatch")
+	}
+}
+
+func TestSizeOfOutOfRange(t *testing.T) {
+	if Sparc32.SizeOf(Class(-1)) != 0 || Sparc32.AlignOf(numClasses) != 0 {
+		t.Error("out-of-range class should have size/align 0")
+	}
+}
+
+// TestLayoutMatchesC checks the layout engine against offsets a C compiler
+// would produce for representative structs.
+func TestLayoutMatchesC(t *testing.T) {
+	// struct { char c; int i; char c2; double d; } on sparc32:
+	// offsets 0, 4, 8, 16; size 24; align 8.
+	items := []Item{
+		{Name: "c", Size: 1, Align: 1, Count: 1},
+		{Name: "i", Size: 4, Align: 4, Count: 1},
+		{Name: "c2", Size: 1, Align: 1, Count: 1},
+		{Name: "d", Size: 8, Align: 8, Count: 1},
+	}
+	res, err := Layout(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 4, 8, 16}
+	for i, w := range want {
+		if res.Offsets[i] != w {
+			t.Errorf("offset[%d] = %d, want %d", i, res.Offsets[i], w)
+		}
+	}
+	if res.Size != 24 || res.Align != 8 {
+		t.Errorf("size/align = %d/%d, want 24/8", res.Size, res.Align)
+	}
+
+	// Same struct on x86 (double aligns to 4): offsets 0,4,8,12; size 20.
+	items[3].Align = X86.AlignOf(Double)
+	res, err = Layout(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offsets[3] != 12 || res.Size != 20 || res.Align != 4 {
+		t.Errorf("x86 layout = offsets %v size %d align %d, want d@12 size 20 align 4",
+			res.Offsets, res.Size, res.Align)
+	}
+}
+
+func TestLayoutTrailingPadding(t *testing.T) {
+	// struct { double d; char c; } -> size 16 (7 bytes trailing padding).
+	res, err := Layout([]Item{
+		{Name: "d", Size: 8, Align: 8, Count: 1},
+		{Name: "c", Size: 1, Align: 1, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 16 {
+		t.Errorf("size = %d, want 16", res.Size)
+	}
+}
+
+func TestLayoutStaticArray(t *testing.T) {
+	// struct { char tag; int v[10]; } -> v at 4, size 44.
+	res, err := Layout([]Item{
+		{Name: "tag", Size: 1, Align: 1, Count: 1},
+		{Name: "v", Size: 4, Align: 4, Count: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offsets[1] != 4 || res.Size != 44 {
+		t.Errorf("offsets %v size %d, want v@4 size 44", res.Offsets, res.Size)
+	}
+}
+
+func TestLayoutEmpty(t *testing.T) {
+	res, err := Layout(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 0 || res.Align != 1 {
+		t.Errorf("empty struct = size %d align %d, want 0/1", res.Size, res.Align)
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	if _, err := Layout([]Item{{Name: "x", Size: -1, Align: 1, Count: 1}}); err == nil {
+		t.Error("negative size should error")
+	}
+	if _, err := Layout([]Item{{Name: "x", Size: 4, Align: 1, Count: 0}}); err == nil {
+		t.Error("zero count should error")
+	}
+	if _, err := Layout([]Item{{Name: "x", Size: 4, Align: 3, Count: 1}}); err == nil {
+		t.Error("non-power-of-two alignment should error")
+	}
+}
+
+// Property: for any sequence of members with power-of-two alignments, every
+// offset is aligned, members do not overlap, offsets are monotonic, and the
+// struct size is a multiple of the struct alignment and covers all members.
+func TestLayoutInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var items []Item
+		for _, b := range raw {
+			size := int(b%9) + 1          // 1..9 bytes
+			align := 1 << (int(b/16) % 4) // 1,2,4,8
+			count := int(b%3) + 1
+			items = append(items, Item{Size: size, Align: align, Count: count})
+		}
+		res, err := Layout(items)
+		if err != nil {
+			return false
+		}
+		prevEnd := 0
+		for i, it := range items {
+			off := res.Offsets[i]
+			if off%it.Align != 0 {
+				return false
+			}
+			if off < prevEnd {
+				return false // overlap
+			}
+			prevEnd = off + it.Size*it.Count
+			if it.Align > res.Align {
+				return false
+			}
+		}
+		if res.Size%res.Align != 0 || res.Size < prevEnd {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: layout is deterministic and padding never exceeds align-1 per
+// member boundary.
+func TestLayoutPaddingBound(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var items []Item
+		for _, b := range raw {
+			items = append(items, Item{
+				Size:  int(b%8) + 1,
+				Align: 1 << (int(b) % 4),
+				Count: 1,
+			})
+		}
+		res1, err1 := Layout(items)
+		res2, err2 := Layout(items)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if res1.Size != res2.Size {
+			return false
+		}
+		end := 0
+		for i, it := range items {
+			gap := res1.Offsets[i] - end
+			if gap < 0 || gap >= it.Align {
+				return false
+			}
+			end = res1.Offsets[i] + it.Size
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package refbind compiles the correspondence between a metadata format and
+// a Go struct type.  It is shared by the baseline communication mechanisms
+// (XML wire format, CDR, XDR, MPI derived datatypes), which all need to
+// walk Go values in metadata field order; the PBIO implementation has its
+// own more specialised planner.
+package refbind
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/meta"
+)
+
+// Bound pairs one metadata field with the Go struct field that supplies or
+// receives its value.
+type Bound struct {
+	// Field is the metadata field.
+	Field *meta.Field
+	// GoIndex is the struct field index, or -1 when the Go type has no
+	// matching field (allowed only when Compile is called with
+	// requireAll=false, or for dynamic-array length fields).
+	GoIndex int
+	// Elem is the Go element type: the field type itself for scalars,
+	// the slice/array element type for arrays.
+	Elem reflect.Type
+	// Sub is the compiled binding for nested struct fields.
+	Sub []Bound
+}
+
+// FieldIndex finds the exported Go struct field matching a metadata field
+// name: an `xmit:"name"` tag wins, else a case-insensitive name match.
+// Fields tagged `xmit:"-"` never match.
+func FieldIndex(t reflect.Type, name string) int {
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if tag, ok := sf.Tag.Lookup("xmit"); ok {
+			tagName, _, _ := strings.Cut(tag, ",")
+			if tagName == name {
+				return i
+			}
+			if tagName != "" {
+				continue
+			}
+		}
+		if sf.IsExported() && strings.EqualFold(sf.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// StructType normalises a sample value (struct or pointer to struct) to its
+// struct type.
+func StructType(sample any) (reflect.Type, error) {
+	t := reflect.TypeOf(sample)
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t == nil || t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("refbind: need a struct or pointer to struct, got %T", sample)
+	}
+	return t, nil
+}
+
+// lengthFieldSet returns the indexes of fields used as dynamic-array
+// lengths.
+func lengthFieldSet(f *meta.Format) map[int]bool {
+	set := map[int]bool{}
+	for i := range f.Fields {
+		if lf := f.Fields[i].LengthField; lf != "" {
+			if j := f.FieldByName(lf); j >= 0 {
+				set[j] = true
+			}
+		}
+	}
+	return set
+}
+
+// Compile matches every metadata field to a Go field and verifies element
+// kinds.  With requireAll set, a missing Go field is an error unless the
+// metadata field is a dynamic-array length (whose value can be synthesized
+// from the slice).
+func Compile(f *meta.Format, t reflect.Type, requireAll bool) ([]Bound, error) {
+	lengths := lengthFieldSet(f)
+	out := make([]Bound, 0, len(f.Fields))
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		b := Bound{Field: fl, GoIndex: FieldIndex(t, fl.Name)}
+		if b.GoIndex < 0 {
+			if requireAll && !lengths[i] {
+				return nil, fmt.Errorf("refbind: %s: Go type %s has no field matching %q", f.Name, t, fl.Name)
+			}
+			out = append(out, b)
+			continue
+		}
+		ft := t.Field(b.GoIndex).Type
+		if fl.IsDynamic() || fl.IsStaticArray() {
+			switch ft.Kind() {
+			case reflect.Slice:
+				ft = ft.Elem()
+			case reflect.Array:
+				if fl.IsDynamic() {
+					return nil, fmt.Errorf("refbind: %s.%s: dynamic array needs a slice, have %s", f.Name, fl.Name, ft)
+				}
+				if ft.Len() != fl.StaticDim {
+					return nil, fmt.Errorf("refbind: %s.%s: array length %d != dimension %d",
+						f.Name, fl.Name, ft.Len(), fl.StaticDim)
+				}
+				ft = ft.Elem()
+			default:
+				return nil, fmt.Errorf("refbind: %s.%s: array field needs a slice or array, have %s",
+					f.Name, fl.Name, ft)
+			}
+		}
+		if err := checkElem(f.Name, fl, ft); err != nil {
+			return nil, err
+		}
+		b.Elem = ft
+		if fl.Kind == meta.Struct {
+			sub, err := Compile(fl.Sub, ft, requireAll)
+			if err != nil {
+				return nil, err
+			}
+			b.Sub = sub
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func checkElem(formatName string, fl *meta.Field, ft reflect.Type) error {
+	ok := false
+	switch fl.Kind {
+	case meta.Integer, meta.Unsigned, meta.Enum, meta.Char:
+		switch ft.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			ok = true
+		}
+	case meta.Boolean:
+		switch ft.Kind() {
+		case reflect.Bool,
+			reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			ok = true
+		}
+	case meta.Float:
+		switch ft.Kind() {
+		case reflect.Float32, reflect.Float64:
+			ok = true
+		}
+	case meta.String:
+		ok = ft.Kind() == reflect.String
+	case meta.Struct:
+		ok = ft.Kind() == reflect.Struct
+	}
+	if !ok {
+		return fmt.Errorf("refbind: %s.%s: Go type %s cannot carry a %s field",
+			formatName, fl.Name, ft, fl.Kind)
+	}
+	return nil
+}
+
+// ArrayLen returns the element count a bound array field will marshal: the
+// slice length for dynamic fields, the static dimension otherwise.
+func ArrayLen(b *Bound, v reflect.Value) int {
+	if b.Field.IsDynamic() {
+		return v.Field(b.GoIndex).Len()
+	}
+	return b.Field.StaticDim
+}

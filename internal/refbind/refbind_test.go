@@ -1,0 +1,153 @@
+package refbind
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+func testFormat(t *testing.T) *meta.Format {
+	t.Helper()
+	inner, err := meta.Build("P", platform.X8664, []meta.FieldDef{
+		{Name: "x", Kind: meta.Float, Class: platform.Double},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := meta.Build("M", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "label", Kind: meta.String},
+		{Name: "n", Kind: meta.Integer, Class: platform.Int},
+		{Name: "vals", Kind: meta.Float, Class: platform.Float, LengthField: "n"},
+		{Name: "grid", Kind: meta.Integer, Class: platform.Short, StaticDim: 4},
+		{Name: "p", Kind: meta.Struct, Sub: inner},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+type good struct {
+	Id    int32
+	Label string
+	N     int32
+	Vals  []float32
+	Grid  [4]int16
+	P     struct{ X float64 }
+}
+
+func TestCompileGood(t *testing.T) {
+	f := testFormat(t)
+	bounds, err := Compile(f, reflect.TypeOf(good{}), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 6 {
+		t.Fatalf("bounds = %d", len(bounds))
+	}
+	for i, b := range bounds {
+		if b.GoIndex != i {
+			t.Errorf("field %d bound to Go index %d", i, b.GoIndex)
+		}
+	}
+	if bounds[5].Sub == nil {
+		t.Error("nested binding missing")
+	}
+	if bounds[3].Elem.Kind() != reflect.Float32 {
+		t.Errorf("vals element = %s", bounds[3].Elem)
+	}
+}
+
+func TestCompileMissingLengthFieldOK(t *testing.T) {
+	f := testFormat(t)
+	type noN struct {
+		Id    int32
+		Label string
+		Vals  []float32
+		Grid  [4]int16
+		P     struct{ X float64 }
+	}
+	bounds, err := Compile(f, reflect.TypeOf(noN{}), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds[2].GoIndex != -1 {
+		t.Error("length field should be unbound")
+	}
+	v := reflect.ValueOf(noN{Vals: []float32{1, 2, 3}})
+	if n := ArrayLen(&bounds[3], v); n != 3 {
+		t.Errorf("ArrayLen = %d", n)
+	}
+	if n := ArrayLen(&bounds[4], v); n != 4 {
+		t.Errorf("static ArrayLen = %d", n)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	f := testFormat(t)
+	cases := []any{
+		struct{ Id string }{},            // wrong kind and missing fields
+		struct{ Vals float32 }{},         // dynamic needs slice
+		struct{ Vals [3]float32 }{},      // dynamic cannot be array
+		struct{ Grid [5]int16 }{},        // wrong static length
+		struct{ Grid int16 }{},           // array needs slice/array
+		struct{ P struct{ X string } }{}, // nested kind mismatch
+		struct{ Label []string }{},       // slice where a scalar string is expected
+	}
+	for i, sample := range cases {
+		if _, err := Compile(f, reflect.TypeOf(sample), true); err == nil {
+			t.Errorf("case %d: Compile succeeded, want error", i)
+		}
+	}
+	// requireAll=false tolerates missing fields entirely.
+	bounds, err := Compile(f, reflect.TypeOf(struct{ Id int64 }{}), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbound := 0
+	for _, b := range bounds {
+		if b.GoIndex < 0 {
+			unbound++
+		}
+	}
+	if unbound != 5 {
+		t.Errorf("unbound = %d, want 5", unbound)
+	}
+}
+
+func TestFieldIndexTags(t *testing.T) {
+	type tagged struct {
+		A int32  `xmit:"ip_addr"`
+		B string `xmit:"-"`
+		C int32
+	}
+	tt := reflect.TypeOf(tagged{})
+	if FieldIndex(tt, "ip_addr") != 0 {
+		t.Error("tag match failed")
+	}
+	if FieldIndex(tt, "b") != -1 {
+		t.Error("xmit:\"-\" should never match")
+	}
+	if FieldIndex(tt, "C") != 2 || FieldIndex(tt, "c") != 2 {
+		t.Error("case-insensitive match failed")
+	}
+	if FieldIndex(tt, "missing") != -1 {
+		t.Error("missing should be -1")
+	}
+}
+
+func TestStructType(t *testing.T) {
+	if _, err := StructType(42); err == nil {
+		t.Error("int should fail")
+	}
+	if _, err := StructType((*int)(nil)); err == nil {
+		t.Error("pointer to int should fail")
+	}
+	ty, err := StructType(&good{})
+	if err != nil || ty.Kind() != reflect.Struct {
+		t.Errorf("StructType = %v, %v", ty, err)
+	}
+}

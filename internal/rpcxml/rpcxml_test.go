@@ -1,0 +1,304 @@
+package rpcxml
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/core"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+const schema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Query">
+    <xsd:element name="station" type="xsd:string" />
+    <xsd:element name="from" type="xsd:integer" />
+    <xsd:element name="to" type="xsd:integer" />
+  </xsd:complexType>
+  <xsd:complexType name="Series">
+    <xsd:element name="station" type="xsd:string" />
+    <xsd:element name="values" type="xsd:float" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="n" />
+  </xsd:complexType>
+</xsd:schema>`
+
+type Query struct {
+	Station string
+	From    int32
+	To      int32
+}
+
+type Series struct {
+	Station string
+	N       int32
+	Values  []float32
+}
+
+func setup(t *testing.T) (*Client, *Server, *core.BindingToken, *core.BindingToken) {
+	t.Helper()
+	tk := core.NewToolkit()
+	if _, err := tk.LoadString(schema); err != nil {
+		t.Fatal(err)
+	}
+	ctx := pbio.NewContext()
+	qTok, err := tk.Register("Query", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTok, err := tk.Register("Series", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer()
+	err = srv.Register(Handler{
+		Method:     "hydro.fetch",
+		ReqFormat:  qTok.Format,
+		RespFormat: sTok.Format,
+		NewReq:     func() any { return &Query{} },
+		Call: func(req any) (any, error) {
+			q := req.(*Query)
+			if q.To < q.From {
+				return nil, errors.New("empty range")
+			}
+			out := &Series{Station: q.Station}
+			for i := q.From; i < q.To; i++ {
+				out.Values = append(out.Values, float32(i)+0.5)
+			}
+			return out, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), srv, qTok, sTok
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	client, srv, qTok, sTok := setup(t)
+	if m := srv.Methods(); len(m) != 1 || m[0] != "hydro.fetch" {
+		t.Errorf("Methods = %v", m)
+	}
+	var out Series
+	err := client.Call("hydro.fetch", qTok.Format, &Query{Station: "gauge-7", From: 2, To: 6},
+		sTok.Format, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Station != "gauge-7" || out.N != 4 || len(out.Values) != 4 || out.Values[0] != 2.5 {
+		t.Errorf("reply = %+v", out)
+	}
+	// Repeated calls exercise codec caches on both sides.
+	for i := 0; i < 3; i++ {
+		if err := client.Call("hydro.fetch", qTok.Format, &Query{Station: "s", To: 1},
+			sTok.Format, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestApplicationFault(t *testing.T) {
+	client, _, qTok, sTok := setup(t)
+	var out Series
+	err := client.Call("hydro.fetch", qTok.Format, &Query{From: 5, To: 1}, sTok.Format, &out)
+	var fault *Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if fault.Message != "empty range" {
+		t.Errorf("fault = %q", fault.Message)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	client, _, qTok, sTok := setup(t)
+	var out Series
+	err := client.Call("nope", qTok.Format, &Query{}, sTok.Format, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestServerRejections(t *testing.T) {
+	_, srv, qTok, _ := setup(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(body string) (int, string) {
+		resp, err := http.Post(ts.URL, "text/xml", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := post("not xml"); code != http.StatusBadRequest || !strings.Contains(body, "fault") {
+		t.Errorf("garbage: %d %q", code, body)
+	}
+	if code, _ := post("<notcall/>"); code != http.StatusBadRequest {
+		t.Errorf("wrong root: %d", code)
+	}
+	if code, _ := post("<call><method></method></call>"); code != http.StatusBadRequest {
+		t.Errorf("empty method: %d", code)
+	}
+	if code, _ := post("<call><method>hydro.fetch</method></call>"); code != http.StatusBadRequest {
+		t.Errorf("missing payload: %d", code)
+	}
+	if code, _ := post("<call><method>hydro.fetch</method><Wrong/></call>"); code != http.StatusBadRequest {
+		t.Errorf("wrong payload type: %d", code)
+	}
+	if code, _ := post(`<call><method>hydro.fetch</method><Query><from>x</from></Query></call>`); code != http.StatusBadRequest {
+		t.Errorf("bad argument text: %d", code)
+	}
+
+	// GET is not allowed.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d", resp.StatusCode)
+	}
+	_ = qTok
+}
+
+func TestRegisterValidation(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Register(Handler{}); err == nil {
+		t.Error("empty handler should be rejected")
+	}
+	tk := core.NewToolkit()
+	tk.LoadString(schema)
+	ctx := pbio.NewContext()
+	qTok, _ := tk.Register("Query", ctx)
+	h := Handler{
+		Method: "m", ReqFormat: qTok.Format, RespFormat: qTok.Format,
+		NewReq: func() any { return &Query{} },
+		Call:   func(req any) (any, error) { return req, nil },
+	}
+	if err := srv.Register(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(h); err == nil {
+		t.Error("duplicate method should be rejected")
+	}
+	bad := h
+	bad.Method = "m2"
+	bad.NewReq = func() any { return 42 }
+	if err := srv.Register(bad); err == nil {
+		t.Error("non-struct request type should be rejected")
+	}
+}
+
+func TestFaultEscaping(t *testing.T) {
+	_, _, qTok, sTok := setup(t)
+	srv := NewServer()
+	srv.Register(Handler{
+		Method: "boom", ReqFormat: qTok.Format, RespFormat: sTok.Format,
+		NewReq: func() any { return &Query{} },
+		Call: func(any) (any, error) {
+			return nil, errors.New("angle <brackets> & ampersands")
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	var out Series
+	err := client.Call("boom", qTok.Format, &Query{}, sTok.Format, &out)
+	var fault *Fault
+	if !errors.As(err, &fault) || fault.Message != "angle <brackets> & ampersands" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestDynamicRecordCall: a method served and called entirely on dynamic
+// records — the fully open path, no compiled Go types anywhere.
+func TestDynamicRecordCall(t *testing.T) {
+	tk := core.NewToolkit()
+	if _, err := tk.LoadString(schema); err != nil {
+		t.Fatal(err)
+	}
+	ctx := pbio.NewContext()
+	qTok, _ := tk.Register("Query", ctx)
+	sTok, _ := tk.Register("Series", ctx)
+
+	srv := NewServer()
+	err := srv.RegisterDynamic("dyn.fetch", qTok.Format, sTok.Format,
+		func(req *pbio.Record) (*pbio.Record, error) {
+			st, _ := req.Get("station")
+			from, _ := req.Get("from")
+			to, _ := req.Get("to")
+			if to.(int64) < from.(int64) {
+				return nil, errors.New("empty range")
+			}
+			out := pbio.NewRecord(sTok.Format)
+			out.Set("station", st)
+			var vals []float64
+			for i := from.(int64); i < to.(int64); i++ {
+				vals = append(vals, float64(i)+0.25)
+			}
+			out.Set("values", vals)
+			return out, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterDynamic("dyn.fetch", qTok.Format, sTok.Format,
+		func(*pbio.Record) (*pbio.Record, error) { return nil, nil }); err == nil {
+		t.Error("duplicate dynamic method should fail")
+	}
+	if err := srv.RegisterDynamic("", nil, nil, nil); err == nil {
+		t.Error("incomplete dynamic handler should fail")
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := NewClient(ts.URL)
+	req := pbio.NewRecord(qTok.Format)
+	req.Set("station", "dyn-gauge")
+	req.Set("from", 1)
+	req.Set("to", 4)
+	resp, err := client.CallRecord("dyn.fetch", req, sTok.Format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := resp.Get("station"); v.(string) != "dyn-gauge" {
+		t.Errorf("station = %v", v)
+	}
+	if v, _ := resp.Get("values"); len(v.([]float64)) != 3 || v.([]float64)[0] != 1.25 {
+		t.Errorf("values = %v", v)
+	}
+	if v, _ := resp.Get("n"); v.(int64) != 3 {
+		t.Errorf("n = %v", v)
+	}
+
+	// Application fault through the record path.
+	req2 := pbio.NewRecord(qTok.Format)
+	req2.Set("from", 9)
+	req2.Set("to", 1)
+	_, err = client.CallRecord("dyn.fetch", req2, sTok.Format)
+	var fault *Fault
+	if !errors.As(err, &fault) || fault.Message != "empty range" {
+		t.Errorf("err = %v", err)
+	}
+	// Unknown method through the record path.
+	if _, err := client.CallRecord("nope", req, sTok.Format); err == nil {
+		t.Error("unknown method should fail")
+	}
+}

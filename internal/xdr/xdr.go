@@ -1,0 +1,374 @@
+// Package xdr implements Sun XDR (RFC 1014), the External Data
+// Representation used by Sun RPC — the classic "canonical format" baseline
+// mentioned in the paper's related work.
+//
+// XDR rules reproduced here: every item occupies a multiple of four bytes;
+// integers are big-endian two's complement (hyper = 8 bytes); floats are
+// IEEE-754; strings and variable arrays carry a 4-byte count, strings padded
+// to a 4-byte boundary.  Unlike PBIO ("receiver makes right") and CDR
+// ("reader makes right"), XDR is canonical: *both* sides convert, so even
+// two little-endian machines pay byte-swapping costs to talk to each other.
+package xdr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/refbind"
+)
+
+// Codec marshals one (format, Go type) pair in XDR form.
+type Codec struct {
+	format *meta.Format
+	goType reflect.Type
+	bounds []refbind.Bound
+}
+
+// NewCodec compiles a codec for the format and the Go type of sample.
+func NewCodec(f *meta.Format, sample any) (*Codec, error) {
+	t, err := refbind.StructType(sample)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := refbind.Compile(f, t, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{format: f, goType: t, bounds: bounds}, nil
+}
+
+// Format returns the codec's metadata.
+func (c *Codec) Format() *meta.Format { return c.format }
+
+// wireSize returns the XDR unit size for a field: 4 bytes for everything
+// except 8-byte integers and doubles (hyper / double).
+func wireSize(fl *meta.Field) int {
+	if fl.Size == 8 && (fl.Kind == meta.Integer || fl.Kind == meta.Unsigned || fl.Kind == meta.Float) {
+		return 8
+	}
+	return 4
+}
+
+// Encode appends the XDR encoding of v to dst.
+func (c *Codec) Encode(dst []byte, v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil, fmt.Errorf("xdr: encode: nil pointer")
+		}
+		rv = rv.Elem()
+	}
+	if rv.Type() != c.goType {
+		return nil, fmt.Errorf("xdr: encode: value type %s does not match bound type %s", rv.Type(), c.goType)
+	}
+	e := &encoder{buf: dst}
+	if err := e.writeStruct(c.bounds, rv); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) put32(v uint32) {
+	var t [4]byte
+	binary.BigEndian.PutUint32(t[:], v)
+	e.buf = append(e.buf, t[:]...)
+}
+
+func (e *encoder) put64(v uint64) {
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], v)
+	e.buf = append(e.buf, t[:]...)
+}
+
+func (e *encoder) writeStruct(bounds []refbind.Bound, v reflect.Value) error {
+	lengthFields := map[string]bool{}
+	for i := range bounds {
+		if lf := bounds[i].Field.LengthField; lf != "" {
+			lengthFields[lowerASCII(lf)] = true
+		}
+	}
+	for i := range bounds {
+		b := &bounds[i]
+		fl := b.Field
+		if b.GoIndex < 0 || lengthFields[lowerASCII(fl.Name)] {
+			// Length members are authoritative from the slice length,
+			// matching the other encoders.
+			if wireSize(fl) == 8 {
+				e.put64(uint64(lengthOf(bounds, fl.Name, v)))
+			} else {
+				e.put32(uint32(lengthOf(bounds, fl.Name, v)))
+			}
+			continue
+		}
+		fv := v.Field(b.GoIndex)
+		switch {
+		case fl.IsDynamic():
+			n := fv.Len()
+			e.put32(uint32(n))
+			for k := 0; k < n; k++ {
+				if err := e.writeValue(fl, b, fv.Index(k)); err != nil {
+					return err
+				}
+			}
+		case fl.IsStaticArray():
+			if fv.Len() != fl.StaticDim {
+				return fmt.Errorf("xdr: field %q: %d elements, want %d", fl.Name, fv.Len(), fl.StaticDim)
+			}
+			for k := 0; k < fl.StaticDim; k++ {
+				if err := e.writeValue(fl, b, fv.Index(k)); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := e.writeValue(fl, b, fv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func lengthOf(bounds []refbind.Bound, name string, v reflect.Value) int {
+	for i := range bounds {
+		b := &bounds[i]
+		if b.GoIndex >= 0 && b.Field.IsDynamic() && foldEqual(b.Field.LengthField, name) {
+			return v.Field(b.GoIndex).Len()
+		}
+	}
+	return 0
+}
+
+func foldEqual(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i]|0x20, b[i]|0x20
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerASCII(s string) string {
+	out := []byte(s)
+	for i := range out {
+		if 'A' <= out[i] && out[i] <= 'Z' {
+			out[i] += 'a' - 'A'
+		}
+	}
+	return string(out)
+}
+
+func (e *encoder) writeValue(fl *meta.Field, b *refbind.Bound, fv reflect.Value) error {
+	switch fl.Kind {
+	case meta.Struct:
+		return e.writeStruct(b.Sub, fv)
+	case meta.String:
+		s := fv.String()
+		e.put32(uint32(len(s)))
+		e.buf = append(e.buf, s...)
+		for pad := (4 - len(s)%4) % 4; pad > 0; pad-- {
+			e.buf = append(e.buf, 0)
+		}
+		return nil
+	case meta.Float:
+		if fl.Size == 8 {
+			e.put64(math.Float64bits(fv.Float()))
+		} else {
+			e.put32(math.Float32bits(float32(fv.Float())))
+		}
+		return nil
+	case meta.Boolean:
+		var bit uint32
+		if truthy(fv) {
+			bit = 1
+		}
+		e.put32(bit)
+		return nil
+	default:
+		if wireSize(fl) == 8 {
+			switch fv.Kind() {
+			case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+				e.put64(fv.Uint())
+			default:
+				e.put64(uint64(fv.Int()))
+			}
+		} else {
+			switch fv.Kind() {
+			case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+				e.put32(uint32(fv.Uint()))
+			default:
+				e.put32(uint32(fv.Int()))
+			}
+		}
+		return nil
+	}
+}
+
+func truthy(fv reflect.Value) bool {
+	switch fv.Kind() {
+	case reflect.Bool:
+		return fv.Bool()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return fv.Uint() != 0
+	default:
+		return fv.Int() != 0
+	}
+}
+
+// Decode parses an XDR message into out.
+func (c *Codec) Decode(data []byte, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("xdr: decode target must be a non-nil pointer, got %T", out)
+	}
+	rv = rv.Elem()
+	if rv.Type() != c.goType {
+		return fmt.Errorf("xdr: decode: target type %s does not match bound type %s", rv.Type(), c.goType)
+	}
+	d := &decoder{buf: data}
+	return d.readStruct(c.bounds, rv)
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) get32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, fmt.Errorf("xdr: truncated at byte %d", d.pos)
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) get64() (uint64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, fmt.Errorf("xdr: truncated at byte %d", d.pos)
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) readStruct(bounds []refbind.Bound, v reflect.Value) error {
+	for i := range bounds {
+		b := &bounds[i]
+		fl := b.Field
+		if b.GoIndex < 0 {
+			var err error
+			if wireSize(fl) == 8 {
+				_, err = d.get64()
+			} else {
+				_, err = d.get32()
+			}
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		fv := v.Field(b.GoIndex)
+		switch {
+		case fl.IsDynamic():
+			nBits, err := d.get32()
+			if err != nil {
+				return err
+			}
+			n := int(int32(nBits))
+			if n < 0 || n > len(d.buf) {
+				return fmt.Errorf("xdr: field %q: implausible element count %d", fl.Name, n)
+			}
+			fv.Set(reflect.MakeSlice(fv.Type(), n, n))
+			for k := 0; k < n; k++ {
+				if err := d.readValue(fl, b, fv.Index(k)); err != nil {
+					return err
+				}
+			}
+		case fl.IsStaticArray():
+			if fv.Kind() == reflect.Slice && fv.Len() != fl.StaticDim {
+				fv.Set(reflect.MakeSlice(fv.Type(), fl.StaticDim, fl.StaticDim))
+			}
+			for k := 0; k < fl.StaticDim; k++ {
+				if err := d.readValue(fl, b, fv.Index(k)); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := d.readValue(fl, b, fv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *decoder) readValue(fl *meta.Field, b *refbind.Bound, fv reflect.Value) error {
+	switch fl.Kind {
+	case meta.Struct:
+		return d.readStruct(b.Sub, fv)
+	case meta.String:
+		nBits, err := d.get32()
+		if err != nil {
+			return err
+		}
+		n := int(int32(nBits))
+		if n < 0 || d.pos+n > len(d.buf) {
+			return fmt.Errorf("xdr: field %q: bad string length %d", fl.Name, n)
+		}
+		fv.SetString(string(d.buf[d.pos : d.pos+n]))
+		d.pos += n + (4-n%4)%4
+		return nil
+	case meta.Float:
+		if fl.Size == 8 {
+			bits, err := d.get64()
+			if err != nil {
+				return err
+			}
+			fv.SetFloat(math.Float64frombits(bits))
+		} else {
+			bits, err := d.get32()
+			if err != nil {
+				return err
+			}
+			fv.SetFloat(float64(math.Float32frombits(bits)))
+		}
+		return nil
+	default:
+		var bits uint64
+		var err error
+		size := wireSize(fl)
+		if size == 8 {
+			bits, err = d.get64()
+		} else {
+			var b32 uint32
+			b32, err = d.get32()
+			bits = uint64(b32)
+		}
+		if err != nil {
+			return err
+		}
+		switch fv.Kind() {
+		case reflect.Bool:
+			fv.SetBool(bits != 0)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(bits)
+		default:
+			if fl.Kind == meta.Integer || fl.Kind == meta.Boolean {
+				shift := uint(64 - 8*size)
+				fv.SetInt(int64(bits<<shift) >> shift)
+			} else {
+				fv.SetInt(int64(bits))
+			}
+		}
+		return nil
+	}
+}

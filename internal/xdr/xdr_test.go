@@ -1,0 +1,231 @@
+package xdr
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+type msg struct {
+	Tag  byte
+	Id   int32
+	Wide int64
+	F    float32
+	D    float64
+	S    string
+	N    int32
+	V    []float64
+	G    [3]int16
+	B    bool
+	P    inner
+}
+
+type inner struct {
+	X float64
+	L string
+}
+
+func newCodec(t *testing.T, p *platform.Platform) *Codec {
+	t.Helper()
+	ctx := pbio.NewContext(pbio.WithPlatform(p))
+	if _, err := ctx.RegisterFields("inner", []pbio.IOField{
+		{Name: "x", Type: "double"},
+		{Name: "l", Type: "string"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterFields("msg", []pbio.IOField{
+		{Name: "tag", Type: "char"},
+		{Name: "id", Type: "integer"},
+		{Name: "wide", Type: "integer(8)"},
+		{Name: "f", Type: "float"},
+		{Name: "d", Type: "double"},
+		{Name: "s", Type: "string"},
+		{Name: "n", Type: "integer"},
+		{Name: "v", Type: "double[n]"},
+		{Name: "g", Type: "integer(2)[3]"},
+		{Name: "b", Type: "boolean"},
+		{Name: "p", Type: "inner"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(f, &msg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sample() msg {
+	return msg{
+		Tag: 9, Id: -5, Wide: 1 << 40, F: 0.5, D: -0.25,
+		S: "xdr", N: 2, V: []float64{1, 2},
+		G: [3]int16{-3, 0, 3}, B: true, P: inner{X: 7, L: "in"},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := newCodec(t, platform.X8664)
+	in := sample()
+	enc, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out msg
+	if err := c.Decode(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("\n in  %+v\n out %+v", in, out)
+	}
+}
+
+// TestCanonicalFormat: XDR is defined big-endian with 4-byte quanta, so the
+// bytes must be identical regardless of the sender platform ("neither makes
+// right" — everyone converts to the canonical form).
+func TestCanonicalFormat(t *testing.T) {
+	in := sample()
+	var encodings [][]byte
+	for _, p := range []*platform.Platform{platform.Sparc32, platform.X8664, platform.X86} {
+		c := newCodec(t, p)
+		enc, err := c.Encode(nil, &in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encodings = append(encodings, enc)
+	}
+	for i := 1; i < len(encodings); i++ {
+		if string(encodings[i]) != string(encodings[0]) {
+			t.Errorf("encoding %d differs from canonical form", i)
+		}
+	}
+	// First item: tag occupies a full 4-byte unit, big-endian.
+	if binary.BigEndian.Uint32(encodings[0][:4]) != uint32(in.Tag) {
+		t.Errorf("tag unit = %x", encodings[0][:4])
+	}
+}
+
+func TestStringPadding(t *testing.T) {
+	ctx := pbio.NewContext()
+	f, _ := ctx.RegisterFields("S", []pbio.IOField{
+		{Name: "s", Type: "string"},
+		{Name: "x", Type: "integer"},
+	})
+	type S struct {
+		S string
+		X int32
+	}
+	c, err := NewCodec(f, &S{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"", "a", "ab", "abc", "abcd", "abcde"} {
+		enc, err := c.Encode(nil, &S{S: s, X: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc)%4 != 0 {
+			t.Errorf("%q: length %d not a multiple of 4", s, len(enc))
+		}
+		var out S
+		if err := c.Decode(enc, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.S != s || out.X != 42 {
+			t.Errorf("%q: decoded %+v", s, out)
+		}
+	}
+}
+
+func TestLengthMemberSynthesized(t *testing.T) {
+	c := newCodec(t, platform.X8664)
+	in := sample()
+	in.N = -100
+	enc, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out msg
+	if err := c.Decode(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 {
+		t.Errorf("N = %d, want 2", out.N)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := newCodec(t, platform.X8664)
+	in := sample()
+	enc, _ := c.Encode(nil, &in)
+	var out msg
+	if err := c.Decode(enc[:5], &out); err == nil {
+		t.Error("truncated message should fail")
+	}
+	if err := c.Decode(enc, out); err == nil {
+		t.Error("non-pointer target should fail")
+	}
+	if _, err := c.Encode(nil, (*msg)(nil)); err == nil {
+		t.Error("nil pointer should fail")
+	}
+	var wrong struct{ Z int }
+	if _, err := c.Encode(nil, &wrong); err == nil {
+		t.Error("wrong type should fail")
+	}
+	if err := c.Decode(enc, &wrong); err == nil {
+		t.Error("wrong decode type should fail")
+	}
+	if _, err := NewCodec(c.Format(), "nope"); err == nil {
+		t.Error("non-struct sample should fail")
+	}
+}
+
+func TestQuickGarbage(t *testing.T) {
+	c := newCodec(t, platform.Sparc32)
+	prop := func(body []byte) bool {
+		var out msg
+		_ = c.Decode(body, &out)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c := newCodec(t, platform.X8664)
+	prop := func(id int32, wide int64, s string, v []float64) bool {
+		if len(v) > 30 {
+			v = v[:30]
+		}
+		for i := range v {
+			if v[i] != v[i] {
+				v[i] = 0
+			}
+		}
+		in := msg{Id: id, Wide: wide, S: s, N: int32(len(v)), V: v, G: [3]int16{}}
+		enc, err := c.Encode(nil, &in)
+		if err != nil {
+			return false
+		}
+		var out msg
+		if err := c.Decode(enc, &out); err != nil {
+			return false
+		}
+		if out.V == nil {
+			out.V = []float64{}
+		}
+		if in.V == nil {
+			in.V = []float64{}
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

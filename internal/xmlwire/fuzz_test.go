@@ -1,0 +1,37 @@
+package xmlwire
+
+import (
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// FuzzDecode drives the text decoder with arbitrary documents.  Invariant:
+// errors, never panics; valid encodings of valid values always decode.
+func FuzzDecode(f *testing.F) {
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	format, err := ctx.RegisterFields("SimpleData", []pbio.IOField{
+		{Name: "timestep", Type: "integer"},
+		{Name: "size", Type: "integer"},
+		{Name: "data", Type: "float[size]"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	codec, err := NewCodec(format, &simpleData{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := codec.Encode(nil, &simpleData{Timestep: 3, Data: []float32{1.5}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte(`<SimpleData><unknown/><timestep>1</timestep></SimpleData>`))
+	f.Add([]byte(`<SimpleData><data>1e300</data></SimpleData>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out simpleData
+		_ = codec.Decode(data, &out)
+	})
+}

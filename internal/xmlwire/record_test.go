@@ -1,0 +1,162 @@
+package xmlwire
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+func recordFixture(t *testing.T) (*pbio.Context, *pbio.Record) {
+	t.Helper()
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	if _, err := ctx.RegisterFields("pt", []pbio.IOField{
+		{Name: "x", Type: "double"},
+		{Name: "lbl", Type: "string"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterFields("obs", []pbio.IOField{
+		{Name: "station", Type: "string"},
+		{Name: "mode", Type: "enumeration"},
+		{Name: "ok", Type: "boolean"},
+		{Name: "grade", Type: "char"},
+		{Name: "n", Type: "integer"},
+		{Name: "vals", Type: "double[n]"},
+		{Name: "k", Type: "integer"},
+		{Name: "pts", Type: "pt[k]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := ctx.FormatByName("pt")
+	p1 := pbio.NewRecord(pt)
+	p1.Set("x", 1.5)
+	p1.Set("lbl", "a<b&c")
+	r := pbio.NewRecord(f)
+	r.Set("station", "gauge-3")
+	r.Set("mode", 2)
+	r.Set("ok", true)
+	r.Set("grade", byte(65))
+	r.Set("vals", []float64{1.25, -2.5})
+	r.Set("pts", []*pbio.Record{p1})
+	return ctx, r
+}
+
+// TestRecordXMLRoundTrip: record -> XML text -> record, no compiled types.
+func TestRecordXMLRoundTrip(t *testing.T) {
+	_, r := recordFixture(t)
+	enc, err := EncodeRecord(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(enc)
+	for _, want := range []string{"<obs>", "<station>gauge-3</station>", "<n>2</n>",
+		"<vals>1.25</vals>", "<pts>", "<lbl>a&lt;b&amp;c</lbl>", "<ok>true</ok>"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("encoding missing %q:\n%s", want, text)
+		}
+	}
+	back, err := DecodeRecord(r.Format(), enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Get("station"); v.(string) != "gauge-3" {
+		t.Errorf("station = %v", v)
+	}
+	if v, _ := back.Get("mode"); v.(uint64) != 2 {
+		t.Errorf("mode = %v", v)
+	}
+	if v, _ := back.Get("ok"); v.(bool) != true {
+		t.Errorf("ok = %v", v)
+	}
+	if v, _ := back.Get("grade"); v.(byte) != 65 {
+		t.Errorf("grade = %v", v)
+	}
+	if v, _ := back.Get("vals"); len(v.([]float64)) != 2 || v.([]float64)[1] != -2.5 {
+		t.Errorf("vals = %v", v)
+	}
+	pts, _ := back.Get("pts")
+	if ps := pts.([]*pbio.Record); len(ps) != 1 {
+		t.Fatalf("pts = %v", pts)
+	} else if lbl, _ := ps[0].Get("lbl"); lbl.(string) != "a<b&c" {
+		t.Errorf("lbl = %v", lbl)
+	}
+	if v, _ := back.Get("n"); v.(int64) != 2 {
+		t.Errorf("n = %v (length must follow the array)", v)
+	}
+}
+
+// TestRecordXMLAgreesWithStructCodec: the record and struct paths produce
+// interchangeable documents.
+func TestRecordXMLAgreesWithStructCodec(t *testing.T) {
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	f, err := ctx.RegisterFields("SimpleData", []pbio.IOField{
+		{Name: "timestep", Type: "integer"},
+		{Name: "size", Type: "integer"},
+		{Name: "data", Type: "float[size]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sd struct {
+		Timestep int32
+		Size     int32
+		Data     []float32
+	}
+	codec, err := NewCodec(f, &sd{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sd{Timestep: 4, Size: 2, Data: []float32{1.5, 2.5}}
+	structEnc, err := codec.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Struct-encoded text decodes as a record.
+	rec, err := DecodeRecord(f, structEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rec.Get("timestep"); v.(int64) != 4 {
+		t.Errorf("timestep = %v", v)
+	}
+	// Record-encoded text decodes into the struct.
+	recEnc, err := EncodeRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out sd
+	if err := codec.Decode(recEnc, &out); err != nil {
+		t.Fatalf("%v\n%s", err, recEnc)
+	}
+	if out.Timestep != 4 || out.Data[1] != 2.5 {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	_, r := recordFixture(t)
+	f := r.Format()
+	if _, err := DecodeRecord(f, []byte("not xml")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := DecodeRecord(f, []byte(`<obs><n>x</n></obs>`)); err == nil {
+		t.Error("bad integer should fail")
+	}
+	if _, err := DecodeRecord(f, []byte(`<obs><mode>-1</mode></obs>`)); err == nil {
+		t.Error("negative unsigned should fail")
+	}
+	if _, err := DecodeRecord(f, []byte(`<obs><vals>zz</vals></obs>`)); err == nil {
+		t.Error("bad float should fail")
+	}
+	// Unknown elements skip cleanly.
+	rec, err := DecodeRecord(f, []byte(`<obs><mystery>1</mystery><station>s</station></obs>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rec.Get("station"); v.(string) != "s" {
+		t.Errorf("station = %v", v)
+	}
+}

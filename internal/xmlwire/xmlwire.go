@@ -1,0 +1,393 @@
+// Package xmlwire implements the baseline the paper argues against using
+// for bulk data: XML as the wire format itself.  Messages are ASCII text —
+// every field value converted to and from decimal strings, every record
+// wrapped in element tags (see the paper's Figure 1).  It exists to
+// reproduce the evaluation's comparisons: encode/decode cost 2–4 orders of
+// magnitude above binary mechanisms, and message expansion factors of 3–8×.
+//
+// Its one virtue is also reproduced: a receiver needs no a-priori knowledge
+// beyond the metadata, and heterogeneity is a non-issue.
+package xmlwire
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/refbind"
+)
+
+// Codec marshals one (format, Go type) pair to and from XML text.
+type Codec struct {
+	format *meta.Format
+	goType reflect.Type
+	bounds []refbind.Bound
+}
+
+// NewCodec compiles a codec for the format and the Go type of sample.
+func NewCodec(f *meta.Format, sample any) (*Codec, error) {
+	t, err := refbind.StructType(sample)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := refbind.Compile(f, t, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{format: f, goType: t, bounds: bounds}, nil
+}
+
+// Format returns the codec's metadata.
+func (c *Codec) Format() *meta.Format { return c.format }
+
+// Encode appends the XML text encoding of v to dst.
+func (c *Codec) Encode(dst []byte, v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil, fmt.Errorf("xmlwire: encode: nil pointer")
+		}
+		rv = rv.Elem()
+	}
+	if rv.Type() != c.goType {
+		return nil, fmt.Errorf("xmlwire: encode: value type %s does not match bound type %s", rv.Type(), c.goType)
+	}
+	return appendStruct(dst, c.format.Name, c.bounds, rv)
+}
+
+func appendStruct(dst []byte, tag string, bounds []refbind.Bound, v reflect.Value) ([]byte, error) {
+	dst = append(dst, '<')
+	dst = append(dst, tag...)
+	dst = append(dst, '>')
+	lengthFields := map[string]bool{}
+	for i := range bounds {
+		if lf := bounds[i].Field.LengthField; lf != "" {
+			lengthFields[strings.ToLower(lf)] = true
+		}
+	}
+	var err error
+	for i := range bounds {
+		b := &bounds[i]
+		fl := b.Field
+		if b.GoIndex < 0 || lengthFields[strings.ToLower(fl.Name)] {
+			// Dynamic-array length fields are authoritative from the
+			// slice length (matching the binary encoders), whether or
+			// not the Go struct declares them.
+			n := lengthOf(bounds, fl.Name, v)
+			dst = appendScalarElem(dst, fl.Name, strconv.AppendInt, int64(n))
+			continue
+		}
+		fv := v.Field(b.GoIndex)
+		switch {
+		case fl.IsDynamic() || fl.IsStaticArray():
+			n := fv.Len()
+			for k := 0; k < n; k++ {
+				if dst, err = appendValue(dst, fl, b, fv.Index(k)); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if dst, err = appendValue(dst, fl, b, fv); err != nil {
+				return nil, err
+			}
+		}
+	}
+	dst = append(dst, '<', '/')
+	dst = append(dst, tag...)
+	dst = append(dst, '>')
+	return dst, nil
+}
+
+// lengthOf finds the slice whose dynamic length field is named name.
+func lengthOf(bounds []refbind.Bound, name string, v reflect.Value) int {
+	for i := range bounds {
+		b := &bounds[i]
+		if b.GoIndex >= 0 && strings.EqualFold(b.Field.LengthField, name) {
+			return v.Field(b.GoIndex).Len()
+		}
+	}
+	return 0
+}
+
+func appendValue(dst []byte, fl *meta.Field, b *refbind.Bound, fv reflect.Value) ([]byte, error) {
+	switch fl.Kind {
+	case meta.Struct:
+		return appendStruct(dst, fl.Name, b.Sub, fv)
+	case meta.String:
+		dst = append(dst, '<')
+		dst = append(dst, fl.Name...)
+		dst = append(dst, '>')
+		dst = appendEscaped(dst, fv.String())
+		dst = append(dst, '<', '/')
+		dst = append(dst, fl.Name...)
+		dst = append(dst, '>')
+		return dst, nil
+	case meta.Float:
+		dst = append(dst, '<')
+		dst = append(dst, fl.Name...)
+		dst = append(dst, '>')
+		bits := 64
+		if fl.Size == 4 {
+			bits = 32
+		}
+		dst = strconv.AppendFloat(dst, fv.Float(), 'g', -1, bits)
+		dst = append(dst, '<', '/')
+		dst = append(dst, fl.Name...)
+		dst = append(dst, '>')
+		return dst, nil
+	case meta.Boolean:
+		val := "false"
+		if truthy(fv) {
+			val = "true"
+		}
+		dst = append(dst, '<')
+		dst = append(dst, fl.Name...)
+		dst = append(dst, '>')
+		dst = append(dst, val...)
+		dst = append(dst, '<', '/')
+		dst = append(dst, fl.Name...)
+		dst = append(dst, '>')
+		return dst, nil
+	default: // Integer, Unsigned, Enum, Char
+		switch fv.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			dst = appendScalarElem(dst, fl.Name, strconv.AppendUint, fv.Uint())
+		default:
+			dst = appendScalarElem(dst, fl.Name, strconv.AppendInt, fv.Int())
+		}
+		return dst, nil
+	}
+}
+
+func truthy(fv reflect.Value) bool {
+	switch fv.Kind() {
+	case reflect.Bool:
+		return fv.Bool()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return fv.Uint() != 0
+	default:
+		return fv.Int() != 0
+	}
+}
+
+func appendScalarElem[T int64 | uint64](dst []byte, name string, f func([]byte, T, int) []byte, v T) []byte {
+	dst = append(dst, '<')
+	dst = append(dst, name...)
+	dst = append(dst, '>')
+	dst = f(dst, v, 10)
+	dst = append(dst, '<', '/')
+	dst = append(dst, name...)
+	dst = append(dst, '>')
+	return dst
+}
+
+func appendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// Decode parses an XML message into out (a pointer to the bound struct).
+// Unknown elements are skipped, so evolved senders do not break old
+// receivers here either.
+func (c *Codec) Decode(data []byte, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("xmlwire: decode target must be a non-nil pointer, got %T", out)
+	}
+	rv = rv.Elem()
+	if rv.Type() != c.goType {
+		return fmt.Errorf("xmlwire: decode: target type %s does not match bound type %s", rv.Type(), c.goType)
+	}
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	root, err := nextStart(dec)
+	if err != nil {
+		return fmt.Errorf("xmlwire: %w", err)
+	}
+	if root == nil {
+		return fmt.Errorf("xmlwire: empty document")
+	}
+	return decodeStruct(dec, c.bounds, rv)
+}
+
+func nextStart(dec *xml.Decoder) (*xml.StartElement, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			return &t, nil
+		case xml.EndElement:
+			return nil, nil
+		}
+	}
+}
+
+// decodeStruct consumes the children of the current element until its end
+// tag, populating v.
+func decodeStruct(dec *xml.Decoder, bounds []refbind.Bound, v reflect.Value) error {
+	byName := make(map[string]*refbind.Bound, len(bounds))
+	for i := range bounds {
+		byName[strings.ToLower(bounds[i].Field.Name)] = &bounds[i]
+	}
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xmlwire: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			return nil
+		case xml.StartElement:
+			b, ok := byName[strings.ToLower(t.Name.Local)]
+			if !ok || b.GoIndex < 0 {
+				if err := dec.Skip(); err != nil {
+					return fmt.Errorf("xmlwire: %w", err)
+				}
+				continue
+			}
+			if err := decodeField(dec, b, v, counts); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func decodeField(dec *xml.Decoder, b *refbind.Bound, v reflect.Value, counts map[string]int) error {
+	fl := b.Field
+	fv := v.Field(b.GoIndex)
+	isArray := fl.IsDynamic() || fl.IsStaticArray()
+	var target reflect.Value
+	if isArray {
+		k := counts[fl.Name]
+		counts[fl.Name] = k + 1
+		switch fv.Kind() {
+		case reflect.Slice:
+			if k >= fv.Len() {
+				fv.Set(reflect.Append(fv, reflect.Zero(fv.Type().Elem())))
+			}
+			target = fv.Index(k)
+		default: // array
+			if k >= fv.Len() {
+				return fmt.Errorf("xmlwire: field %q: more than %d elements", fl.Name, fv.Len())
+			}
+			target = fv.Index(k)
+		}
+	} else {
+		target = fv
+	}
+	if fl.Kind == meta.Struct {
+		return decodeStruct(dec, b.Sub, target)
+	}
+	text, err := elementText(dec)
+	if err != nil {
+		return fmt.Errorf("xmlwire: field %q: %w", fl.Name, err)
+	}
+	return setFromText(fl, target, text)
+}
+
+// elementText reads character data up to the current element's end tag.
+func elementText(dec *xml.Decoder) (string, error) {
+	var sb strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			sb.Write(t)
+		case xml.EndElement:
+			return sb.String(), nil
+		case xml.StartElement:
+			return "", fmt.Errorf("unexpected child element <%s>", t.Name.Local)
+		}
+	}
+}
+
+func setFromText(fl *meta.Field, fv reflect.Value, text string) error {
+	switch fl.Kind {
+	case meta.String:
+		fv.SetString(text)
+		return nil
+	case meta.Float:
+		x, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+		if err != nil {
+			return fmt.Errorf("xmlwire: field %q: %w", fl.Name, err)
+		}
+		if fv.Kind() == reflect.Float32 || fv.Kind() == reflect.Float64 {
+			fv.SetFloat(x)
+			return nil
+		}
+		return fmt.Errorf("xmlwire: field %q: cannot store float into %s", fl.Name, fv.Type())
+	case meta.Boolean:
+		t := strings.TrimSpace(text)
+		val := t == "true" || t == "1"
+		if fv.Kind() == reflect.Bool {
+			fv.SetBool(val)
+			return nil
+		}
+		bit := int64(0)
+		if val {
+			bit = 1
+		}
+		return setIntLike(fl, fv, bit)
+	default:
+		t := strings.TrimSpace(text)
+		switch fv.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			x, err := strconv.ParseUint(t, 10, 64)
+			if err != nil {
+				return fmt.Errorf("xmlwire: field %q: %w", fl.Name, err)
+			}
+			fv.SetUint(x)
+			return nil
+		default:
+			x, err := strconv.ParseInt(t, 10, 64)
+			if err != nil {
+				return fmt.Errorf("xmlwire: field %q: %w", fl.Name, err)
+			}
+			return setIntLike(fl, fv, x)
+		}
+	}
+}
+
+func setIntLike(fl *meta.Field, fv reflect.Value, x int64) error {
+	switch fv.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fv.SetInt(x)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fv.SetUint(uint64(x))
+	case reflect.Bool:
+		fv.SetBool(x != 0)
+	default:
+		return fmt.Errorf("xmlwire: field %q: cannot store integer into %s", fl.Name, fv.Type())
+	}
+	return nil
+}
+
+// ExpansionFactor reports len(xml)/len(binary) given the two encodings of
+// the same value, the metric behind the paper's 3–8× expansion numbers.
+func ExpansionFactor(xmlLen, binaryLen int) float64 {
+	if binaryLen == 0 {
+		return math.Inf(1)
+	}
+	return float64(xmlLen) / float64(binaryLen)
+}

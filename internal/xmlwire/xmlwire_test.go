@@ -1,0 +1,279 @@
+package xmlwire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+type simpleData struct {
+	Timestep int32
+	Size     int32
+	Data     []float32
+}
+
+func simpleDataCodec(t *testing.T) (*Codec, *pbio.Context) {
+	t.Helper()
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	f, err := ctx.RegisterFields("SimpleData", []pbio.IOField{
+		{Name: "timestep", Type: "integer"},
+		{Name: "size", Type: "integer"},
+		{Name: "data", Type: "float[size]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(f, &simpleData{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ctx
+}
+
+func TestEncodeMatchesPaperFigure1(t *testing.T) {
+	c, _ := simpleDataCodec(t)
+	in := simpleData{Timestep: 9999, Data: []float32{12.345, 12.345}}
+	out, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"<SimpleData>", "</SimpleData>",
+		"<timestep>9999</timestep>",
+		"<size>2</size>",
+		"<data>12.345</data>",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("encoding missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "<data>") != 2 {
+		t.Errorf("want one element per array entry:\n%s", text)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, _ := simpleDataCodec(t)
+	in := simpleData{Timestep: -5, Data: []float32{1.5, -2.25, 1e20}}
+	enc, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out simpleData
+	if err := c.Decode(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Timestep != -5 || out.Size != 3 || !reflect.DeepEqual(out.Data, in.Data) {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+type allKinds struct {
+	I  int32
+	U  uint32
+	F  float32
+	D  float64
+	B  bool
+	Ch byte
+	S  string
+	N  int32
+	V  []float64
+	G  [3]int16
+	P  pointT
+	K  int32
+	Ps []pointT
+}
+
+type pointT struct {
+	X float64
+	L string
+}
+
+func allKindsCodec(t *testing.T) *Codec {
+	t.Helper()
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	if _, err := ctx.RegisterFields("pointT", []pbio.IOField{
+		{Name: "x", Type: "double"},
+		{Name: "l", Type: "string"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterFields("allKinds", []pbio.IOField{
+		{Name: "i", Type: "integer"},
+		{Name: "u", Type: "unsigned"},
+		{Name: "f", Type: "float"},
+		{Name: "d", Type: "double"},
+		{Name: "b", Type: "boolean"},
+		{Name: "ch", Type: "char"},
+		{Name: "s", Type: "string"},
+		{Name: "n", Type: "integer"},
+		{Name: "v", Type: "double[n]"},
+		{Name: "g", Type: "integer(2)[3]"},
+		{Name: "p", Type: "pointT"},
+		{Name: "k", Type: "integer"},
+		{Name: "ps", Type: "pointT[k]"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(f, &allKinds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	c := allKindsCodec(t)
+	in := allKinds{
+		I: -7, U: 4000000000, F: 2.5, D: -1e-10, B: true, Ch: 'z',
+		S: "escaped <&> text", V: []float64{1, 2, 3},
+		G: [3]int16{-1, 0, 1}, P: pointT{X: 9.75, L: "origin"},
+		Ps: []pointT{{X: 1, L: "a"}, {X: 2, L: ""}},
+	}
+	in.N = int32(len(in.V))
+	in.K = int32(len(in.Ps))
+	enc, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out allKinds
+	if err := c.Decode(enc, &out); err != nil {
+		t.Fatalf("%v\n%s", err, enc)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in  %+v\n out %+v\n%s", in, out, enc)
+	}
+}
+
+func TestDecodeSkipsUnknownElements(t *testing.T) {
+	c, _ := simpleDataCodec(t)
+	doc := `<SimpleData><timestep>4</timestep><novel>ignored</novel>` +
+		`<size>1</size><data>2.5</data><other><nested/></other></SimpleData>`
+	var out simpleData
+	if err := c.Decode([]byte(doc), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Timestep != 4 || len(out.Data) != 1 || out.Data[0] != 2.5 {
+		t.Errorf("decoded %+v", out)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c, _ := simpleDataCodec(t)
+	var out simpleData
+	cases := map[string]string{
+		"empty":           ``,
+		"not xml":         `garbage`,
+		"bad number":      `<SimpleData><timestep>x</timestep></SimpleData>`,
+		"bad float":       `<SimpleData><size>1</size><data>?</data></SimpleData>`,
+		"unbalanced":      `<SimpleData><timestep>1`,
+		"child in scalar": `<SimpleData><timestep><x/></timestep></SimpleData>`,
+	}
+	for name, doc := range cases {
+		if err := c.Decode([]byte(doc), &out); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+	if err := c.Decode([]byte(`<SimpleData/>`), out); err == nil {
+		t.Error("non-pointer target should fail")
+	}
+	var wrong struct{ X int }
+	if err := c.Decode([]byte(`<SimpleData/>`), &wrong); err == nil {
+		t.Error("wrong target type should fail")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c, _ := simpleDataCodec(t)
+	if _, err := c.Encode(nil, (*simpleData)(nil)); err == nil {
+		t.Error("nil pointer should fail")
+	}
+	var wrong struct{ X int }
+	if _, err := c.Encode(nil, &wrong); err == nil {
+		t.Error("wrong type should fail")
+	}
+}
+
+func TestNewCodecErrors(t *testing.T) {
+	ctx := pbio.NewContext()
+	f, _ := ctx.RegisterFields("M", []pbio.IOField{{Name: "x", Type: "integer"}})
+	if _, err := NewCodec(f, 3); err == nil {
+		t.Error("non-struct sample should fail")
+	}
+	type missing struct{ Y int }
+	if _, err := NewCodec(f, missing{}); err == nil {
+		t.Error("missing field should fail")
+	}
+}
+
+// TestExpansionVsBinary reproduces the paper's claim that the XML encoding
+// of SimpleData is around 3x larger than the binary encoding.
+func TestExpansionVsBinary(t *testing.T) {
+	c, ctx := simpleDataCodec(t)
+	in := simpleData{Timestep: 9999}
+	in.Data = make([]float32, 3355)
+	for i := range in.Data {
+		in.Data[i] = 12.345
+	}
+	in.Size = int32(len(in.Data))
+	xmlEnc, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Bind(c.Format(), &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binEnc, err := b.EncodeBody(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := ExpansionFactor(len(xmlEnc), len(binEnc))
+	if factor < 2 || factor > 8 {
+		t.Errorf("expansion factor = %.2f (xml %d, binary %d), want the paper's 3-8x ballpark",
+			factor, len(xmlEnc), len(binEnc))
+	}
+	if ExpansionFactor(10, 0) <= 1000 {
+		t.Error("zero binary length should be infinite expansion")
+	}
+}
+
+// Property: arbitrary values round-trip through the text encoding.
+func TestQuickRoundTrip(t *testing.T) {
+	c, _ := simpleDataCodec(t)
+	prop := func(ts int32, data []float32) bool {
+		if len(data) > 40 {
+			data = data[:40]
+		}
+		for i := range data {
+			if data[i] != data[i] { // NaN
+				data[i] = 0
+			}
+		}
+		in := simpleData{Timestep: ts, Size: int32(len(data)), Data: data}
+		enc, err := c.Encode(nil, &in)
+		if err != nil {
+			return false
+		}
+		var out simpleData
+		if err := c.Decode(enc, &out); err != nil {
+			return false
+		}
+		if out.Data == nil {
+			out.Data = []float32{}
+		}
+		if in.Data == nil {
+			in.Data = []float32{}
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+package xsd
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/dom"
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// ToDocument renders the schema as a DOM document.  Synthesized dimension
+// elements are omitted (they are implied by dimensionName), so a parse →
+// write → parse cycle is stable.
+func (s *Schema) ToDocument() *dom.Document {
+	root := &dom.Element{Space: dom.XSDNamespace, Local: "schema"}
+	for _, inc := range s.Includes {
+		el := &dom.Element{Space: dom.XSDNamespace, Local: "include", Parent: root}
+		el.Attrs = append(el.Attrs, dom.Attr{Local: "schemaLocation", Value: inc})
+		root.Children = append(root.Children, el)
+	}
+	for _, e := range s.Enums {
+		stEl := &dom.Element{Space: dom.XSDNamespace, Local: "simpleType", Parent: root}
+		stEl.Attrs = append(stEl.Attrs, dom.Attr{Local: "name", Value: e.Name})
+		restr := &dom.Element{Space: dom.XSDNamespace, Local: "restriction", Parent: stEl}
+		restr.Attrs = append(restr.Attrs, dom.Attr{Local: "base", Value: "xsd:string"})
+		for _, v := range e.Values {
+			en := &dom.Element{Space: dom.XSDNamespace, Local: "enumeration", Parent: restr}
+			en.Attrs = append(en.Attrs, dom.Attr{Local: "value", Value: v})
+			restr.Children = append(restr.Children, en)
+		}
+		stEl.Children = append(stEl.Children, restr)
+		root.Children = append(root.Children, stEl)
+	}
+	for _, ct := range s.Types {
+		ctEl := &dom.Element{Space: dom.XSDNamespace, Local: "complexType", Parent: root}
+		ctEl.Attrs = append(ctEl.Attrs, dom.Attr{Local: "name", Value: ct.Name})
+		appendDoc(ctEl, ct.Doc)
+		for _, el := range ct.Elements {
+			if el.Synthesized {
+				continue
+			}
+			e := &dom.Element{Space: dom.XSDNamespace, Local: "element", Parent: ctEl}
+			e.Attrs = append(e.Attrs, dom.Attr{Local: "name", Value: el.Name})
+			typeName := el.TypeName
+			if el.Builtin != "" {
+				typeName = "xsd:" + el.Builtin
+			} else if el.Ref != "" {
+				typeName = el.Ref
+			}
+			e.Attrs = append(e.Attrs, dom.Attr{Local: "type", Value: typeName})
+			appendDoc(e, el.Doc)
+			switch el.Occurs {
+			case OccursStatic:
+				e.Attrs = append(e.Attrs, dom.Attr{Local: "maxOccurs", Value: strconv.Itoa(el.StaticDim)})
+			case OccursDynamic:
+				e.Attrs = append(e.Attrs,
+					dom.Attr{Local: "minOccurs", Value: "0"},
+					dom.Attr{Local: "maxOccurs", Value: "*"},
+					dom.Attr{Local: "dimensionPlacement", Value: "before"},
+					dom.Attr{Local: "dimensionName", Value: el.DimField},
+				)
+			}
+			ctEl.Children = append(ctEl.Children, e)
+		}
+		root.Children = append(root.Children, ctEl)
+	}
+	return &dom.Document{Root: root}
+}
+
+// appendDoc attaches an annotation/documentation child when doc is set.
+func appendDoc(parent *dom.Element, doc string) {
+	if doc == "" {
+		return
+	}
+	ann := &dom.Element{Space: dom.XSDNamespace, Local: "annotation", Parent: parent}
+	d := &dom.Element{Space: dom.XSDNamespace, Local: "documentation", Parent: ann, Text: doc}
+	ann.Children = append(ann.Children, d)
+	parent.Children = append(parent.Children, ann)
+}
+
+// Write serialises the schema as an XML document.
+func (s *Schema) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, "<?xml version=\"1.0\"?>\n"); err != nil {
+		return err
+	}
+	return s.ToDocument().WriteXML(w)
+}
+
+// String returns the schema as XML text.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		return "<!-- " + err.Error() + " -->"
+	}
+	return sb.String()
+}
+
+// FromFormat converts native metadata back into schema form, producing one
+// complexType per nested format (dependencies first).  This is the inverse
+// translation, used to publish compiled-in formats as discoverable XML
+// documents.
+func FromFormat(f *meta.Format) (*Schema, error) {
+	s := &Schema{}
+	if err := addFormat(s, f); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func addFormat(s *Schema, f *meta.Format) error {
+	if s.TypeByName(f.Name) != nil {
+		return nil
+	}
+	p := platform.ByName(f.Platform)
+	if p == nil {
+		return fmt.Errorf("xsd: format %q built for unknown platform %q", f.Name, f.Platform)
+	}
+	// Emit nested formats first so references resolve in document order.
+	for i := range f.Fields {
+		if sub := f.Fields[i].Sub; sub != nil {
+			if err := addFormat(s, sub); err != nil {
+				return err
+			}
+		}
+	}
+	ct := &ComplexType{Name: f.Name}
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		el := &ElementDecl{Name: fl.Name, MinOccurs: 1}
+		if fl.Kind == meta.Struct {
+			el.Ref = fl.Sub.Name
+			el.TypeName = fl.Sub.Name
+		} else {
+			b, err := builtinForField(p, fl)
+			if err != nil {
+				return fmt.Errorf("xsd: format %q: %w", f.Name, err)
+			}
+			el.Builtin = b
+			el.TypeName = "xsd:" + b
+		}
+		switch {
+		case fl.IsDynamic():
+			el.Occurs = OccursDynamic
+			el.DimField = fl.LengthField
+			el.MinOccurs = 0
+		case fl.IsStaticArray():
+			el.Occurs = OccursStatic
+			el.StaticDim = fl.StaticDim
+		}
+		ct.Elements = append(ct.Elements, el)
+	}
+	s.Types = append(s.Types, ct)
+	return nil
+}
+
+// builtinForField picks an XML Schema built-in type whose native mapping on
+// the format's own platform reproduces the field's kind and wire size (the
+// translation in Section 3.1 of the paper is platform-relative: xsd:long
+// maps to C long, which is 4 bytes on sparc32 and 8 on x86_64).
+func builtinForField(p *platform.Platform, fl *meta.Field) (string, error) {
+	var candidates []string
+	switch fl.Kind {
+	case meta.Integer:
+		candidates = []string{"byte", "short", "int", "long"}
+	case meta.Unsigned, meta.Enum:
+		candidates = []string{"unsignedByte", "unsignedShort", "unsignedInt", "unsignedLong"}
+	case meta.Float:
+		candidates = []string{"float", "double"}
+	case meta.Char:
+		return "byte", nil
+	case meta.Boolean:
+		return "boolean", nil
+	case meta.String:
+		return "string", nil
+	}
+	for _, name := range candidates {
+		if b := builtins[name]; p.SizeOf(b.class) == fl.Size {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("field %q: no built-in type yields a %s of %d bytes on %s",
+		fl.Name, fl.Kind, fl.Size, p.Name)
+}

@@ -1,0 +1,392 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// The schemas below are taken verbatim from the paper's Figures 2 and 4.
+
+const asdOffSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="centerID" type="xsd:string" />
+    <xsd:element name="airline" type="xsd:string" />
+    <xsd:element name="flightNum" type="xsd:integer" />
+    <xsd:element name="off" type="xsd:unsignedLong" />
+  </xsd:complexType>
+</xsd:schema>`
+
+const simpleDataSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float" minOccurs="0" maxOccurs="*"
+        dimensionPlacement="before" dimensionName="size" />
+  </xsd:complexType>
+</xsd:schema>`
+
+const joinRequestSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="JoinRequest">
+    <xsd:element name="name" type="xsd:string" />
+    <xsd:element name="server" type="xsd:unsignedLong" />
+    <xsd:element name="ip_addr" type="xsd:unsignedLong" />
+    <xsd:element name="pid" type="xsd:unsignedLong" />
+    <xsd:element name="ds_addr" type="xsd:unsignedLong" />
+  </xsd:complexType>
+</xsd:schema>`
+
+func TestParseASDOffEvent(t *testing.T) {
+	s, err := ParseString(asdOffSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.TypeByName("ASDOffEvent")
+	if ct == nil {
+		t.Fatal("ASDOffEvent not found")
+	}
+	if len(ct.Elements) != 4 {
+		t.Fatalf("elements = %d, want 4", len(ct.Elements))
+	}
+	want := []struct{ name, builtin string }{
+		{"centerID", "string"},
+		{"airline", "string"},
+		{"flightNum", "integer"},
+		{"off", "unsignedLong"},
+	}
+	for i, w := range want {
+		el := ct.Elements[i]
+		if el.Name != w.name || el.Builtin != w.builtin || el.Occurs != OccursOne {
+			t.Errorf("element %d = %+v, want %s:%s scalar", i, el, w.name, w.builtin)
+		}
+	}
+}
+
+// TestParseSimpleDataSynthesis checks the paper's implicit-dimension
+// convention: SimpleData declares two elements but produces a three-member
+// native structure with an int "size" placed before the array.
+func TestParseSimpleDataSynthesis(t *testing.T) {
+	s, err := ParseString(simpleDataSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.TypeByName("SimpleData")
+	if len(ct.Elements) != 3 {
+		t.Fatalf("elements = %d, want 3 (timestep, synthesized size, data)", len(ct.Elements))
+	}
+	size := ct.Elements[1]
+	if size.Name != "size" || !size.Synthesized || size.Builtin != "int" {
+		t.Errorf("synthesized element = %+v", size)
+	}
+	data := ct.Elements[2]
+	if data.Occurs != OccursDynamic || data.DimField != "size" || data.Builtin != "float" {
+		t.Errorf("data element = %+v", data)
+	}
+	if data.MinOccurs != 0 {
+		t.Errorf("data minOccurs = %d, want 0", data.MinOccurs)
+	}
+}
+
+func TestParseDeclaredDimension(t *testing.T) {
+	// maxOccurs naming the sizing element directly, which is declared.
+	schema := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+	  <xsd:complexType name="V">
+	    <xsd:element name="count" type="xsd:int" />
+	    <xsd:element name="vals" type="xsd:double" maxOccurs="count" />
+	  </xsd:complexType>
+	</xsd:schema>`
+	s, err := ParseString(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.TypeByName("V")
+	if len(ct.Elements) != 2 {
+		t.Fatalf("elements = %d, want 2 (no synthesis needed)", len(ct.Elements))
+	}
+	if ct.Elements[1].Occurs != OccursDynamic || ct.Elements[1].DimField != "count" {
+		t.Errorf("vals = %+v", ct.Elements[1])
+	}
+}
+
+func TestParseStaticArrayAndSequence(t *testing.T) {
+	schema := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+	  <xsd:complexType name="M">
+	    <xsd:sequence>
+	      <xsd:element name="grid" type="xsd:float" maxOccurs="16" />
+	      <xsd:element name="one" type="xsd:short" maxOccurs="1" />
+	    </xsd:sequence>
+	  </xsd:complexType>
+	</xsd:schema>`
+	s, err := ParseString(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.TypeByName("M")
+	if len(ct.Elements) != 2 {
+		t.Fatalf("sequence wrapper should be transparent, got %d elements", len(ct.Elements))
+	}
+	if ct.Elements[0].Occurs != OccursStatic || ct.Elements[0].StaticDim != 16 {
+		t.Errorf("grid = %+v", ct.Elements[0])
+	}
+	if ct.Elements[1].Occurs != OccursOne {
+		t.Errorf("maxOccurs=1 should be scalar, got %+v", ct.Elements[1])
+	}
+}
+
+func TestParseNestedReference(t *testing.T) {
+	schema := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+	  <xsd:complexType name="Point">
+	    <xsd:element name="x" type="xsd:double" />
+	    <xsd:element name="y" type="xsd:double" />
+	  </xsd:complexType>
+	  <xsd:complexType name="Segment">
+	    <xsd:element name="id" type="xsd:int" />
+	    <xsd:element name="a" type="Point" />
+	    <xsd:element name="b" type="Point" />
+	  </xsd:complexType>
+	</xsd:schema>`
+	s, err := ParseString(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := s.TypeByName("Segment")
+	if seg.Elements[1].Ref != "Point" || seg.Elements[1].Builtin != "" {
+		t.Errorf("a = %+v", seg.Elements[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not schema root": `<foo/>`,
+		"no types":        `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema"/>`,
+		"unnamed type": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType><xsd:element name="x" type="xsd:int"/></xsd:complexType></xsd:schema>`,
+		"empty type": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"/></xsd:schema>`,
+		"element no name": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element type="xsd:int"/></xsd:complexType></xsd:schema>`,
+		"element no type": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="x"/></xsd:complexType></xsd:schema>`,
+		"dup type": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/></xsd:complexType>
+			<xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/></xsd:complexType></xsd:schema>`,
+		"dup element": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/>
+			<xsd:element name="x" type="xsd:int"/></xsd:complexType></xsd:schema>`,
+		"star without dimension": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="v" type="xsd:float" maxOccurs="*"/></xsd:complexType></xsd:schema>`,
+		"bad placement": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="v" type="xsd:float" maxOccurs="*"
+			dimensionName="n" dimensionPlacement="after"/></xsd:complexType></xsd:schema>`,
+		"bad maxOccurs zero": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="v" type="xsd:float" maxOccurs="0"/></xsd:complexType></xsd:schema>`,
+		"bad minOccurs": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="v" type="xsd:float" minOccurs="x"/></xsd:complexType></xsd:schema>`,
+		"dimensionName on scalar": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="v" type="xsd:float" dimensionName="n"/></xsd:complexType></xsd:schema>`,
+		"conflicting dims": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="n" type="xsd:int"/>
+			<xsd:element name="v" type="xsd:float" maxOccurs="n" dimensionName="m"/></xsd:complexType></xsd:schema>`,
+		"non-integer dimension": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="n" type="xsd:float"/>
+			<xsd:element name="v" type="xsd:float" maxOccurs="n"/></xsd:complexType></xsd:schema>`,
+		"array dimension": `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+			<xsd:complexType name="T"><xsd:element name="n" type="xsd:int" maxOccurs="3"/>
+			<xsd:element name="v" type="xsd:float" maxOccurs="n"/></xsd:complexType></xsd:schema>`,
+	}
+	for name, schema := range cases {
+		if _, err := ParseString(schema); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestBuiltinMapping(t *testing.T) {
+	k, cl, err := BuiltinMapping("unsignedLong")
+	if err != nil || k != meta.Unsigned || cl != platform.Long {
+		t.Errorf("unsignedLong = %v %v %v", k, cl, err)
+	}
+	if _, _, err := BuiltinMapping("hexBinary"); err == nil {
+		t.Error("unsupported builtin should error")
+	}
+	if !IsBuiltin("double") || IsBuiltin("JoinRequest") {
+		t.Error("IsBuiltin misclassifies")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	for _, schema := range []string{asdOffSchema, simpleDataSchema, joinRequestSchema} {
+		s1, err := ParseString(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := s1.String()
+		s2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("re-parse: %v\n%s", err, text)
+		}
+		if len(s2.Types) != len(s1.Types) {
+			t.Fatalf("type count changed: %d -> %d", len(s1.Types), len(s2.Types))
+		}
+		for i, ct1 := range s1.Types {
+			ct2 := s2.Types[i]
+			if ct1.Name != ct2.Name || len(ct1.Elements) != len(ct2.Elements) {
+				t.Fatalf("type %q changed shape:\n%s", ct1.Name, text)
+			}
+			for j := range ct1.Elements {
+				a, b := ct1.Elements[j], ct2.Elements[j]
+				if a.Name != b.Name || a.Builtin != b.Builtin || a.Ref != b.Ref ||
+					a.Occurs != b.Occurs || a.StaticDim != b.StaticDim || a.DimField != b.DimField ||
+					a.Synthesized != b.Synthesized {
+					t.Errorf("element %s.%s changed: %+v -> %+v", ct1.Name, a.Name, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestFromFormatRoundTrip: native metadata -> schema -> (via builtin
+// mapping) the same kinds and sizes.
+func TestFromFormatRoundTrip(t *testing.T) {
+	for _, p := range platform.All() {
+		inner, err := meta.Build("Point", p, []meta.FieldDef{
+			{Name: "x", Kind: meta.Float, Class: platform.Double},
+			{Name: "y", Kind: meta.Float, Class: platform.Double},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := meta.Build("Mixed", p, []meta.FieldDef{
+			{Name: "id", Kind: meta.Integer, Class: platform.Int},
+			{Name: "tag", Kind: meta.String},
+			{Name: "flags", Kind: meta.Boolean, Class: platform.Bool},
+			{Name: "n", Kind: meta.Integer, Class: platform.Int},
+			{Name: "vals", Kind: meta.Float, Class: platform.Float, LengthField: "n"},
+			{Name: "grid", Kind: meta.Integer, Class: platform.Short, StaticDim: 4},
+			{Name: "origin", Kind: meta.Struct, Sub: inner},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := FromFormat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.TypeByName("Point") == nil {
+			t.Fatal("nested type not emitted")
+		}
+		if s.Types[len(s.Types)-1].Name != "Mixed" {
+			t.Error("dependencies must come first")
+		}
+		// The schema text must re-parse cleanly.
+		if _, err := ParseString(s.String()); err != nil {
+			t.Fatalf("%s: re-parse: %v\n%s", p, err, s.String())
+		}
+		ct := s.TypeByName("Mixed")
+		byName := map[string]*ElementDecl{}
+		for _, el := range ct.Elements {
+			byName[el.Name] = el
+		}
+		for name, el := range byName {
+			if el.Builtin == "" {
+				continue
+			}
+			k, cl, err := BuiltinMapping(el.Builtin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := f.FieldByName(name)
+			fl := f.Fields[i]
+			wantKind := fl.Kind
+			// Char and Enum have no exact builtin; they map to
+			// integer flavours.
+			if wantKind == meta.Char {
+				wantKind = meta.Integer
+			}
+			if wantKind == meta.Enum {
+				wantKind = meta.Unsigned
+			}
+			if k != wantKind {
+				t.Errorf("%s: field %s kind %v -> %v", p, name, fl.Kind, k)
+			}
+			if fl.Kind != meta.String && p.SizeOf(cl) != fl.Size {
+				t.Errorf("%s: field %s size %d -> %d", p, name, fl.Size, p.SizeOf(cl))
+			}
+		}
+	}
+}
+
+func TestFromFormatUnrepresentable(t *testing.T) {
+	// An 8-byte integer on sparc32 has no C type among the builtins
+	// (long is 4 there) — FromFormat must say so rather than lie.
+	f, err := meta.Build("Wide", platform.Sparc32, []meta.FieldDef{
+		{Name: "v", Kind: meta.Integer, Class: platform.Int, ExplicitSize: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromFormat(f); err == nil {
+		t.Error("unrepresentable width should error")
+	}
+}
+
+func TestSchemaStringContainsPaperStyle(t *testing.T) {
+	s, _ := ParseString(simpleDataSchema)
+	text := s.String()
+	for _, want := range []string{
+		`complexType name="SimpleData"`,
+		`maxOccurs="*"`,
+		`dimensionName="size"`,
+		`dimensionPlacement="before"`,
+		`type="xsd:float"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("schema text missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `name="size"`) {
+		t.Errorf("synthesized element must not be written out:\n%s", text)
+	}
+}
+
+// TestAnnotations: documentation survives parse and write.
+func TestAnnotations(t *testing.T) {
+	schema := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+	  <xsd:simpleType name="Phase">
+	    <xsd:annotation><xsd:documentation>Physical phase of the sample.</xsd:documentation></xsd:annotation>
+	    <xsd:restriction base="xsd:string"><xsd:enumeration value="solid"/></xsd:restriction>
+	  </xsd:simpleType>
+	  <xsd:complexType name="Reading">
+	    <xsd:annotation><xsd:documentation>One instrument reading.</xsd:documentation></xsd:annotation>
+	    <xsd:element name="value" type="xsd:double">
+	      <xsd:annotation><xsd:documentation>Measured value in SI units.</xsd:documentation></xsd:annotation>
+	    </xsd:element>
+	  </xsd:complexType>
+	</xsd:schema>`
+	s, err := ParseString(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.TypeByName("Reading")
+	if ct.Doc != "One instrument reading." {
+		t.Errorf("type doc = %q", ct.Doc)
+	}
+	if ct.Elements[0].Doc != "Measured value in SI units." {
+		t.Errorf("element doc = %q", ct.Elements[0].Doc)
+	}
+	if s.EnumByName("Phase").Doc != "Physical phase of the sample." {
+		t.Errorf("enum doc = %q", s.EnumByName("Phase").Doc)
+	}
+	// Docs survive a write/parse round trip.
+	s2, err := ParseString(s.String())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, s.String())
+	}
+	if s2.TypeByName("Reading").Doc != ct.Doc || s2.TypeByName("Reading").Elements[0].Doc != ct.Elements[0].Doc {
+		t.Errorf("docs lost in round trip:\n%s", s.String())
+	}
+}
