@@ -2,31 +2,51 @@
 // that maps content-derived format IDs to format metadata, enabling the
 // out-of-band discovery mode (see internal/fmtserver for the protocol).
 //
+// With -metrics, an HTTP endpoint serves the registry's registration and
+// resolution counters at /metrics (plain text, or JSON with ?format=json).
+//
 // Usage:
 //
-//	fmtserver -addr 127.0.0.1:8701
+//	fmtserver -addr 127.0.0.1:8701 -metrics 127.0.0.1:8702
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"github.com/open-metadata/xmit/internal/fmtserver"
+	"github.com/open-metadata/xmit/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
+	metricsAddr := flag.String("metrics", "", "serve /metrics on this HTTP address (empty: disabled)")
 	flag.Parse()
 
-	srv := fmtserver.NewServer(nil)
+	reg := fmtserver.NewRegistry()
+	metrics := obs.Default()
+	reg.PublishMetrics(metrics, "fmtserver")
+	obs.PublishExpvar("fmtserver", metrics)
+
+	srv := fmtserver.NewServer(reg)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("fmtserver: %v", err)
 	}
 	fmt.Printf("fmtserver: listening on %s\n", bound)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		go func() {
+			fmt.Printf("fmtserver: metrics on http://%s/metrics\n", *metricsAddr)
+			log.Fatal(http.ListenAndServe(*metricsAddr, mux))
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -11,21 +11,39 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"github.com/open-metadata/xmit/internal/bench"
+	"github.com/open-metadata/xmit/internal/obs"
 )
 
 func main() {
 	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", or "all"`)
 	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
+	metricsAddr := flag.String("metrics", "", "serve the process obs registry at /metrics on this HTTP address while running (empty: disabled)")
+	stats := flag.Bool("stats", false, "dump the process obs registry as JSON to stderr after the run")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default().Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "xmitbench: metrics:", err)
+			}
+		}()
+	}
 
 	opts := bench.DefaultOptions()
 	if *quick {
 		opts = bench.QuickOptions()
 	}
-	if err := run(*fig, opts); err != nil {
+	err := run(*fig, opts)
+	if *stats {
+		obs.Default().WriteJSON(os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "xmitbench:", err)
 		os.Exit(1)
 	}

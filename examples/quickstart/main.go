@@ -2,18 +2,28 @@
 // XMIT toolkit, translate it to native binary metadata, and exchange a
 // message — the whole decomposition (discovery, binding, marshaling) in one
 // file.
+//
+// By default the schema is inline.  With -url, the same schema is
+// discovered remotely (run `mdserver` and point -url at its
+// /quickstart.xsd), exercising the cached, retrying, coalescing fetch path
+// and its metrics; with -fmtserver, the translated format is also
+// registered with a running format server so its /metrics endpoint shows
+// the registration.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/open-metadata/xmit/internal/core"
+	"github.com/open-metadata/xmit/internal/fmtserver"
 	"github.com/open-metadata/xmit/internal/pbio"
 )
 
 // The metadata lives outside the program — here an inline document, but a
-// URL works identically (see examples/hydrology).
+// URL works identically (see -url and examples/hydrology).
 const schema = `<?xml version="1.0"?>
 <xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
   <xsd:complexType name="Reading">
@@ -36,10 +46,25 @@ type Reading struct {
 }
 
 func main() {
+	url := flag.String("url", "", "discover the schema from this URL instead of the inline document (e.g. http://127.0.0.1:8700/quickstart.xsd)")
+	fmtsrv := flag.String("fmtserver", "", "also register the format with the format server at this address (e.g. 127.0.0.1:8701)")
+	showMetrics := flag.Bool("metrics", false, "print the toolkit's discovery/registration metrics before exiting")
+	flag.Parse()
+
 	// 1. Discovery: load the metadata document.
 	tk := core.NewToolkit()
-	names, err := tk.LoadString(schema)
-	if err != nil {
+	var names []string
+	var err error
+	if *url != "" {
+		if names, err = tk.LoadURL(*url); err != nil {
+			log.Fatal(err)
+		}
+		// Load again: the second pass is served from the repository cache,
+		// which the discovery_cache_hit_total metric records.
+		if _, err = tk.LoadURL(*url); err != nil {
+			log.Fatal(err)
+		}
+	} else if names, err = tk.LoadString(schema); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("discovered formats:", names)
@@ -52,6 +77,16 @@ func main() {
 	}
 	fmt.Printf("registered %q: %d-byte native layout, format ID %s\n",
 		tok.TypeName, tok.Format.Size, tok.ID)
+
+	if *fmtsrv != "" {
+		client := fmtserver.NewClient(*fmtsrv)
+		id, err := client.Register(tok.Format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client.Close()
+		fmt.Printf("registered with format server %s as %s\n", *fmtsrv, id)
+	}
 
 	binding, err := ctx.Bind(tok.Format, &Reading{})
 	if err != nil {
@@ -85,4 +120,9 @@ func main() {
 	temp, _ := rec.Get("temperature")
 	n, _ := rec.Get("nsamples")
 	fmt.Printf("as a dynamic record: temperature=%v, nsamples=%v\n", temp, n)
+
+	if *showMetrics {
+		fmt.Println("-- metrics --")
+		tk.Metrics().WriteText(os.Stdout)
+	}
 }

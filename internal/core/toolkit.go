@@ -21,9 +21,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/open-metadata/xmit/internal/discovery"
 	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/obs"
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/platform"
 	"github.com/open-metadata/xmit/internal/xsd"
@@ -33,7 +35,12 @@ import (
 // translators that turn it into native BCM metadata.  A Toolkit is safe for
 // concurrent use.
 type Toolkit struct {
-	repo *discovery.Repository
+	repo    *discovery.Repository
+	metrics *obs.Registry
+
+	loadNS      *obs.Histogram // core_load_ns: LoadURL latency (fetch + parse + install)
+	translateNS *obs.Histogram // core_translate_ns: XML type -> native metadata
+	registerNS  *obs.Histogram // core_register_ns: native registration with the BCM
 
 	mu        sync.RWMutex
 	types     map[string]*xsd.ComplexType
@@ -52,10 +59,16 @@ func WithRepository(r *discovery.Repository) Option {
 	return func(t *Toolkit) { t.repo = r }
 }
 
+// WithMetrics directs the toolkit's load/registration timings into reg
+// instead of the process-wide obs.Default() registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(t *Toolkit) { t.metrics = reg }
+}
+
 // NewToolkit creates an empty toolkit.
 func NewToolkit(opts ...Option) *Toolkit {
 	t := &Toolkit{
-		repo:     discovery.NewRepository(),
+		metrics:  obs.Default(),
 		types:    make(map[string]*xsd.ComplexType),
 		enums:    make(map[string]*xsd.EnumType),
 		sourceOf: make(map[string]string),
@@ -63,8 +76,29 @@ func NewToolkit(opts ...Option) *Toolkit {
 	for _, o := range opts {
 		o(t)
 	}
+	if t.repo == nil {
+		t.repo = discovery.NewRepository(discovery.WithMetricsRegistry(t.metrics))
+	}
+	m := t.metrics
+	t.loadNS = m.Histogram("core_load_ns")
+	t.translateNS = m.Histogram("core_translate_ns")
+	t.registerNS = m.Histogram("core_register_ns")
+	// The registration-time share of the RDM: how many times more an
+	// XML-discovered registration (translate + native register) costs than
+	// a compiled-in one (native register alone).  The fetch share lives in
+	// the repository's discovery_rdm gauge.
+	m.RegisterFunc("core_register_multiplier", func() float64 {
+		reg := t.registerNS.Mean()
+		if reg == 0 {
+			return 0
+		}
+		return (t.translateNS.Mean() + reg) / reg
+	})
 	return t
 }
+
+// Metrics returns the registry the toolkit reports into.
+func (t *Toolkit) Metrics() *obs.Registry { return t.metrics }
 
 // LoadURL retrieves the XML document at the URL (http://, https://, file://
 // or a bare path) and loads its message definitions, returning the names of
@@ -72,7 +106,13 @@ func NewToolkit(opts ...Option) *Toolkit {
 // to the document's URL and loaded first (cycles are tolerated: each
 // document loads once).
 func (t *Toolkit) LoadURL(url string) ([]string, error) {
-	return t.loadURL(url, map[string]bool{})
+	start := time.Now()
+	names, err := t.loadURL(url, map[string]bool{})
+	if err == nil {
+		t.loadNS.Observe(time.Since(start))
+		t.metrics.Counter("core_load_total").Inc()
+	}
+	return names, err
 }
 
 func (t *Toolkit) loadURL(url string, visited map[string]bool) ([]string, error) {
@@ -334,14 +374,19 @@ type BindingToken struct {
 // the operation whose cost, relative to compiled-in registration, defines
 // the paper's Remote Discovery Multiplier.
 func (t *Toolkit) Register(typeName string, ctx *pbio.Context) (*BindingToken, error) {
+	start := time.Now()
 	f, err := t.GenerateFormat(typeName, ctx.Platform())
 	if err != nil {
 		return nil, err
 	}
+	t.translateNS.Observe(time.Since(start))
+	start = time.Now()
 	id, err := ctx.RegisterFormat(f)
 	if err != nil {
 		return nil, err
 	}
+	t.registerNS.Observe(time.Since(start))
+	t.metrics.Counter("core_register_total").Inc()
 	return &BindingToken{TypeName: typeName, Format: f, ID: id}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/open-metadata/xmit/internal/discovery"
+	"github.com/open-metadata/xmit/internal/obs"
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/platform"
 )
@@ -660,5 +661,44 @@ func TestGenerateGoDocs(t *testing.T) {
 		if !strings.Contains(string(src), want) {
 			t.Errorf("generated source missing %q:\n%s", want, src)
 		}
+	}
+}
+
+// TestToolkitMetrics: toolkit loads and registrations report timings into
+// the configured obs registry, including the registration-time multiplier.
+func TestToolkitMetrics(t *testing.T) {
+	srv := discovery.NewDocServer()
+	srv.Publish("hydro.xsd", []byte(hydroSchemas))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	m := obs.NewRegistry()
+	tk := NewToolkit(WithMetrics(m))
+	if _, err := tk.LoadURL(ts.URL + "/hydro.xsd"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := pbio.NewContext()
+	if _, err := tk.Register("SimpleData", ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]float64{
+		"core_load_total":     1,
+		"core_register_total": 1,
+		"core_load_ns":        1, // histogram Value() is its count
+		"core_translate_ns":   1,
+		"core_register_ns":    1,
+		// The toolkit's repository shares the registry, so the discovery
+		// counters land here too.
+		"discovery_fetch_total": 1,
+	} {
+		if got, ok := m.Value(name); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	// XML-discovered registration = translate + native register, so the
+	// multiplier is necessarily > 1 once both histograms have samples.
+	if got, ok := m.Value("core_register_multiplier"); !ok || got <= 1 {
+		t.Errorf("core_register_multiplier = %v (ok=%v), want > 1", got, ok)
 	}
 }

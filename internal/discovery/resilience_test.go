@@ -1,0 +1,332 @@
+package discovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/obs"
+)
+
+// value reads a metric from the registry, defaulting to 0 when absent.
+func value(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	v, _ := reg.Value(name)
+	return v
+}
+
+// TestSingleflightColdFetch proves the thundering-herd property: N
+// parallel cold fetches of one URL hit the origin exactly once, and every
+// caller gets the document.
+func TestSingleflightColdFetch(t *testing.T) {
+	var originHits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		originHits.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the coalescing window
+		fmt.Fprint(w, doc1)
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	repo := NewRepository(WithMetricsRegistry(reg))
+	url := ts.URL + "/a.xsd"
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	docs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			docs[i], errs[i] = repo.Fetch(url)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("fetch %d: %v", i, errs[i])
+		}
+		if string(docs[i]) != doc1 {
+			t.Fatalf("fetch %d returned %q", i, docs[i])
+		}
+	}
+	if hits := originHits.Load(); hits != 1 {
+		t.Errorf("origin saw %d requests, want exactly 1 (singleflight)", hits)
+	}
+	if got := value(t, reg, "discovery_coalesced_total"); got != n-1 {
+		t.Errorf("discovery_coalesced_total = %v, want %d", got, n-1)
+	}
+	if got := value(t, reg, "discovery_cache_miss_total"); got != n {
+		t.Errorf("discovery_cache_miss_total = %v, want %d", got, n)
+	}
+
+	// A subsequent fetch is a pure cache hit: no new origin traffic.
+	if _, err := repo.Fetch(url); err != nil {
+		t.Fatal(err)
+	}
+	if hits := originHits.Load(); hits != 1 {
+		t.Errorf("cache hit went to origin (%d requests)", hits)
+	}
+	if got := value(t, reg, "discovery_cache_hit_total"); got != 1 {
+		t.Errorf("discovery_cache_hit_total = %v, want 1", got)
+	}
+}
+
+// TestRetryFlakyOrigin proves a fail-twice-then-succeed origin is absorbed
+// by retry/backoff: the caller sees success, the counters see the retries.
+func TestRetryFlakyOrigin(t *testing.T) {
+	var originHits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if originHits.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, doc1)
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	repo := NewRepository(WithMetricsRegistry(reg), WithRetry(3, time.Millisecond))
+	data, err := repo.Fetch(ts.URL + "/a.xsd")
+	if err != nil {
+		t.Fatalf("flaky origin not absorbed: %v", err)
+	}
+	if string(data) != doc1 {
+		t.Errorf("fetched %q", data)
+	}
+	if hits := originHits.Load(); hits != 3 {
+		t.Errorf("origin saw %d requests, want 3", hits)
+	}
+	if got := value(t, reg, "discovery_retry_total"); got != 2 {
+		t.Errorf("discovery_retry_total = %v, want 2", got)
+	}
+	if got := value(t, reg, "discovery_origin_error_total"); got != 2 {
+		t.Errorf("discovery_origin_error_total = %v, want 2", got)
+	}
+}
+
+// TestRetryExhausted proves a persistently failing origin surfaces an
+// error once the attempt budget is spent (no cached copy to fall back on).
+func TestRetryExhausted(t *testing.T) {
+	var originHits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		originHits.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	repo := NewRepository(WithMetricsRegistry(obs.NewRegistry()), WithRetry(3, time.Millisecond))
+	if _, err := repo.Fetch(ts.URL + "/a.xsd"); err == nil {
+		t.Fatal("exhausted retries should surface an error")
+	}
+	if hits := originHits.Load(); hits != 3 {
+		t.Errorf("origin saw %d requests, want 3 (attempt budget)", hits)
+	}
+}
+
+// TestNoRetryOnPermanentError proves 4xx responses are not retried.
+func TestNoRetryOnPermanentError(t *testing.T) {
+	var originHits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		originHits.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	repo := NewRepository(WithMetricsRegistry(obs.NewRegistry()), WithRetry(5, time.Millisecond))
+	if _, err := repo.Fetch(ts.URL + "/a.xsd"); err == nil {
+		t.Fatal("404 should surface as error")
+	}
+	if hits := originHits.Load(); hits != 1 {
+		t.Errorf("origin saw %d requests, want 1 (404 is permanent)", hits)
+	}
+}
+
+// TestMaxAgeRevalidation proves the WithMaxAge TTL: a stale entry is
+// revalidated with a conditional GET (304 when unchanged, new body when
+// changed), and a fresh entry never touches the origin.
+func TestMaxAgeRevalidation(t *testing.T) {
+	srv := NewDocServer()
+	srv.Publish("a.xsd", []byte(doc1))
+	var originHits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		originHits.Add(1)
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	repo := NewRepository(WithMetricsRegistry(reg), WithMaxAge(30*time.Millisecond))
+	url := ts.URL + "/a.xsd"
+
+	if _, err := repo.Fetch(url); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL: pure cache hit.
+	if _, err := repo.Fetch(url); err != nil {
+		t.Fatal(err)
+	}
+	if hits := originHits.Load(); hits != 1 {
+		t.Errorf("fresh entry went to origin (%d requests)", hits)
+	}
+
+	// Past the TTL, unchanged document: conditional GET answered 304.
+	time.Sleep(40 * time.Millisecond)
+	data, err := repo.Fetch(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != doc1 {
+		t.Errorf("revalidated fetch = %q", data)
+	}
+	if hits := originHits.Load(); hits != 2 {
+		t.Errorf("TTL expiry should revalidate once (origin saw %d)", hits)
+	}
+	if got := value(t, reg, "discovery_not_modified_total"); got != 1 {
+		t.Errorf("discovery_not_modified_total = %v, want 1", got)
+	}
+	if got := value(t, reg, "discovery_ttl_expired_total"); got != 1 {
+		t.Errorf("discovery_ttl_expired_total = %v, want 1", got)
+	}
+
+	// The 304 renewed the entry's age: an immediate fetch is a hit again.
+	if _, err := repo.Fetch(url); err != nil {
+		t.Fatal(err)
+	}
+	if hits := originHits.Load(); hits != 2 {
+		t.Errorf("revalidation did not renew TTL (origin saw %d)", hits)
+	}
+
+	// Past the TTL with a changed document: the new body comes back.
+	srv.Publish("a.xsd", []byte(doc2))
+	time.Sleep(40 * time.Millisecond)
+	data, err = repo.Fetch(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != doc2 {
+		t.Errorf("changed document not picked up: %q", data)
+	}
+}
+
+// TestRefreshRevalidation covers the three Refresh outcomes against an
+// ETag/Last-Modified origin: 304 (unchanged), changed body, and an origin
+// failure falling back to the cached copy.
+func TestRefreshRevalidation(t *testing.T) {
+	srv := NewDocServer()
+	srv.Publish("a.xsd", []byte(doc1))
+	var failing atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "origin down", http.StatusBadGateway)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	repo := NewRepository(WithMetricsRegistry(reg), WithRetry(2, time.Millisecond))
+	url := ts.URL + "/a.xsd"
+	if _, err := repo.Fetch(url); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Unchanged: the conditional GET comes back 304, changed=false.
+	data, changed, err := repo.Refresh(url)
+	if err != nil || changed || string(data) != doc1 {
+		t.Fatalf("unchanged refresh: data=%q changed=%v err=%v", data, changed, err)
+	}
+	if got := value(t, reg, "discovery_not_modified_total"); got != 1 {
+		t.Errorf("discovery_not_modified_total = %v, want 1", got)
+	}
+
+	// 2. Changed body: changed=true with the new contents.
+	srv.Publish("a.xsd", []byte(doc2))
+	data, changed, err = repo.Refresh(url)
+	if err != nil || !changed || string(data) != doc2 {
+		t.Fatalf("changed refresh: data=%q changed=%v err=%v", data, changed, err)
+	}
+
+	// 3. Origin down: the cached copy comes back, flagged ErrStale so a
+	// revalidation loop can report the outage.
+	failing.Store(true)
+	data, changed, err = repo.Refresh(url)
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("origin failure should return ErrStale, got %v", err)
+	}
+	if changed || string(data) != doc2 {
+		t.Errorf("stale fallback: data=%q changed=%v", data, changed)
+	}
+	if got := value(t, reg, "discovery_stale_served_total"); got != 1 {
+		t.Errorf("discovery_stale_served_total = %v, want 1", got)
+	}
+
+	// Fetch absorbs the stale condition: cached registrations still work.
+	if data, err := repo.Fetch(url); err != nil || string(data) != doc2 {
+		t.Errorf("Fetch during outage: data=%q err=%v", data, err)
+	}
+
+	// Recovery: once the origin is back, refresh works normally again.
+	failing.Store(false)
+	if _, _, err := repo.Refresh(url); err != nil {
+		t.Fatalf("refresh after recovery: %v", err)
+	}
+}
+
+// TestFetchContextCancel proves cancellation cuts a fetch short, including
+// its retry backoff, without burning the whole attempt budget.
+func TestFetchContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	repo := NewRepository(WithMetricsRegistry(obs.NewRegistry()), WithRetry(10, time.Hour))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := repo.FetchContext(ctx, ts.URL+"/a.xsd"); err == nil {
+		t.Fatal("canceled fetch should error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; backoff ignored the context", elapsed)
+	}
+}
+
+// TestPerURLCounters spot-checks the labeled per-URL metrics.
+func TestPerURLCounters(t *testing.T) {
+	srv := NewDocServer()
+	srv.Publish("a.xsd", []byte(doc1))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	repo := NewRepository(WithMetricsRegistry(reg))
+	url := ts.URL + "/a.xsd"
+	repo.Fetch(url)
+	repo.Fetch(url)
+	repo.Refresh(url)
+
+	if got := value(t, reg, fmt.Sprintf("discovery_url_fetch_total{url=%q}", url)); got != 1 {
+		t.Errorf("per-URL fetch counter = %v, want 1", got)
+	}
+	if got := value(t, reg, fmt.Sprintf("discovery_url_hit_total{url=%q}", url)); got != 1 {
+		t.Errorf("per-URL hit counter = %v, want 1", got)
+	}
+	if got := value(t, reg, fmt.Sprintf("discovery_url_revalidate_total{url=%q}", url)); got != 1 {
+		t.Errorf("per-URL revalidate counter = %v, want 1", got)
+	}
+	// The RDM gauge has both a fetch and a hit sample, so it reports > 0.
+	if got := value(t, reg, "discovery_rdm"); got <= 0 {
+		t.Errorf("discovery_rdm = %v, want > 0", got)
+	}
+}

@@ -1,0 +1,45 @@
+package discovery
+
+import "sync"
+
+// flightGroup coalesces concurrent refreshes of the same URL into one
+// origin fetch, so a thundering herd of components registering the same
+// schema at startup costs the origin a single request.  This is a minimal
+// in-tree singleflight: no external dependency, and results are never
+// retained past the call.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	data    []byte
+	changed bool
+	err     error
+}
+
+// do invokes fn for key, unless a call for key is already in flight, in
+// which case it waits for and shares that call's results.  shared reports
+// whether the result came from another caller's fetch.
+func (g *flightGroup) do(key string, fn func() ([]byte, bool, error)) (data []byte, changed, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.data, c.changed, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.data, c.changed, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.data, c.changed, false, c.err
+}

@@ -15,8 +15,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/obs"
 )
 
 // Registry is the server-side store: canonical metadata keyed by format ID.
@@ -25,6 +27,19 @@ import (
 type Registry struct {
 	mu   sync.RWMutex
 	byID map[meta.FormatID][]byte
+
+	stats RegistryStats
+}
+
+// RegistryStats counts registry traffic; as a service's format catalogue
+// this is shared infrastructure whose load must be observable.  All fields
+// are atomics; read them via Stats or export them with PublishMetrics.
+type RegistryStats struct {
+	Registrations    atomic.Int64 // register calls (including repeats)
+	RegistrationsNew atomic.Int64 // registrations that stored a new format
+	RegisterErrors   atomic.Int64 // registrations rejected as invalid
+	Lookups          atomic.Int64 // lookup/resolve calls
+	LookupMisses     atomic.Int64 // lookups of unknown IDs
 }
 
 // NewRegistry creates an empty registry.
@@ -32,11 +47,43 @@ func NewRegistry() *Registry {
 	return &Registry{byID: make(map[meta.FormatID][]byte)}
 }
 
+// Stats returns a snapshot of the registry's traffic counters as plain
+// values: registrations, new registrations, rejected registrations,
+// lookups, and lookup misses.
+func (r *Registry) Stats() (registrations, registrationsNew, registerErrors, lookups, lookupMisses int64) {
+	return r.stats.Registrations.Load(),
+		r.stats.RegistrationsNew.Load(),
+		r.stats.RegisterErrors.Load(),
+		r.stats.Lookups.Load(),
+		r.stats.LookupMisses.Load()
+}
+
+// PublishMetrics registers the registry's live counters, plus a gauge of
+// the number of stored formats, in an obs registry under the given prefix
+// (e.g. "fmtserver").
+func (r *Registry) PublishMetrics(reg *obs.Registry, prefix string) {
+	read := func(v *atomic.Int64) obs.Func {
+		return func() float64 { return float64(v.Load()) }
+	}
+	reg.RegisterFunc(prefix+"_register_total", read(&r.stats.Registrations))
+	reg.RegisterFunc(prefix+"_register_new_total", read(&r.stats.RegistrationsNew))
+	reg.RegisterFunc(prefix+"_register_error_total", read(&r.stats.RegisterErrors))
+	reg.RegisterFunc(prefix+"_lookup_total", read(&r.stats.Lookups))
+	reg.RegisterFunc(prefix+"_lookup_miss_total", read(&r.stats.LookupMisses))
+	reg.RegisterFunc(prefix+"_formats", func() float64 {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		return float64(len(r.byID))
+	})
+}
+
 // RegisterCanonical validates canonical format bytes and stores them,
 // returning the format's ID.  Registration is idempotent.
 func (r *Registry) RegisterCanonical(data []byte) (meta.FormatID, error) {
+	r.stats.Registrations.Add(1)
 	f, err := meta.ParseCanonical(data)
 	if err != nil {
+		r.stats.RegisterErrors.Add(1)
 		return 0, err
 	}
 	id := f.ID()
@@ -44,6 +91,7 @@ func (r *Registry) RegisterCanonical(data []byte) (meta.FormatID, error) {
 	defer r.mu.Unlock()
 	if _, ok := r.byID[id]; !ok {
 		r.byID[id] = append([]byte(nil), data...)
+		r.stats.RegistrationsNew.Add(1)
 	}
 	return id, nil
 }
@@ -55,9 +103,13 @@ func (r *Registry) Register(f *meta.Format) (meta.FormatID, error) {
 
 // LookupCanonical returns the canonical bytes for an ID.
 func (r *Registry) LookupCanonical(id meta.FormatID) ([]byte, bool) {
+	r.stats.Lookups.Add(1)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	data, ok := r.byID[id]
+	if !ok {
+		r.stats.LookupMisses.Add(1)
+	}
 	return data, ok
 }
 

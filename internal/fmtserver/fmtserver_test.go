@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/obs"
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/platform"
 )
@@ -257,5 +258,48 @@ func TestProtocolErrors(t *testing.T) {
 	}
 	if status != statusError {
 		t.Errorf("bad register: status %d", status)
+	}
+}
+
+// TestRegistryMetrics: registrations and resolutions are counted and
+// exported through an obs registry.
+func TestRegistryMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := obs.NewRegistry()
+	reg.PublishMetrics(m, "fmtserver")
+
+	f := sampleFormat(t)
+	id, err := reg.Register(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(f); err != nil { // repeat: counted, not stored
+		t.Fatal(err)
+	}
+	if _, err := reg.RegisterCanonical([]byte("junk")); err == nil {
+		t.Fatal("junk registration should fail")
+	}
+	if _, err := reg.ResolveFormat(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.LookupCanonical(id + 1); ok {
+		t.Fatal("bogus ID should miss")
+	}
+
+	for name, want := range map[string]float64{
+		"fmtserver_register_total":       3,
+		"fmtserver_register_new_total":   1,
+		"fmtserver_register_error_total": 1,
+		"fmtserver_lookup_total":         2,
+		"fmtserver_lookup_miss_total":    1,
+		"fmtserver_formats":              1,
+	} {
+		if got, ok := m.Value(name); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	regs, regsNew, regErrs, lookups, misses := reg.Stats()
+	if regs != 3 || regsNew != 1 || regErrs != 1 || lookups != 2 || misses != 1 {
+		t.Errorf("Stats() = %d %d %d %d %d", regs, regsNew, regErrs, lookups, misses)
 	}
 }

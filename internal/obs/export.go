@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// jsonValue renders the registry as a plain map, the shape both the JSON
+// export and the expvar publication share.  Histograms become objects with
+// their aggregate statistics; everything else is a number.
+func (r *Registry) jsonValue() map[string]any {
+	out := make(map[string]any)
+	r.Each(func(name string, m any) {
+		switch m := m.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			s := m.Snapshot()
+			out[name] = map[string]any{
+				"count":   s.Count,
+				"sum_ns":  s.Sum,
+				"max_ns":  s.Max,
+				"mean_ns": s.Mean,
+				"p50_ns":  s.P50,
+				"p90_ns":  s.P90,
+				"p99_ns":  s.P99,
+			}
+		case Func:
+			out[name] = m()
+		}
+	})
+	return out
+}
+
+// WriteJSON writes the registry as a single JSON object, expvar style:
+// metric names map to numbers, histograms to {count, sum_ns, mean_ns, ...}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.jsonValue())
+}
+
+// WriteText writes the registry in a flat, line-oriented text form
+// (`name value`, one metric per line, names sorted) — the format the
+// /metrics endpoint serves by default.  Histograms expand to _count, _sum_ns,
+// _mean_ns, _p50_ns, _p90_ns, _p99_ns, and _max_ns lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.Each(func(name string, m any) {
+		switch m := m.(type) {
+		case *Counter:
+			p("%s %d\n", name, m.Value())
+		case *Gauge:
+			p("%s %d\n", name, m.Value())
+		case *Histogram:
+			s := m.Snapshot()
+			p("%s_count %d\n", name, s.Count)
+			p("%s_sum_ns %d\n", name, s.Sum)
+			p("%s_mean_ns %g\n", name, s.Mean)
+			p("%s_p50_ns %g\n", name, s.P50)
+			p("%s_p90_ns %g\n", name, s.P90)
+			p("%s_p99_ns %g\n", name, s.P99)
+			p("%s_max_ns %d\n", name, s.Max)
+		case Func:
+			p("%s %g\n", name, m())
+		}
+	})
+	return err
+}
+
+// Handler returns an http.Handler serving the registry: plain text by
+// default, JSON when the request has ?format=json or an Accept header
+// preferring application/json.  Mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		asJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if asJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if req.Method == http.MethodHead {
+				return
+			}
+			r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WriteText(w)
+	})
+}

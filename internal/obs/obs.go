@@ -1,0 +1,197 @@
+// Package obs is a dependency-free observability core for the metadata
+// path: atomic counters and gauges, nanosecond-resolution latency
+// histograms, and named registries that export themselves as expvar-style
+// JSON or a plain-text /metrics HTTP endpoint.
+//
+// The package exists because the paper's central quantitative claim — that
+// XML metadata costs only a bounded registration-time factor (the Remote
+// Discovery Multiplier, §4) — is a claim about production behaviour, and a
+// production service must be able to report the measured value, not just
+// reproduce it in a benchmark harness.  Every metric here is lock-free on
+// the hot path (a single atomic add), so instrumentation never perturbs
+// what it measures.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that may go up or down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Func is a metric whose value is computed on demand — the way to expose a
+// ratio (like the Remote Discovery Multiplier) or an externally owned
+// atomic counter without copying it into the registry.
+type Func func() float64
+
+// Registry is a named collection of metrics.  Metric creation is
+// get-or-create and safe for concurrent use; reads of metric values are
+// lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // *Counter | *Gauge | *Histogram | Func
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+var (
+	namedMu sync.Mutex
+	named   = make(map[string]*Registry)
+)
+
+// Named returns the process-wide registry with the given name, creating it
+// on first use.  Named registries let independent subsystems (discovery,
+// transport, a server main) share one export surface without plumbing a
+// *Registry through every constructor.
+func Named(name string) *Registry {
+	namedMu.Lock()
+	defer namedMu.Unlock()
+	r, ok := named[name]
+	if !ok {
+		r = NewRegistry()
+		named[name] = r
+	}
+	return r
+}
+
+// Default returns the default process-wide registry.
+func Default() *Registry { return Named("default") }
+
+// get returns the metric stored under name, creating it with mk when
+// absent.  A name registered with a different metric type panics: that is
+// a programming error, not a runtime condition.
+func (r *Registry) get(name string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.get(name, func() any { return new(Counter) })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is %T, not a counter", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.get(name, func() any { return new(Gauge) })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is %T, not a gauge", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	m := r.get(name, func() any { return new(Histogram) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is %T, not a histogram", name, m))
+	}
+	return h
+}
+
+// RegisterFunc installs (or replaces) a computed metric.
+func (r *Registry) RegisterFunc(name string, fn Func) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = fn
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Each calls fn for every metric in name order.  The metric is one of
+// *Counter, *Gauge, *Histogram, or Func.
+func (r *Registry) Each(fn func(name string, metric any)) {
+	names := r.Names()
+	for _, n := range names {
+		r.mu.Lock()
+		m := r.metrics[n]
+		r.mu.Unlock()
+		if m != nil {
+			fn(n, m)
+		}
+	}
+}
+
+// Value returns the scalar value of a counter, gauge, or func metric, or
+// the observation count of a histogram.  ok is false when the name is not
+// registered.  It exists for tests and programmatic health checks.
+func (r *Registry) Value(name string) (v float64, ok bool) {
+	r.mu.Lock()
+	m := r.metrics[name]
+	r.mu.Unlock()
+	switch m := m.(type) {
+	case *Counter:
+		return float64(m.Value()), true
+	case *Gauge:
+		return float64(m.Value()), true
+	case *Histogram:
+		return float64(m.Count()), true
+	case Func:
+		return m(), true
+	default:
+		return 0, false
+	}
+}
+
+// PublishExpvar publishes the registry under the given expvar name, so its
+// JSON appears on the standard /debug/vars page alongside the runtime's
+// own variables.  Publishing the same name twice panics (an expvar rule),
+// so call it once per process per registry.
+func PublishExpvar(name string, r *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return r.jsonValue() }))
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/open-metadata/xmit/internal/fmtserver"
+	"github.com/open-metadata/xmit/internal/obs"
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/platform"
 )
@@ -316,5 +317,50 @@ func TestStats(t *testing.T) {
 	}
 	if rs.MessagesSent != 0 || ss.MessagesReceived != 0 {
 		t.Errorf("idle directions should be zero: %+v %+v", ss, rs)
+	}
+}
+
+// TestPublishStats: the connection's counters surface through an obs
+// registry as live computed metrics.
+func TestPublishStats(t *testing.T) {
+	sctx, b := senderContext(t, platform.Sparc32)
+	rctx := pbio.NewContext()
+	cs, cr := Pipe(sctx, rctx)
+	defer cs.Close()
+	defer cr.Close()
+
+	reg := obs.NewRegistry()
+	cs.PublishStats(reg, "conn_tx")
+	cr.PublishStats(reg, "conn_rx")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			cs.Send(b, &SimpleData{Timestep: int32(i), Data: []float32{1}})
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		var out SimpleData
+		if _, err := cr.Recv(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+
+	for name, want := range map[string]float64{
+		"conn_tx_messages_sent":     3,
+		"conn_tx_formats_announced": 1,
+		"conn_rx_messages_received": 3,
+		"conn_rx_formats_learned":   1,
+	} {
+		if got, ok := reg.Value(name); !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	sent, _ := reg.Value("conn_tx_bytes_sent")
+	recv, _ := reg.Value("conn_rx_bytes_received")
+	if sent == 0 || sent != recv {
+		t.Errorf("bytes: sent %v received %v", sent, recv)
 	}
 }
