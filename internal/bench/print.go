@@ -68,6 +68,15 @@ func PrintFig1(w io.Writer, r *Fig1Result) {
 		ms(r.ModelBinaryNs), ms(r.ModelXMLNs), r.ModelRatio)
 }
 
+// PrintAllocs renders the steady-state allocation table.
+func PrintAllocs(w io.Writer, rows []AllocRow) {
+	fmt.Fprintf(w, "Steady-state hot path: heap allocations per message (pooled buffers, warm plans)\n")
+	fmt.Fprintf(w, "%-16s %-14s %14s %12s\n", "workload", "op", "ns/op", "allocs/op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-14s %14.1f %12.1f\n", r.Workload, r.Op, r.NsPerOp, r.AllocsPerOp)
+	}
+}
+
 // PrintExpansion renders the §4.1/§5 expansion table.
 func PrintExpansion(w io.Writer, rows []ExpansionRow) {
 	fmt.Fprintf(w, "XML wire-format expansion (paper: ~3x for SimpleData, 6-8x for field-rich records)\n")

@@ -1,0 +1,199 @@
+package pbio
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestEncodeDecodeAllocFree pins the tentpole guarantee: once a binding and
+// decode plan are warm and the caller reuses its buffers, the PBIO hot path
+// performs zero heap allocations per message on a mixed workload (scalars,
+// strings, static and dynamic arrays, nested structs).
+func TestEncodeDecodeAllocFree(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	f, err := c.RegisterFields("kitchen", kitchenFields(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kitchenValue()
+	b, err := c.Bind(f, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm: compile the plan, size the reusable buffers, populate out's
+	// slices and strings.
+	var dst []byte
+	if dst, err = b.EncodeTo(dst, &in); err != nil {
+		t.Fatal(err)
+	}
+	body, err := b.EncodeBody(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out kitchenSink
+	if err := c.DecodeBody(f, body, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkKitchen(t, "warmup", out)
+
+	if n := testing.AllocsPerRun(200, func() {
+		var err error
+		if dst, err = b.EncodeTo(dst, &in); err != nil {
+			t.Error(err)
+		}
+	}); n != 0 {
+		t.Errorf("EncodeTo: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := b.EncodedSize(&in); err != nil {
+			t.Error(err)
+		}
+	}); n != 0 {
+		t.Errorf("EncodedSize: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := c.DecodeBody(f, body, &out); err != nil {
+			t.Error(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeBody: %v allocs/op, want 0", n)
+	}
+	checkKitchen(t, "alloc-run", out)
+}
+
+// TestBufferPoolAllocFree checks the Get/Release cycle itself is free once
+// the pool is primed, and that oversized buffers are dropped.
+func TestBufferPoolAllocFree(t *testing.T) {
+	GetBuffer().Release()
+	if n := testing.AllocsPerRun(200, func() {
+		buf := GetBuffer()
+		buf.B = append(buf.B[:0], "payload"...)
+		buf.Release()
+	}); n != 0 {
+		t.Errorf("GetBuffer/Release: %v allocs/op, want 0", n)
+	}
+
+	big := &Buffer{B: make([]byte, maxPooledBuf+1)}
+	big.Release() // must not be retained
+	if got := GetBuffer(); cap(got.B) > maxPooledBuf {
+		t.Errorf("pool returned %d-byte buffer beyond cap %d", cap(got.B), maxPooledBuf)
+	}
+	PutBuffer(nil) // must not panic
+}
+
+// badFormat builds metadata whose dynamic array names a length field that
+// does not exist — the shape that crashed compileDecoder before validation
+// was enforced on every decode entry point.
+func badFormat() *meta.Format {
+	return &meta.Format{
+		Name: "bad",
+		Fields: []meta.Field{
+			{Name: "data", Kind: meta.Float, Size: 8, Offset: 0, LengthField: "missing"},
+		},
+		Size:        8,
+		Align:       8,
+		PointerSize: 8,
+	}
+}
+
+// TestMalformedFormatErrors pins the crash fix: a format with a dangling
+// LengthField reference — e.g. fetched from a hostile or buggy peer and
+// handed straight to a decode entry point — must yield an error, never a
+// panic, from every decode and registration path.
+func TestMalformedFormatErrors(t *testing.T) {
+	c := NewContext()
+	bad := badFormat()
+	body := make([]byte, bad.Size)
+
+	if _, err := c.RegisterFormat(bad); err == nil {
+		t.Error("RegisterFormat accepted a format with a dangling length field")
+	}
+	var out struct{ Data []float64 }
+	if err := c.DecodeBody(bad, body, &out); err == nil {
+		t.Error("DecodeBody accepted a format with a dangling length field")
+	}
+	if _, err := c.DecodeRecordBody(bad, body); err == nil {
+		t.Error("DecodeRecordBody accepted a format with a dangling length field")
+	}
+	if _, err := c.Bind(bad, &out); err == nil {
+		t.Error("Bind accepted a format with a dangling length field")
+	}
+	if err := c.DecodeBody(nil, body, &out); err == nil {
+		t.Error("DecodeBody accepted a nil format")
+	}
+}
+
+// TestConcurrentHotPath hammers the copy-on-write caches and the buffer
+// pool from many goroutines while new formats are being registered, so the
+// -race run exercises every lock-free read against concurrent publication.
+func TestConcurrentHotPath(t *testing.T) {
+	c := NewContext(WithPlatform(platform.Sparc32))
+	f, err := c.RegisterFields("kitchen", kitchenFields(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := kitchenValue()
+	b, err := c.Bind(f, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := b.EncodeBody(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+
+	const workers = 8
+	const rounds = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := kitchenValue()
+			var out kitchenSink
+			buf := GetBuffer()
+			defer buf.Release()
+			for i := 0; i < rounds; i++ {
+				var err error
+				if buf.B, err = b.EncodeTo(buf.B, &local); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.DecodeBody(f, body, &out); err != nil {
+					t.Error(err)
+					return
+				}
+				if c.FormatByID(id) != f {
+					t.Error("FormatByID lost a registered format")
+					return
+				}
+				if _, err := c.Bind(f, &local); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Churn the COW maps concurrently with the readers above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			name := fmt.Sprintf("churn%d", i)
+			if _, err := c.RegisterFields(name, []IOField{
+				{Name: "n", Type: "integer"},
+				{Name: "vals", Type: "double[n]"},
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -30,6 +30,7 @@ type encProg struct {
 	goType reflect.Type
 	big    bool
 	ptr    int
+	hasVar bool // any string/dynamic content (possibly nested)
 	ops    []encOp
 }
 
@@ -45,6 +46,7 @@ type encOp struct {
 	lenOff    int  // dynamic: offset of the length field's slot
 	lenSize   int  // dynamic: wire size of the length field
 	firstDyn  bool // dynamic: first array using this length field
+	lenPeer   int  // dynamic, !firstDyn: op index of the first array sharing the length field
 	sub       *encProg
 }
 
@@ -64,19 +66,20 @@ func (c *Context) Bind(f *meta.Format, sample any) (*Binding, error) {
 	}
 	id := f.ID()
 	key := bindKey{id: id, t: t}
-	c.mu.RLock()
-	b := c.bindings[key]
-	c.mu.RUnlock()
-	if b != nil {
+	if b := (*c.bindings.Load())[key]; b != nil {
 		return b, nil
 	}
 	prog, err := compileEncoder(f, t)
 	if err != nil {
 		return nil, err
 	}
-	b = &Binding{ctx: c, format: f, id: id, prog: prog}
+	b := &Binding{ctx: c, format: f, id: id, prog: prog}
 	c.mu.Lock()
-	c.bindings[key] = b
+	if prev := (*c.bindings.Load())[key]; prev != nil {
+		b = prev // another goroutine won the compile race
+	} else {
+		cowInsert(&c.bindings, key, b)
+	}
 	c.mu.Unlock()
 	return b, nil
 }
@@ -120,7 +123,7 @@ func lengthFieldIndexes(f *meta.Format) map[int]bool {
 func compileEncoder(f *meta.Format, t reflect.Type) (*encProg, error) {
 	p := &encProg{format: f, goType: t, big: f.BigEndian, ptr: f.PointerSize}
 	lenFields := lengthFieldIndexes(f)
-	seenLen := make(map[string]bool)
+	firstLen := make(map[string]int) // lower length-field name -> op index of first user
 	for i := range f.Fields {
 		fl := &f.Fields[i]
 		op := encOp{
@@ -130,6 +133,7 @@ func compileEncoder(f *meta.Format, t reflect.Type) (*encProg, error) {
 			size:      fl.Size,
 			staticDim: fl.StaticDim,
 			isDyn:     fl.IsDynamic(),
+			lenPeer:   -1,
 		}
 		gi := structFieldByName(t, fl.Name)
 		if gi < 0 {
@@ -147,11 +151,19 @@ func compileEncoder(f *meta.Format, t reflect.Type) (*encProg, error) {
 		ft := t.Field(gi).Type
 		if op.isDyn {
 			j := f.FieldByName(fl.LengthField)
+			if j < 0 {
+				return nil, fmt.Errorf("pbio: %s.%s: length field %q does not exist (format not validated?)",
+					f.Name, fl.Name, fl.LengthField)
+			}
 			lf := &f.Fields[j]
 			op.lenOff, op.lenSize = lf.Offset, lf.Size
 			lower := strings.ToLower(fl.LengthField)
-			op.firstDyn = !seenLen[lower]
-			seenLen[lower] = true
+			if first, ok := firstLen[lower]; ok {
+				op.lenPeer = first
+			} else {
+				op.firstDyn = true
+				firstLen[lower] = len(p.ops)
+			}
 			if ft.Kind() != reflect.Slice {
 				return nil, fmt.Errorf("pbio: %s.%s: dynamic array needs a Go slice, have %s",
 					f.Name, fl.Name, ft)
@@ -181,6 +193,12 @@ func compileEncoder(f *meta.Format, t reflect.Type) (*encProg, error) {
 				return nil, err
 			}
 			op.sub = sub
+			if sub.hasVar {
+				p.hasVar = true
+			}
+		}
+		if op.kind == meta.String || op.isDyn {
+			p.hasVar = true
 		}
 		p.ops = append(p.ops, op)
 	}

@@ -16,21 +16,25 @@ import (
 // are converted from the sender's layout to the receiver's in one pass.
 // It returns the wire format that described the message.
 func (c *Context) Decode(msg []byte, out any) (*meta.Format, error) {
-	if len(msg) < 8 {
-		return nil, fmt.Errorf("pbio: message too short (%d bytes) for format ID", len(msg))
+	id, body, err := ParseHeader(msg)
+	if err != nil {
+		return nil, err
 	}
-	id := meta.FormatID(binary.BigEndian.Uint64(msg))
 	f, err := c.LookupFormat(id)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.DecodeBody(f, msg[8:], out); err != nil {
+	if err := c.DecodeBody(f, body, out); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
 // DecodeBody unmarshals a message body known to use format f into out.
+// The format is validated on first sight (see checkFormat), so a corrupt
+// or hostile format handed in directly yields an error, never a panic.
+// Steady-state decodes — same format, same Go type, reused out value —
+// take no locks and allocate nothing.
 func (c *Context) DecodeBody(f *meta.Format, body []byte, out any) error {
 	rv := reflect.ValueOf(out)
 	if rv.Kind() != reflect.Pointer || rv.IsNil() {
@@ -48,26 +52,31 @@ func (c *Context) DecodeBody(f *meta.Format, body []byte, out any) error {
 		return fmt.Errorf("pbio: body of %d bytes shorter than fixed block (%d) of format %q",
 			len(body), f.Size, f.Name)
 	}
-	d := &decoder{body: body, big: f.BigEndian, ptr: f.PointerSize}
+	d := decoder{body: body, big: f.BigEndian, ptr: f.PointerSize}
 	return d.runProg(prog, 0, rv)
 }
 
 // decodePlan returns the cached conversion plan for (format, type),
-// compiling it on first use.
+// compiling it on first use.  The cache is copy-on-write: the per-message
+// lookup is a single lock-free map read.
 func (c *Context) decodePlan(f *meta.Format, t reflect.Type) (*decProg, error) {
-	key := planKey{id: f.ID(), t: t}
-	c.mu.RLock()
-	p := c.plans[key]
-	c.mu.RUnlock()
-	if p != nil {
+	key := planKey{f: f, t: t}
+	if p := (*c.plans.Load())[key]; p != nil {
 		return p, nil
+	}
+	if err := c.checkFormat(f); err != nil {
+		return nil, err
 	}
 	p, err := compileDecoder(f, t)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	c.plans[key] = p
+	if prev := (*c.plans.Load())[key]; prev != nil {
+		p = prev // another goroutine won the compile race
+	} else {
+		cowInsert(&c.plans, key, p)
+	}
 	c.mu.Unlock()
 	return p, nil
 }
@@ -110,6 +119,13 @@ func compileDecoder(f *meta.Format, t reflect.Type) (*decProg, error) {
 		}
 		if op.isDyn {
 			j := f.FieldByName(fl.LengthField)
+			if j < 0 {
+				// A validated format cannot reach here, but decode
+				// plans must never panic on one that skipped
+				// validation (e.g. a hostile remotely-fetched XSD).
+				return nil, fmt.Errorf("pbio: %s.%s: length field %q does not exist (format not validated?)",
+					f.Name, fl.Name, fl.LengthField)
+			}
 			lf := &f.Fields[j]
 			op.lenOff, op.lenSize = lf.Offset, lf.Size
 		}
@@ -215,9 +231,15 @@ func (d *decoder) runProg(p *decProg, base int, v reflect.Value) error {
 		case op.kind == meta.Struct:
 			err = d.runProg(op.sub, base+op.off, fv)
 		case op.kind == meta.String:
-			var s string
-			if s, err = d.readString(base + op.off); err == nil {
-				fv.SetString(s)
+			var s []byte
+			if s, err = d.stringBytes(base + op.off); err == nil {
+				// Only materialise a Go string when the value changed:
+				// the comparison against a converted []byte does not
+				// allocate, so re-decoding the same message into a
+				// reused struct is allocation-free.
+				if fv.String() != string(s) {
+					fv.SetString(string(s))
+				}
 			}
 		default:
 			err = d.decodeScalar(op, base+op.off, fv)
@@ -272,26 +294,44 @@ func intFromBits(kind meta.Kind, size int, bits uint64) int64 {
 	return int64(bits<<shift) >> shift
 }
 
-// readString reads the length-prefixed string addressed by the pointer slot
-// at slotOff.  Offset zero denotes the empty string.
-func (d *decoder) readString(slotOff int) (string, error) {
+// stringBytes returns the raw bytes of the length-prefixed string addressed
+// by the pointer slot at slotOff, aliasing the message body.  Offset zero
+// denotes the empty string (a nil slice).
+func (d *decoder) stringBytes(slotOff int) ([]byte, error) {
 	off, err := d.getUint(slotOff, d.ptr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if off == 0 {
-		return "", nil
+		return nil, nil
 	}
 	n, err := d.getUint(int(off), 4)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	start := int(off) + 4
 	if n > uint64(len(d.body)) || start+int(n) > len(d.body) {
-		return "", fmt.Errorf("pbio: string of %d bytes at offset %d exceeds body of %d bytes",
+		return nil, fmt.Errorf("pbio: string of %d bytes at offset %d exceeds body of %d bytes",
 			n, off, len(d.body))
 	}
-	return string(d.body[start : start+int(n)]), nil
+	return d.body[start : start+int(n)], nil
+}
+
+// readString materialises the string addressed by the pointer slot at
+// slotOff (the record-decode path, which builds fresh values anyway).
+func (d *decoder) readString(slotOff int) (string, error) {
+	b, err := d.stringBytes(slotOff)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// arrayFits reports whether n elements of size bytes starting at off lie
+// entirely within the body: off >= 0 and off + n*size <= len(body), with
+// the multiplication guarded against overflow by dividing instead.
+func (d *decoder) arrayFits(off, n, size int) bool {
+	return off >= 0 && size > 0 && n >= 0 && n <= (len(d.body)-off)/size
 }
 
 func (d *decoder) decodeStatic(op *decOp, base int, fv reflect.Value) error {
@@ -302,14 +342,13 @@ func (d *decoder) decodeStatic(op *decOp, base int, fv reflect.Value) error {
 	}
 	off := base + op.off
 	if op.kind != meta.Struct {
-		if off < 0 || op.size <= 0 || op.staticDim > (len(d.body)-off)/op.size {
+		if !d.arrayFits(off, op.staticDim, op.size) {
 			return fmt.Errorf("pbio: field %q: static array exceeds body", op.name)
 		}
-		sv := fv
-		if sv.Kind() == reflect.Array && sv.CanAddr() {
-			sv = sv.Slice(0, sv.Len())
-		}
-		d.decodeElems(op, off, op.staticDim, sv)
+		// Go array fields take decodeElems' reflect loop (viewing an
+		// array as a slice allocates a header); slice fields hit the
+		// monomorphic fast paths.
+		d.decodeElems(op, off, op.staticDim, fv)
 		return nil
 	}
 	elemOff := off
@@ -332,7 +371,9 @@ func (d *decoder) decodeDynamic(op *decOp, base int, fv reflect.Value) error {
 		return fmt.Errorf("pbio: field %q: negative element count %d", op.name, n)
 	}
 	if n == 0 {
-		fv.Set(reflect.MakeSlice(fv.Type(), 0, 0))
+		if fv.IsNil() || fv.Len() != 0 {
+			fv.Set(reflect.MakeSlice(fv.Type(), 0, 0))
+		}
 		return nil
 	}
 	offBits, err := d.getUint(base+op.off, d.ptr)
@@ -344,7 +385,10 @@ func (d *decoder) decodeDynamic(op *decOp, base int, fv reflect.Value) error {
 	if op.kind == meta.Struct {
 		elemSize = op.sub.format.Size
 	}
-	if off <= 0 || elemSize <= 0 || n > (len(d.body)-off)/elemSize {
+	// A truncated message may declare more elements than the remaining
+	// body holds; the explicit off + n*size <= len(body) check (arrayFits)
+	// turns that into a decode error instead of a slice panic.
+	if off == 0 || !d.arrayFits(off, n, elemSize) {
 		return fmt.Errorf("pbio: field %q: %d elements of %d bytes at offset %d exceed body of %d bytes",
 			op.name, n, elemSize, off, len(d.body))
 	}
@@ -366,66 +410,69 @@ func (d *decoder) decodeDynamic(op *decOp, base int, fv reflect.Value) error {
 }
 
 // decodeElems converts the elements of a numeric dynamic array, with
-// monomorphic fast paths mirroring encodeElems.
+// monomorphic fast paths mirroring encodeElems.  As there, addressable
+// slices are reached through fv.Addr().Interface() — packing a pointer
+// into an interface allocates nothing — so steady-state decodes into a
+// reused struct are allocation-free.
 func (d *decoder) decodeElems(op *decOp, off, n int, fv reflect.Value) {
 	p := d.body[off:]
-	switch s := fv.Interface().(type) {
-	case []float32:
-		if op.size == 4 {
-			if d.big {
-				for k := range s {
-					s[k] = math32frombits(binary.BigEndian.Uint32(p[4*k:]))
+	if fv.Kind() == reflect.Slice {
+		if fv.CanAddr() {
+			switch s := fv.Addr().Interface().(type) {
+			case *[]float32:
+				if op.size == 4 {
+					d.getFloat32s(p, *s)
+					return
 				}
-			} else {
-				for k := range s {
-					s[k] = math32frombits(binary.LittleEndian.Uint32(p[4*k:]))
+			case *[]float64:
+				if op.size == 8 {
+					d.getFloat64s(p, *s)
+					return
 				}
-			}
-			return
-		}
-	case []float64:
-		if op.size == 8 {
-			if d.big {
-				for k := range s {
-					s[k] = float64frombits(binary.BigEndian.Uint64(p[8*k:]))
+			case *[]int32:
+				if op.size == 4 {
+					d.getInt32s(p, *s)
+					return
 				}
-			} else {
-				for k := range s {
-					s[k] = float64frombits(binary.LittleEndian.Uint64(p[8*k:]))
+			case *[]int64:
+				if op.size == 8 {
+					d.getInt64s(p, *s)
+					return
 				}
-			}
-			return
-		}
-	case []int32:
-		if op.size == 4 {
-			if d.big {
-				for k := range s {
-					s[k] = int32(binary.BigEndian.Uint32(p[4*k:]))
-				}
-			} else {
-				for k := range s {
-					s[k] = int32(binary.LittleEndian.Uint32(p[4*k:]))
+			case *[]byte:
+				if op.size == 1 {
+					copy(*s, p[:n])
+					return
 				}
 			}
-			return
-		}
-	case []int64:
-		if op.size == 8 {
-			if d.big {
-				for k := range s {
-					s[k] = int64(binary.BigEndian.Uint64(p[8*k:]))
+		} else {
+			switch s := fv.Interface().(type) {
+			case []float32:
+				if op.size == 4 {
+					d.getFloat32s(p, s)
+					return
 				}
-			} else {
-				for k := range s {
-					s[k] = int64(binary.LittleEndian.Uint64(p[8*k:]))
+			case []float64:
+				if op.size == 8 {
+					d.getFloat64s(p, s)
+					return
+				}
+			case []int32:
+				if op.size == 4 {
+					d.getInt32s(p, s)
+					return
+				}
+			case []int64:
+				if op.size == 8 {
+					d.getInt64s(p, s)
+					return
+				}
+			case []byte:
+				if op.size == 1 {
+					copy(s, p[:n])
+					return
 				}
 			}
-			return
-		}
-	case []byte:
-		if op.size == 1 {
-			copy(s, p[:n])
-			return
 		}
 	}
 	elemOff := off
@@ -433,5 +480,53 @@ func (d *decoder) decodeElems(op *decOp, off, n int, fv reflect.Value) {
 		bits, _ := d.getUint(elemOff, op.size) // bounds pre-checked by caller
 		setScalar(fv.Index(k), op.kind, op.size, bits)
 		elemOff += op.size
+	}
+}
+
+func (d *decoder) getFloat32s(p []byte, s []float32) {
+	if d.big {
+		for k := range s {
+			s[k] = math32frombits(binary.BigEndian.Uint32(p[4*k:]))
+		}
+	} else {
+		for k := range s {
+			s[k] = math32frombits(binary.LittleEndian.Uint32(p[4*k:]))
+		}
+	}
+}
+
+func (d *decoder) getFloat64s(p []byte, s []float64) {
+	if d.big {
+		for k := range s {
+			s[k] = float64frombits(binary.BigEndian.Uint64(p[8*k:]))
+		}
+	} else {
+		for k := range s {
+			s[k] = float64frombits(binary.LittleEndian.Uint64(p[8*k:]))
+		}
+	}
+}
+
+func (d *decoder) getInt32s(p []byte, s []int32) {
+	if d.big {
+		for k := range s {
+			s[k] = int32(binary.BigEndian.Uint32(p[4*k:]))
+		}
+	} else {
+		for k := range s {
+			s[k] = int32(binary.LittleEndian.Uint32(p[4*k:]))
+		}
+	}
+}
+
+func (d *decoder) getInt64s(p []byte, s []int64) {
+	if d.big {
+		for k := range s {
+			s[k] = int64(binary.BigEndian.Uint64(p[8*k:]))
+		}
+	} else {
+		for k := range s {
+			s[k] = int64(binary.LittleEndian.Uint64(p[8*k:]))
+		}
 	}
 }

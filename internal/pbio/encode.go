@@ -9,12 +9,44 @@ import (
 	"github.com/open-metadata/xmit/internal/meta"
 )
 
-// Encode marshals v into a complete PBIO message: the 8-byte format ID
-// followed by the message body (fixed block + variable section).
+// Encode marshals v into a freshly allocated complete PBIO message: the
+// 8-byte format ID followed by the message body (fixed block + variable
+// section).  The buffer is sized exactly via the size-precomputation pass,
+// so Encode performs a single allocation.  Hot paths should prefer
+// EncodeTo or AppendEncode with a pooled buffer (see GetBuffer), which
+// allocate nothing in steady state.
 func (b *Binding) Encode(v any) ([]byte, error) {
-	buf := make([]byte, 8, 8+b.format.Size+64)
-	binary.BigEndian.PutUint64(buf, uint64(b.id))
-	return b.EncodeBody(buf, v)
+	rv, err := b.checkValue(v)
+	if err != nil {
+		return nil, err
+	}
+	n, err := sizeProg(b.prog, rv)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, HeaderSize+n)
+	buf = AppendHeader(buf, b.id)
+	return b.encodeBody(buf, rv)
+}
+
+// AppendEncode appends the complete message (header + body) for v to dst
+// and returns the extended slice.  With a dst of sufficient capacity it
+// allocates nothing.
+func (b *Binding) AppendEncode(dst []byte, v any) ([]byte, error) {
+	rv, err := b.checkValue(v)
+	if err != nil {
+		return nil, err
+	}
+	dst = AppendHeader(dst, b.id)
+	return b.encodeBody(dst, rv)
+}
+
+// EncodeTo encodes the complete message for v into dst's storage, reusing
+// its capacity (dst's length is ignored), and returns the encoded slice.
+// This is the zero-allocation hot-path API: with a pooled or amortised dst
+// and v passed as a pointer, steady-state encodes allocate nothing.
+func (b *Binding) EncodeTo(dst []byte, v any) ([]byte, error) {
+	return b.AppendEncode(dst[:0], v)
 }
 
 // EncodeBody appends the message body for v to dst and returns the extended
@@ -22,18 +54,31 @@ func (b *Binding) Encode(v any) ([]byte, error) {
 // sender-native fixed block plus the variable section, with no message
 // header.
 func (b *Binding) EncodeBody(dst []byte, v any) ([]byte, error) {
+	rv, err := b.checkValue(v)
+	if err != nil {
+		return nil, err
+	}
+	return b.encodeBody(dst, rv)
+}
+
+// checkValue dereferences v and checks it against the bound Go type.
+func (b *Binding) checkValue(v any) (reflect.Value, error) {
 	rv := reflect.ValueOf(v)
 	for rv.Kind() == reflect.Pointer {
 		if rv.IsNil() {
-			return nil, fmt.Errorf("pbio: encode: nil pointer")
+			return rv, fmt.Errorf("pbio: encode: nil pointer")
 		}
 		rv = rv.Elem()
 	}
 	if rv.Type() != b.prog.goType {
-		return nil, fmt.Errorf("pbio: encode: value type %s does not match bound type %s",
+		return rv, fmt.Errorf("pbio: encode: value type %s does not match bound type %s",
 			rv.Type(), b.prog.goType)
 	}
-	e := &encoder{buf: dst, base: len(dst), big: b.format.BigEndian, ptr: b.format.PointerSize}
+	return rv, nil
+}
+
+func (b *Binding) encodeBody(dst []byte, rv reflect.Value) ([]byte, error) {
+	e := encoder{buf: dst, base: len(dst), big: b.format.BigEndian, ptr: b.format.PointerSize}
 	e.buf = grow(e.buf, b.format.Size)
 	if err := e.runProg(b.prog, 0, rv); err != nil {
 		return nil, err
@@ -42,12 +87,14 @@ func (b *Binding) EncodeBody(dst []byte, v any) ([]byte, error) {
 }
 
 // EncodedSize returns the number of body bytes Encode would produce for v.
+// It walks the compiled program and the value's variable-length fields
+// without encoding anything, so it is exact and allocation-free.
 func (b *Binding) EncodedSize(v any) (int, error) {
-	out, err := b.EncodeBody(nil, v)
+	rv, err := b.checkValue(v)
 	if err != nil {
 		return 0, err
 	}
-	return len(out), nil
+	return sizeProg(b.prog, rv)
 }
 
 // encoder carries the growing message buffer.  All offsets are relative to
@@ -202,11 +249,10 @@ func (e *encoder) encodeStatic(op *encOp, base int, fv reflect.Value) error {
 			op.name, n, op.staticDim)
 	}
 	if op.kind != meta.Struct {
-		// Reuse the dynamic-array fast paths: addressable Go arrays can
-		// be viewed as slices.
-		if fv.Kind() == reflect.Array && fv.CanAddr() {
-			fv = fv.Slice(0, n)
-		}
+		// Go array fields take encodeElems' reflect loop: viewing an
+		// array as a slice (reflect.Value.Slice) heap-allocates a slice
+		// header, and static arrays are small, so the loop is the
+		// allocation-free choice.  Slice-typed fields hit the fast paths.
 		e.encodeElems(op, base+op.off, fv)
 		return nil
 	}
@@ -253,65 +299,71 @@ func (e *encoder) encodeDynamic(p *encProg, op *encOp, base int, fv reflect.Valu
 // element types take a monomorphic fast path; anything else falls back to
 // the reflect loop.  The fast paths are what let the sender's encode cost
 // stay near memcpy speed for large scientific payloads.
+//
+// Addressable slices (fields of a struct passed by pointer, the normal
+// case) are reached through fv.Addr().Interface(): packing a pointer into
+// an interface stores it directly in the interface word, so the fast path
+// allocates nothing.  Non-addressable values fall back to fv.Interface(),
+// which may heap-box the slice header.
 func (e *encoder) encodeElems(op *encOp, off int, fv reflect.Value) {
 	p := e.buf[e.base+off:]
-	switch s := fv.Interface().(type) {
-	case []float32:
-		if op.size == 4 {
-			if e.big {
-				for k, x := range s {
-					binary.BigEndian.PutUint32(p[4*k:], math.Float32bits(x))
+	if fv.Kind() == reflect.Slice {
+		if fv.CanAddr() {
+			switch s := fv.Addr().Interface().(type) {
+			case *[]float32:
+				if op.size == 4 {
+					e.putFloat32s(p, *s)
+					return
 				}
-			} else {
-				for k, x := range s {
-					binary.LittleEndian.PutUint32(p[4*k:], math.Float32bits(x))
+			case *[]float64:
+				if op.size == 8 {
+					e.putFloat64s(p, *s)
+					return
 				}
-			}
-			return
-		}
-	case []float64:
-		if op.size == 8 {
-			if e.big {
-				for k, x := range s {
-					binary.BigEndian.PutUint64(p[8*k:], math.Float64bits(x))
+			case *[]int32:
+				if op.size == 4 {
+					e.putInt32s(p, *s)
+					return
 				}
-			} else {
-				for k, x := range s {
-					binary.LittleEndian.PutUint64(p[8*k:], math.Float64bits(x))
+			case *[]int64:
+				if op.size == 8 {
+					e.putInt64s(p, *s)
+					return
 				}
-			}
-			return
-		}
-	case []int32:
-		if op.size == 4 {
-			if e.big {
-				for k, x := range s {
-					binary.BigEndian.PutUint32(p[4*k:], uint32(x))
-				}
-			} else {
-				for k, x := range s {
-					binary.LittleEndian.PutUint32(p[4*k:], uint32(x))
+			case *[]byte:
+				if op.size == 1 {
+					copy(p, *s)
+					return
 				}
 			}
-			return
-		}
-	case []int64:
-		if op.size == 8 {
-			if e.big {
-				for k, x := range s {
-					binary.BigEndian.PutUint64(p[8*k:], uint64(x))
+		} else {
+			switch s := fv.Interface().(type) {
+			case []float32:
+				if op.size == 4 {
+					e.putFloat32s(p, s)
+					return
 				}
-			} else {
-				for k, x := range s {
-					binary.LittleEndian.PutUint64(p[8*k:], uint64(x))
+			case []float64:
+				if op.size == 8 {
+					e.putFloat64s(p, s)
+					return
+				}
+			case []int32:
+				if op.size == 4 {
+					e.putInt32s(p, s)
+					return
+				}
+			case []int64:
+				if op.size == 8 {
+					e.putInt64s(p, s)
+					return
+				}
+			case []byte:
+				if op.size == 1 {
+					copy(p, s)
+					return
 				}
 			}
-			return
-		}
-	case []byte:
-		if op.size == 1 {
-			copy(p, s)
-			return
 		}
 	}
 	n := fv.Len()
@@ -319,5 +371,53 @@ func (e *encoder) encodeElems(op *encOp, off int, fv reflect.Value) {
 	for k := 0; k < n; k++ {
 		e.putScalar(elemOff, op.size, op.kind, fv.Index(k))
 		elemOff += op.size
+	}
+}
+
+func (e *encoder) putFloat32s(p []byte, s []float32) {
+	if e.big {
+		for k, x := range s {
+			binary.BigEndian.PutUint32(p[4*k:], math.Float32bits(x))
+		}
+	} else {
+		for k, x := range s {
+			binary.LittleEndian.PutUint32(p[4*k:], math.Float32bits(x))
+		}
+	}
+}
+
+func (e *encoder) putFloat64s(p []byte, s []float64) {
+	if e.big {
+		for k, x := range s {
+			binary.BigEndian.PutUint64(p[8*k:], math.Float64bits(x))
+		}
+	} else {
+		for k, x := range s {
+			binary.LittleEndian.PutUint64(p[8*k:], math.Float64bits(x))
+		}
+	}
+}
+
+func (e *encoder) putInt32s(p []byte, s []int32) {
+	if e.big {
+		for k, x := range s {
+			binary.BigEndian.PutUint32(p[4*k:], uint32(x))
+		}
+	} else {
+		for k, x := range s {
+			binary.LittleEndian.PutUint32(p[4*k:], uint32(x))
+		}
+	}
+}
+
+func (e *encoder) putInt64s(p []byte, s []int64) {
+	if e.big {
+		for k, x := range s {
+			binary.BigEndian.PutUint64(p[8*k:], uint64(x))
+		}
+	} else {
+		for k, x := range s {
+			binary.LittleEndian.PutUint64(p[8*k:], uint64(x))
+		}
 	}
 }

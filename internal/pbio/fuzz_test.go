@@ -27,6 +27,14 @@ func FuzzDecodeBody(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:format.Size])
 	f.Add([]byte{})
+	// Truncated-dynamic-array seeds: the length fields still promise full
+	// arrays, but the variable section is cut mid-element (and, in the last
+	// seed, removed entirely).  These must fail the decoder's bounds check,
+	// not walk off the body.
+	if len(valid) > format.Size+3 {
+		f.Add(valid[: len(valid)-3 : len(valid)-3])
+		f.Add(valid[: format.Size+1 : format.Size+1])
+	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var out kitchenSink
 		_ = c.DecodeBody(format, body, &out)
@@ -46,6 +54,8 @@ func FuzzDecodeMessage(f *testing.F) {
 	b, _ := c.Bind(format, &in)
 	msg, _ := b.Encode(&in)
 	f.Add(msg)
+	// Truncate inside the dynamic float array's variable section.
+	f.Add(msg[: len(msg)-3 : len(msg)-3])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var out SimpleData
 		_, _ = c.Decode(data, &out)

@@ -1,0 +1,31 @@
+package pbio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/open-metadata/xmit/internal/meta"
+)
+
+// HeaderSize is the length in bytes of the message header every complete
+// PBIO message carries: the big-endian content-derived format ID.  The
+// header is deliberately independent of the Context's platform options —
+// the body is sender-native, but the ID must be readable before the
+// receiver knows anything about the sender, so its byte order is fixed.
+const HeaderSize = 8
+
+// AppendHeader appends the message header for a format ID to dst and
+// returns the extended slice.  Binding.Encode, Context.EncodeRecord, and
+// the transport framing all emit headers through this single function, so
+// the wire layout cannot drift between paths.
+func AppendHeader(dst []byte, id meta.FormatID) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(id))
+}
+
+// ParseHeader splits a complete message into its format ID and body.
+func ParseHeader(msg []byte) (meta.FormatID, []byte, error) {
+	if len(msg) < HeaderSize {
+		return 0, nil, fmt.Errorf("pbio: message too short (%d bytes) for format ID", len(msg))
+	}
+	return meta.FormatID(binary.BigEndian.Uint64(msg)), msg[HeaderSize:], nil
+}

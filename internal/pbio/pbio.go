@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/platform"
@@ -39,16 +40,35 @@ type FormatResolver interface {
 // Context is a PBIO instance: a registry of message formats plus the cached
 // machinery to marshal and unmarshal them.  A Context is safe for concurrent
 // use.
+//
+// The per-message lookups (format by ID, decode plan, binding, verified
+// format) read copy-on-write maps through atomic pointers: a decode or
+// encode in steady state takes no lock and allocates nothing.  Mutation
+// (registration, first-use compilation) serialises on mu, copies the map,
+// and publishes the copy.
 type Context struct {
 	wirePlatform *platform.Platform
 	resolver     FormatResolver
 
-	mu       sync.RWMutex
-	byID     map[meta.FormatID]*meta.Format
-	byName   map[string]*meta.Format
-	bindings map[bindKey]*Binding
-	plans    map[planKey]*decProg
-	recPlans map[meta.FormatID]*meta.Format // formats verified for record decode
+	mu     sync.Mutex // serialises writers of the COW maps and byName
+	byName map[string]*meta.Format
+
+	byID     atomic.Pointer[map[meta.FormatID]*meta.Format]
+	bindings atomic.Pointer[map[bindKey]*Binding]
+	plans    atomic.Pointer[map[planKey]*decProg]
+	verified atomic.Pointer[map[*meta.Format]struct{}] // formats that passed Validate
+}
+
+// cowInsert publishes a copy of *p's map with k=v added.  Callers must hold
+// the owning Context's mu.
+func cowInsert[K comparable, V any](p *atomic.Pointer[map[K]V], k K, v V) {
+	old := *p.Load()
+	next := make(map[K]V, len(old)+1)
+	for ok, ov := range old {
+		next[ok] = ov
+	}
+	next[k] = v
+	p.Store(&next)
 }
 
 type bindKey struct {
@@ -56,9 +76,12 @@ type bindKey struct {
 	t  reflect.Type
 }
 
+// planKey keys decode plans by format pointer rather than format ID:
+// registered formats are pointer-stable, and computing an ID re-serialises
+// the metadata — far too costly (and allocating) for a per-message lookup.
 type planKey struct {
-	id meta.FormatID
-	t  reflect.Type
+	f *meta.Format
+	t reflect.Type
 }
 
 // Option configures a Context.
@@ -83,12 +106,12 @@ func WithResolver(r FormatResolver) Option {
 func NewContext(opts ...Option) *Context {
 	c := &Context{
 		wirePlatform: platform.X8664,
-		byID:         make(map[meta.FormatID]*meta.Format),
 		byName:       make(map[string]*meta.Format),
-		bindings:     make(map[bindKey]*Binding),
-		plans:        make(map[planKey]*decProg),
-		recPlans:     make(map[meta.FormatID]*meta.Format),
 	}
+	c.byID.Store(&map[meta.FormatID]*meta.Format{})
+	c.bindings.Store(&map[bindKey]*Binding{})
+	c.plans.Store(&map[planKey]*decProg{})
+	c.verified.Store(&map[*meta.Format]struct{}{})
 	for _, o := range opts {
 		o(c)
 	}
@@ -117,8 +140,36 @@ func (c *Context) RegisterFormat(f *meta.Format) (meta.FormatID, error) {
 	// the newest registration wins the name lookup, while both remain
 	// reachable by ID.
 	c.byName[f.Name] = f
-	c.byID[id] = f
+	if _, ok := (*c.byID.Load())[id]; !ok {
+		cowInsert(&c.byID, id, f)
+	}
+	if _, ok := (*c.verified.Load())[f]; !ok {
+		cowInsert(&c.verified, f, struct{}{})
+	}
 	return id, nil
+}
+
+// checkFormat ensures f has passed meta.Format.Validate in this context,
+// validating and caching on first sight.  Decode entry points call it so a
+// corrupt or hostile format handed in directly (rather than through
+// RegisterFormat) yields an error instead of a panic.  The fast path is a
+// single lock-free map read.
+func (c *Context) checkFormat(f *meta.Format) error {
+	if f == nil {
+		return fmt.Errorf("pbio: nil format")
+	}
+	if _, ok := (*c.verified.Load())[f]; ok {
+		return nil
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if _, ok := (*c.verified.Load())[f]; !ok {
+		cowInsert(&c.verified, f, struct{}{})
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // IOField is one entry of a compiled-in PBIO field list, mirroring the C
@@ -245,17 +296,16 @@ func (c *Context) parseFieldType(name, typ string) (meta.FieldDef, error) {
 // FormatByName returns the most recently registered format with the given
 // name, or nil.
 func (c *Context) FormatByName(name string) *meta.Format {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.byName[name]
 }
 
 // FormatByID returns the registered format with the given ID, or nil.  It
-// does not consult the resolver; see LookupFormat.
+// does not consult the resolver; see LookupFormat.  The lookup is lock-free
+// (a COW map read), so it is safe on the per-message path.
 func (c *Context) FormatByID(id meta.FormatID) *meta.Format {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.byID[id]
+	return (*c.byID.Load())[id]
 }
 
 // LookupFormat returns the format for an ID, consulting the resolver (and
@@ -282,8 +332,8 @@ func (c *Context) LookupFormat(id meta.FormatID) (*meta.Format, error) {
 
 // Formats returns the names of all registered formats.
 func (c *Context) Formats() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	names := make([]string, 0, len(c.byName))
 	for n := range c.byName {
 		names = append(names, n)

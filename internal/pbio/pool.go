@@ -1,0 +1,69 @@
+package pbio
+
+import (
+	"sync"
+
+	"github.com/open-metadata/xmit/internal/obs"
+)
+
+// Buffer is a pooled message buffer.  The hot path obtains one with
+// GetBuffer, encodes into B (typically via Binding.EncodeTo or
+// Binding.AppendEncode with B[:0]), and returns it with Release once the
+// bytes have been handed to the kernel or copied elsewhere.
+//
+// Ownership contract: the goroutine that calls GetBuffer owns the buffer
+// until it calls Release (or PutBuffer); after that the buffer and any
+// slice aliasing B must not be touched.  Encoded slices returned by
+// EncodeTo/AppendEncode alias B, so they die with the buffer.
+type Buffer struct {
+	B []byte
+}
+
+// maxPooledBuf bounds what Release returns to the pool, so a single huge
+// message cannot pin megabytes of idle memory in every P's pool shard.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		poolMisses.Inc()
+		return &Buffer{B: make([]byte, 0, 4096)}
+	},
+}
+
+// Pool traffic counters, exported through the process-wide obs registry
+// (the one mdserver/fmtserver/xmitbench serve at /metrics).  Hits are
+// computed as gets - misses: a get that found a pooled buffer never
+// touched the allocator.
+var (
+	poolGets   = obs.Default().Counter("pbio_pool_get_total")
+	poolMisses = obs.Default().Counter("pbio_pool_miss_total")
+	poolPuts   = obs.Default().Counter("pbio_pool_put_total")
+)
+
+func init() {
+	obs.Default().RegisterFunc("pbio_pool_hit_total", func() float64 {
+		return float64(poolGets.Value() - poolMisses.Value())
+	})
+}
+
+// GetBuffer returns a buffer from the pool with len(B) == 0.  Steady-state
+// gets allocate nothing.
+func GetBuffer() *Buffer {
+	poolGets.Inc()
+	return bufPool.Get().(*Buffer)
+}
+
+// Release returns the buffer to the pool.  See the ownership contract on
+// Buffer.
+func (b *Buffer) Release() { PutBuffer(b) }
+
+// PutBuffer returns a buffer to the pool.  Oversized buffers are dropped
+// so the pool holds only reasonably sized scratch space.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.B) > maxPooledBuf {
+		return
+	}
+	b.B = b.B[:0]
+	poolPuts.Inc()
+	bufPool.Put(b)
+}

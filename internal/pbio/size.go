@@ -1,0 +1,94 @@
+package pbio
+
+import (
+	"fmt"
+	"reflect"
+
+	"github.com/open-metadata/xmit/internal/meta"
+)
+
+// sizeProg returns the exact number of body bytes encoding rv with p would
+// produce.  It walks the compiled program and the value's variable-length
+// fields without touching a buffer, so EncodedSize costs a traversal, not
+// an encode, and allocates nothing.  It reproduces the same structural
+// errors the encoder would raise (oversized static slices, disagreeing
+// shared length fields), keeping "size then encode" callers exact.
+func sizeProg(p *encProg, rv reflect.Value) (int, error) {
+	if !p.hasVar {
+		return p.format.Size, nil
+	}
+	n, err := sizeVar(p, rv)
+	if err != nil {
+		return 0, err
+	}
+	return p.format.Size + n, nil
+}
+
+// sizeVar computes the variable-section bytes one struct image contributes:
+// length-prefixed string chunks and dynamic array elements, recursing into
+// nested structs that themselves carry variable content.
+func sizeVar(p *encProg, v reflect.Value) (int, error) {
+	if !p.hasVar {
+		return 0, nil
+	}
+	total := 0
+	for i := range p.ops {
+		op := &p.ops[i]
+		if op.goField < 0 {
+			continue // synthesized length field: fixed block only
+		}
+		fv := v.Field(op.goField)
+		switch {
+		case op.isDyn:
+			n := fv.Len()
+			if op.lenPeer >= 0 {
+				if first := v.Field(p.ops[op.lenPeer].goField).Len(); first != n {
+					return 0, fmt.Errorf("pbio: field %q: length %d disagrees with shared length field value %d",
+						op.name, n, first)
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if op.kind == meta.Struct {
+				total += n * op.sub.format.Size
+				if op.sub.hasVar {
+					for k := 0; k < n; k++ {
+						m, err := sizeVar(op.sub, fv.Index(k))
+						if err != nil {
+							return 0, err
+						}
+						total += m
+					}
+				}
+			} else {
+				total += n * op.size
+			}
+		case op.staticDim > 0:
+			if fv.Kind() == reflect.Slice && fv.Len() > op.staticDim {
+				return 0, fmt.Errorf("pbio: field %q: slice length %d exceeds static dimension %d",
+					op.name, fv.Len(), op.staticDim)
+			}
+			if op.kind == meta.Struct && op.sub.hasVar {
+				for k, n := 0, fv.Len(); k < n; k++ {
+					m, err := sizeVar(op.sub, fv.Index(k))
+					if err != nil {
+						return 0, err
+					}
+					total += m
+				}
+			}
+		case op.kind == meta.Struct:
+			m, err := sizeVar(op.sub, fv)
+			if err != nil {
+				return 0, err
+			}
+			total += m
+		case op.kind == meta.String:
+			if l := fv.Len(); l > 0 {
+				total += 4 + l
+			}
+		}
+	}
+	return total, nil
+}

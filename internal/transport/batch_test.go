@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// memStream is an in-memory ReadWriteCloser that counts Writes, so tests
+// can observe how many syscall-equivalents a send pattern produces.
+type memStream struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	writes int
+}
+
+func (m *memStream) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writes++
+	return m.buf.Write(p)
+}
+
+func (m *memStream) Read(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buf.Read(p)
+}
+
+func (m *memStream) Close() error { return nil }
+
+func (m *memStream) writeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writes
+}
+
+// TestBatchingCoalesces: with WithBatching(n, 0), n data messages (plus the
+// format announcement) reach the stream in a single Write, and a fresh
+// receiver decodes all of them.
+func TestBatchingCoalesces(t *testing.T) {
+	sctx, b := senderContext(t, platform.Sparc32)
+	stream := &memStream{}
+	const n = 4
+	cs := NewConn(stream, sctx, WithBatching(n, 0))
+
+	for i := 0; i < n; i++ {
+		in := SimpleData{Timestep: int32(i), Data: []float32{float32(i)}}
+		if err := cs.Send(b, &in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stream.writeCount(); got != 1 {
+		t.Errorf("writes = %d, want 1 (batch of %d)", got, n)
+	}
+	st := cs.Stats()
+	if st.BatchFlushes != 1 || st.BatchMessages != n {
+		t.Errorf("batch stats = %d flushes / %d messages, want 1 / %d",
+			st.BatchFlushes, st.BatchMessages, n)
+	}
+
+	rctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	cr := NewConn(stream, rctx)
+	for i := 0; i < n; i++ {
+		var out SimpleData
+		if _, err := cr.Recv(&out); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if out.Timestep != int32(i) || out.Data[0] != float32(i) {
+			t.Errorf("message %d: %+v", i, out)
+		}
+	}
+}
+
+// TestBatchFlushDeadline: a partial batch may wait at most flushAfter
+// before the timer pushes it out.
+func TestBatchFlushDeadline(t *testing.T) {
+	sctx, b := senderContext(t, platform.X8664)
+	stream := &memStream{}
+	cs := NewConn(stream, sctx, WithBatching(100, 5*time.Millisecond))
+
+	in := SimpleData{Timestep: 1, Data: []float32{2}}
+	if err := cs.Send(b, &in); err != nil {
+		t.Fatal(err)
+	}
+	if got := stream.writeCount(); got != 0 {
+		t.Fatalf("message written before deadline (writes = %d)", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for stream.writeCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := cs.Stats(); st.BatchFlushes != 1 || st.BatchMessages != 1 {
+		t.Errorf("batch stats = %+v, want 1 flush / 1 message", st)
+	}
+}
+
+// TestBatchExplicitFlushAndClose: Flush drains a partial batch on demand,
+// and Close drains whatever remains.
+func TestBatchExplicitFlushAndClose(t *testing.T) {
+	sctx, b := senderContext(t, platform.X8664)
+	stream := &memStream{}
+	cs := NewConn(stream, sctx, WithBatching(100, 0))
+
+	in := SimpleData{Timestep: 1, Data: []float32{2}}
+	if err := cs.Send(b, &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := stream.writeCount(); got != 1 {
+		t.Errorf("writes after Flush = %d, want 1", got)
+	}
+	if err := cs.Flush(); err != nil { // empty batch: no-op
+		t.Fatal(err)
+	}
+	if got := stream.writeCount(); got != 1 {
+		t.Errorf("empty Flush wrote (writes = %d)", got)
+	}
+
+	if err := cs.Send(b, &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := stream.writeCount(); got != 2 {
+		t.Errorf("writes after Close = %d, want 2", got)
+	}
+	if st := cs.Stats(); st.BatchFlushes != 2 || st.BatchMessages != 2 {
+		t.Errorf("batch stats = %+v, want 2 flushes / 2 messages", st)
+	}
+}
+
+// discardRWC swallows writes; the send-path benchmark measures marshaling
+// and framing, not a peer.
+type discardRWC struct{}
+
+func (discardRWC) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardRWC) Write(p []byte) (int, error) { return len(p), nil }
+func (discardRWC) Close() error                { return nil }
+
+// BenchmarkSend measures the pooled unbatched send path; allocs/op is the
+// headline number (0 in steady state).
+func BenchmarkSend(b *testing.B) {
+	sctx, bind := senderContext(b, platform.X8664)
+	cs := NewConn(discardRWC{}, sctx)
+	in := SimpleData{Timestep: 7, Data: []float32{1, 2, 3, 4, 5, 6, 7, 8}}
+	if err := cs.Send(bind, &in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cs.Send(bind, &in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchedSend measures the batched path (8 messages per Write).
+func BenchmarkBatchedSend(b *testing.B) {
+	sctx, bind := senderContext(b, platform.X8664)
+	cs := NewConn(discardRWC{}, sctx, WithBatching(8, 0))
+	in := SimpleData{Timestep: 7, Data: []float32{1, 2, 3, 4, 5, 6, 7, 8}}
+	if err := cs.Send(bind, &in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cs.Send(bind, &in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := cs.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}

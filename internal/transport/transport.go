@@ -17,6 +17,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/obs"
@@ -28,6 +29,10 @@ const (
 	kindFormat = 1 // payload: canonical format metadata
 	kindData   = 2 // payload: 8-byte format ID + message body
 )
+
+// frameHdrSize is the length of a frame header: a 4-byte big-endian length
+// (covering the kind byte and payload) followed by the 1-byte kind.
+const frameHdrSize = 5
 
 // maxFrame bounds a single message (64 MiB, far above any benchmark size).
 const maxFrame = 64 << 20
@@ -47,14 +52,26 @@ const (
 // Conn is a message-oriented connection bound to a PBIO context.
 // Concurrent Sends are serialised internally; Recv must be driven by a
 // single goroutine.
+//
+// Sends marshal into pooled buffers (see pbio.GetBuffer) and hand the
+// underlying stream one contiguous frame per Write, so a steady-state send
+// performs no allocation and one syscall.  With WithBatching, frames
+// accumulate and a Write covers up to batchMax messages.
 type Conn struct {
 	rwc io.ReadWriteCloser
 	ctx *pbio.Context
 
 	mode Mode
 
-	sendMu    sync.Mutex
-	announced map[meta.FormatID]bool
+	batchMax   int           // >1 enables batching
+	flushAfter time.Duration // deadline for a partially filled batch
+
+	sendMu     sync.Mutex
+	announced  map[meta.FormatID]bool
+	batch      *pbio.Buffer // accumulated frames awaiting a flush
+	batchN     int          // data messages in batch
+	flushTimer *time.Timer
+	flushErr   error // write error from a timer-driven flush
 
 	recvBuf []byte
 
@@ -69,6 +86,8 @@ type connStats struct {
 	bytesReceived    atomic.Int64
 	formatsAnnounced atomic.Int64
 	formatsLearned   atomic.Int64
+	batchFlushes     atomic.Int64
+	batchMessages    atomic.Int64
 }
 
 // Stats is a snapshot of a connection's traffic counters.  Byte counts
@@ -83,6 +102,11 @@ type Stats struct {
 	BytesReceived    int64
 	FormatsAnnounced int64
 	FormatsLearned   int64
+	// BatchFlushes counts Writes that drained a frame batch;
+	// BatchMessages counts the data messages those flushes carried, so
+	// BatchMessages/BatchFlushes is the mean syscall coalescing factor.
+	BatchFlushes  int64
+	BatchMessages int64
 }
 
 // Stats returns a snapshot of the connection's counters.
@@ -94,6 +118,8 @@ func (c *Conn) Stats() Stats {
 		BytesReceived:    c.stats.bytesReceived.Load(),
 		FormatsAnnounced: c.stats.formatsAnnounced.Load(),
 		FormatsLearned:   c.stats.formatsLearned.Load(),
+		BatchFlushes:     c.stats.batchFlushes.Load(),
+		BatchMessages:    c.stats.batchMessages.Load(),
 	}
 }
 
@@ -113,6 +139,8 @@ func (c *Conn) PublishStats(reg *obs.Registry, prefix string) {
 	reg.RegisterFunc(prefix+"_bytes_received", read(&c.stats.bytesReceived))
 	reg.RegisterFunc(prefix+"_formats_announced", read(&c.stats.formatsAnnounced))
 	reg.RegisterFunc(prefix+"_formats_learned", read(&c.stats.formatsLearned))
+	reg.RegisterFunc(prefix+"_batch_flushes", read(&c.stats.batchFlushes))
+	reg.RegisterFunc(prefix+"_batch_messages", read(&c.stats.batchMessages))
 }
 
 // ConnOption configures a Conn.
@@ -121,6 +149,19 @@ type ConnOption func(*Conn)
 // WithMode sets the metadata distribution mode.
 func WithMode(m Mode) ConnOption {
 	return func(c *Conn) { c.mode = m }
+}
+
+// WithBatching coalesces up to maxMsgs data messages into a single Write on
+// the underlying stream.  A partially filled batch is flushed when
+// flushAfter elapses (if positive), on an explicit Flush, or on Close, so a
+// message waits at most flushAfter before reaching the wire.  maxMsgs <= 1
+// leaves batching off.  A write error from a deadline-driven flush is
+// latched and returned by the next Send/Flush.
+func WithBatching(maxMsgs int, flushAfter time.Duration) ConnOption {
+	return func(c *Conn) {
+		c.batchMax = maxMsgs
+		c.flushAfter = flushAfter
+	}
 }
 
 // NewConn wraps a byte stream as a message connection using ctx for all
@@ -136,47 +177,167 @@ func NewConn(rwc io.ReadWriteCloser, ctx *pbio.Context, opts ...ConnOption) *Con
 // Context returns the PBIO context the connection uses.
 func (c *Conn) Context() *pbio.Context { return c.ctx }
 
-// Close closes the underlying stream.
-func (c *Conn) Close() error { return c.rwc.Close() }
+// Close flushes any batched frames and closes the underlying stream.
+func (c *Conn) Close() error {
+	flushErr := c.Flush()
+	if err := c.rwc.Close(); err != nil {
+		return err
+	}
+	return flushErr
+}
 
 // Send marshals v with the binding and transmits it, announcing the
 // format's metadata first if this connection hasn't seen it and the mode is
-// InBand.
+// InBand.  The message is framed inside a pooled buffer and written in a
+// single Write (or appended to the current batch), so steady-state sends
+// allocate nothing.
 func (c *Conn) Send(b *pbio.Binding, v any) error {
-	msg, err := b.Encode(v)
+	buf := pbio.GetBuffer()
+	defer buf.Release()
+	dst := append(buf.B[:0], make([]byte, frameHdrSize)...)
+	dst, err := b.AppendEncode(dst, v)
 	if err != nil {
 		return err
 	}
-	return c.sendMessage(b.ID(), b.Format(), msg)
+	buf.B = dst
+	return c.sendFramed(b.ID(), b.Format(), buf)
 }
 
 // SendRecord transmits a dynamic record.
 func (c *Conn) SendRecord(r *pbio.Record) error {
-	msg, err := c.ctx.EncodeRecord(r)
+	id, err := c.ctx.RegisterFormat(r.Format())
 	if err != nil {
 		return err
 	}
-	return c.sendMessage(r.Format().ID(), r.Format(), msg)
+	buf := pbio.GetBuffer()
+	defer buf.Release()
+	dst := append(buf.B[:0], make([]byte, frameHdrSize)...)
+	dst = pbio.AppendHeader(dst, id)
+	dst, err = c.ctx.EncodeRecordBody(dst, r)
+	if err != nil {
+		return err
+	}
+	buf.B = dst
+	return c.sendFramed(id, r.Format(), buf)
 }
 
-func (c *Conn) sendMessage(id meta.FormatID, f *meta.Format, msg []byte) error {
+// sendFramed finishes a data frame whose buffer holds frameHdrSize reserved
+// bytes followed by the message, then writes or batches it.
+func (c *Conn) sendFramed(id meta.FormatID, f *meta.Format, buf *pbio.Buffer) error {
+	payload := len(buf.B) - frameHdrSize
+	if payload+1 > maxFrame {
+		return fmt.Errorf("transport: message of %d bytes exceeds frame limit", payload)
+	}
+	binary.BigEndian.PutUint32(buf.B[:4], uint32(payload+1))
+	buf.B[4] = kindData
+
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if err := c.takeFlushErr(); err != nil {
+		return err
+	}
 	if c.mode == InBand && !c.announced[id] {
 		canon := f.Canonical()
-		if err := writeFrame(c.rwc, kindFormat, canon); err != nil {
+		if err := c.writeOrBatch(kindFormat, canon, nil); err != nil {
 			return err
 		}
 		c.announced[id] = true
 		c.stats.formatsAnnounced.Add(1)
-		c.stats.bytesSent.Add(int64(len(canon)) + 5)
+		c.stats.bytesSent.Add(int64(len(canon)) + frameHdrSize)
 	}
-	if err := writeFrame(c.rwc, kindData, msg); err != nil {
+	if err := c.writeOrBatch(kindData, nil, buf.B); err != nil {
 		return err
 	}
 	c.stats.messagesSent.Add(1)
-	c.stats.bytesSent.Add(int64(len(msg)) + 5)
+	c.stats.bytesSent.Add(int64(len(buf.B)))
 	return nil
+}
+
+// writeOrBatch transmits one frame, given either a raw payload to be framed
+// (payload != nil) or a prebuilt frame including its header.  Without
+// batching it issues one Write; with batching it appends to the batch
+// buffer and flushes when the batch reaches batchMax data messages.
+// Callers hold sendMu.
+func (c *Conn) writeOrBatch(kind byte, payload, frame []byte) error {
+	if c.batchMax <= 1 {
+		if frame != nil {
+			_, err := c.rwc.Write(frame)
+			return err
+		}
+		return writeFrame(c.rwc, kind, payload)
+	}
+	if c.batch == nil {
+		c.batch = pbio.GetBuffer()
+	}
+	if frame != nil {
+		c.batch.B = append(c.batch.B, frame...)
+	} else {
+		if len(payload)+1 > maxFrame {
+			return fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(payload))
+		}
+		c.batch.B = appendFrame(c.batch.B, kind, payload)
+	}
+	if kind == kindData {
+		c.batchN++
+		if c.batchN >= c.batchMax {
+			return c.flushLocked()
+		}
+		if c.flushTimer == nil && c.flushAfter > 0 {
+			c.flushTimer = time.AfterFunc(c.flushAfter, c.deadlineFlush)
+		}
+	}
+	return nil
+}
+
+// Flush writes out any batched frames.  It is a no-op on an unbatched
+// connection or an empty batch, and also surfaces a pending error from a
+// deadline-driven flush.
+func (c *Conn) Flush() error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.takeFlushErr(); err != nil {
+		return err
+	}
+	return c.flushLocked()
+}
+
+// takeFlushErr returns and clears the error latched by a deadline flush.
+// Callers hold sendMu.
+func (c *Conn) takeFlushErr() error {
+	err := c.flushErr
+	c.flushErr = nil
+	return err
+}
+
+// flushLocked drains the batch with a single Write.  Callers hold sendMu.
+func (c *Conn) flushLocked() error {
+	if c.flushTimer != nil {
+		c.flushTimer.Stop()
+		c.flushTimer = nil
+	}
+	if c.batch == nil || len(c.batch.B) == 0 {
+		return nil
+	}
+	n := c.batchN
+	_, err := c.rwc.Write(c.batch.B)
+	c.batch.B = c.batch.B[:0]
+	c.batchN = 0
+	if err != nil {
+		return err
+	}
+	c.stats.batchFlushes.Add(1)
+	c.stats.batchMessages.Add(int64(n))
+	return nil
+}
+
+// deadlineFlush runs on the flush timer when a partial batch has waited
+// flushAfter; a write error is latched for the next Send or Flush to report.
+func (c *Conn) deadlineFlush() {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.flushLocked(); err != nil && c.flushErr == nil {
+		c.flushErr = err
+	}
 }
 
 // Recv reads the next data message into out (a pointer to a struct),
@@ -199,15 +360,15 @@ func (c *Conn) RecvMessage() (*meta.Format, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(msg) < 8 {
-		return nil, nil, fmt.Errorf("transport: data frame of %d bytes lacks a format ID", len(msg))
+	id, body, err := pbio.ParseHeader(msg)
+	if err != nil {
+		return nil, nil, err
 	}
-	id := meta.FormatID(binary.BigEndian.Uint64(msg))
 	f, err := c.ctx.LookupFormat(id)
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, msg[8:], nil
+	return f, body, nil
 }
 
 // RecvRecord reads the next data message as a dynamic record — the path a
@@ -228,7 +389,7 @@ func (c *Conn) nextData() ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.stats.bytesReceived.Add(int64(len(payload)) + 5)
+		c.stats.bytesReceived.Add(int64(len(payload)) + frameHdrSize)
 		switch kind {
 		case kindFormat:
 			f, err := meta.ParseCanonical(payload)
@@ -272,7 +433,7 @@ func writeFrame(w io.Writer, kind byte, payload []byte) error {
 	if len(payload)+1 > maxFrame {
 		return fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(payload))
 	}
-	var hdr [5]byte
+	var hdr [frameHdrSize]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = kind
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -280,6 +441,15 @@ func writeFrame(w io.Writer, kind byte, payload []byte) error {
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// appendFrame appends a framed payload to dst.  Callers check maxFrame.
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	var hdr [frameHdrSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = kind
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // Pipe returns two connected in-process Conns (for tests and single-process

@@ -16,7 +16,7 @@ type SimpleData struct {
 	Data     []float32
 }
 
-func senderContext(t *testing.T, p *platform.Platform) (*pbio.Context, *pbio.Binding) {
+func senderContext(t testing.TB, p *platform.Platform) (*pbio.Context, *pbio.Binding) {
 	t.Helper()
 	ctx := pbio.NewContext(pbio.WithPlatform(p))
 	f, err := ctx.RegisterFields("SimpleData", []pbio.IOField{
