@@ -1,0 +1,84 @@
+// Command echod runs the event-channel broker daemon: named pub/sub
+// channels over TCP with per-subscriber backpressure policies, in-band or
+// format-server metadata distribution, and derived channels with
+// server-side filters (see internal/echan for the protocol).
+//
+// With -metrics, an HTTP endpoint serves per-channel depth gauges, fan-out
+// latency histograms, and drop counters at /metrics (plain text, or JSON
+// with ?format=json).  With -fmtserver, formats published on any channel
+// are registered with a format server, and unknown format IDs arriving
+// from out-of-band publishers are resolved from it.
+//
+// Usage:
+//
+//	echod -addr 127.0.0.1:8801 -metrics 127.0.0.1:8802 [-fmtserver 127.0.0.1:8701] [-queue 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"github.com/open-metadata/xmit/internal/echan"
+	"github.com/open-metadata/xmit/internal/fmtserver"
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8801", "listen address")
+	metricsAddr := flag.String("metrics", "", "serve /metrics on this HTTP address (empty: disabled)")
+	fmtsrvAddr := flag.String("fmtserver", "", "format server address for out-of-band metadata (empty: in-band only)")
+	queue := flag.Int("queue", 64, "default per-subscriber queue length")
+	flag.Parse()
+
+	metrics := obs.Default()
+	obs.PublishExpvar("echod", metrics)
+
+	opts := []echan.BrokerOption{
+		echan.WithRegistry(metrics),
+		echan.WithDefaultQueue(*queue),
+	}
+	if *fmtsrvAddr != "" {
+		fc := fmtserver.NewClient(*fmtsrvAddr)
+		defer fc.Close()
+		opts = append(opts,
+			echan.WithContext(pbio.NewContext(pbio.WithResolver(fc))),
+			echan.WithFormatRegistrar(func(f *meta.Format) error {
+				_, err := fc.Register(f)
+				return err
+			}),
+		)
+	}
+	broker := echan.NewBroker(opts...)
+
+	srv := echan.NewServer(broker)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("echod: %v", err)
+	}
+	fmt.Printf("echod: listening on %s\n", bound)
+	if *fmtsrvAddr != "" {
+		fmt.Printf("echod: registering formats with %s\n", *fmtsrvAddr)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		go func() {
+			fmt.Printf("echod: metrics on http://%s/metrics\n", *metricsAddr)
+			log.Fatal(http.ListenAndServe(*metricsAddr, mux))
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("echod: shutting down")
+	srv.Close()
+	broker.Close()
+}

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", or "all"`)
 	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
 	metricsAddr := flag.String("metrics", "", "serve the process obs registry at /metrics on this HTTP address while running (empty: disabled)")
 	stats := flag.Bool("stats", false, "dump the process obs registry as JSON to stderr after the run")
@@ -141,6 +141,15 @@ func run(fig string, opts bench.Options) error {
 			return err
 		}
 		bench.PrintAllocs(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("fanout") {
+		ran = true
+		rows, err := bench.Fanout(opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFanout(out, rows)
 		fmt.Fprintln(out)
 	}
 	if !ran {

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/echan"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/xmlwire"
+)
+
+// FanoutSubscribers is the x-axis of the fan-out experiment: how many
+// subscribers one publisher's events reach through the broker.
+var FanoutSubscribers = []int{1, 4, 16, 64}
+
+// FanoutRow compares one fan-out width across wire formats: a publisher
+// pushing Figure 8's 100-byte payload through an event channel to N
+// blocking subscribers, binary PBIO frames versus the XML wire encoding.
+// Per-event CPU covers the whole process — the publisher's encode plus
+// every subscriber goroutine's delivery — which is the fan-out cost the
+// encode-once design is meant to keep flat.
+type FanoutRow struct {
+	Subscribers int
+
+	BinaryBytes      int     // encoded event size, PBIO
+	BinPerEventNs    float64 // publisher wall time per event
+	BinEventsPerSec  float64
+	BinCPUPerEventNs float64 // process CPU (user+sys) per event
+
+	XMLBytes         int // encoded event size, XML
+	XMLPerEventNs    float64
+	XMLEventsPerSec  float64
+	XMLCPUPerEventNs float64
+}
+
+// fanoutChannel builds an isolated broker with one channel and n discard
+// subscribers under the Block policy (lossless, so every published event
+// costs n deliveries).
+func fanoutChannel(n int) (*echan.Broker, *echan.Channel, error) {
+	broker := echan.NewBroker(echan.WithRegistry(obs.NewRegistry()))
+	ch, err := broker.Create("fanout", echan.WithQueue(256))
+	if err != nil {
+		broker.Close()
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := ch.Subscribe(io.Discard, echan.Block); err != nil {
+			broker.Close()
+			return nil, nil, err
+		}
+	}
+	return broker, ch, nil
+}
+
+// measureFanout times publish under sustained load: each batch publishes
+// until the batch budget elapses, then drains the channel so queued
+// deliveries are charged to the batch that produced them.  Reported per-event
+// wall time is the best batch; CPU is that batch's rusage delta per event.
+func measureFanout(o Options, publish func() error, sync func()) (perEventNs, cpuPerEventNs float64, err error) {
+	o = o.normalize()
+	for i := 0; i < 2; i++ {
+		if err := publish(); err != nil {
+			return 0, 0, err
+		}
+	}
+	sync()
+	best := -1.0
+	for b := 0; b < o.Batches; b++ {
+		iters := 0
+		cpu0 := cpuTimeNs()
+		start := time.Now()
+		var elapsed time.Duration
+		for elapsed < o.BatchTime || iters < o.MinIters {
+			if err := publish(); err != nil {
+				return 0, 0, err
+			}
+			iters++
+			elapsed = time.Since(start)
+		}
+		sync()
+		elapsed = time.Since(start)
+		cpu := cpuTimeNs() - cpu0
+		per := float64(elapsed.Nanoseconds()) / float64(iters)
+		if best < 0 || per < best {
+			best = per
+			cpuPerEventNs = cpu / float64(iters)
+		}
+	}
+	return best, cpuPerEventNs, nil
+}
+
+// Fanout runs the fan-out experiment: events/sec and per-event CPU versus
+// subscriber count, binary PBIO frames versus the XML wire format, through
+// the same broker data path (the XML payload rides opaque frames, so the
+// comparison isolates encoding cost from channel mechanics).
+func Fanout(o Options) ([]FanoutRow, error) {
+	return FanoutWidths(o, FanoutSubscribers)
+}
+
+// FanoutWidths is Fanout with a caller-chosen set of subscriber counts.
+func FanoutWidths(o Options, widths []int) ([]FanoutRow, error) {
+	ctx := pbio.NewContext(pbio.WithPlatform(Paper))
+	f, err := ctx.RegisterFields("Payload", PayloadFields())
+	if err != nil {
+		return nil, err
+	}
+	msg, err := NewPayload(100)
+	if err != nil {
+		return nil, err
+	}
+	bind, err := ctx.Bind(f, msg)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := xmlwire.NewCodec(f, msg)
+	if err != nil {
+		return nil, err
+	}
+	binBody, err := bind.EncodeBody(nil, msg)
+	if err != nil {
+		return nil, err
+	}
+	xmlBody, err := codec.Encode(nil, msg)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []FanoutRow
+	for _, n := range widths {
+		row := FanoutRow{Subscribers: n, BinaryBytes: len(binBody), XMLBytes: len(xmlBody)}
+
+		broker, ch, err := fanoutChannel(n)
+		if err != nil {
+			return nil, err
+		}
+		row.BinPerEventNs, row.BinCPUPerEventNs, err = measureFanout(o, func() error {
+			return ch.Publish(bind, msg)
+		}, ch.Sync)
+		broker.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		broker, ch, err = fanoutChannel(n)
+		if err != nil {
+			return nil, err
+		}
+		var xmlBuf []byte
+		row.XMLPerEventNs, row.XMLCPUPerEventNs, err = measureFanout(o, func() error {
+			var err error
+			if xmlBuf, err = codec.Encode(xmlBuf[:0], msg); err != nil {
+				return err
+			}
+			return ch.PublishOpaque(xmlBuf)
+		}, ch.Sync)
+		broker.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		row.BinEventsPerSec = 1e9 / row.BinPerEventNs
+		row.XMLEventsPerSec = 1e9 / row.XMLPerEventNs
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFanout renders the fan-out table.
+func PrintFanout(w io.Writer, rows []FanoutRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Fan-out: one publisher through the event-channel broker, Block policy (payload %d B binary / %d B XML)\n",
+		rows[0].BinaryBytes, rows[0].XMLBytes)
+	fmt.Fprintf(w, "%6s %14s %16s %14s %16s %10s\n",
+		"subs", "pbio ev/s", "pbio CPU us/ev", "xml ev/s", "xml CPU us/ev", "xml/pbio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %14.0f %16.2f %14.0f %16.2f %10.2f\n",
+			r.Subscribers, r.BinEventsPerSec, r.BinCPUPerEventNs/1e3,
+			r.XMLEventsPerSec, r.XMLCPUPerEventNs/1e3,
+			r.XMLPerEventNs/r.BinPerEventNs)
+	}
+}

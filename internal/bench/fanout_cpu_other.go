@@ -1,0 +1,6 @@
+//go:build !unix
+
+package bench
+
+// cpuTimeNs is unavailable off unix; the fan-out table reports zero CPU.
+func cpuTimeNs() float64 { return 0 }

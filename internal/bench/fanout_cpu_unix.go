@@ -1,0 +1,16 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// cpuTimeNs returns the process's consumed CPU time (user + system) in
+// nanoseconds, covering all goroutines — publisher and subscribers alike.
+func cpuTimeNs() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	tv := func(t syscall.Timeval) float64 { return float64(t.Sec)*1e9 + float64(t.Usec)*1e3 }
+	return tv(ru.Utime) + tv(ru.Stime)
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFanoutQuick(t *testing.T) {
+	rows, err := FanoutWidths(QuickOptions(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.BinPerEventNs <= 0 || r.XMLPerEventNs <= 0 {
+			t.Errorf("subs=%d: non-positive timings %+v", r.Subscribers, r)
+		}
+		if r.BinEventsPerSec <= 0 || r.XMLEventsPerSec <= 0 {
+			t.Errorf("subs=%d: non-positive rates %+v", r.Subscribers, r)
+		}
+		if r.BinaryBytes != 100 {
+			t.Errorf("subs=%d: binary payload %d bytes, want 100", r.Subscribers, r.BinaryBytes)
+		}
+		if r.XMLBytes <= r.BinaryBytes {
+			t.Errorf("subs=%d: XML payload %d bytes not larger than binary %d",
+				r.Subscribers, r.XMLBytes, r.BinaryBytes)
+		}
+	}
+
+	var sb strings.Builder
+	PrintFanout(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Fan-out", "pbio ev/s", "xml ev/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintFanout output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package echan
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// BenchmarkFanout measures the publish hot path against discard subscribers
+// at the widths of the fan-out experiment; -benchtime=1x makes it a smoke
+// test in CI.
+func BenchmarkFanout(b *testing.B) {
+	for _, subs := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			broker := NewBroker(WithRegistry(obs.NewRegistry()))
+			defer broker.Close()
+			ch, err := broker.Create("bench", WithQueue(256))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < subs; i++ {
+				if _, err := ch.Subscribe(io.Discard, Block); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_, bind := eventBinding(b, platform.X8664)
+			ev := &Event{Seq: 1, Temp: 21.5}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.Seq = int32(i)
+				if err := ch.Publish(bind, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ch.Sync()
+		})
+	}
+}

@@ -1,0 +1,664 @@
+package echan
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+// announcement pairs a format with its prebuilt transport format frame, so
+// subscriber writers replay announcements with a single Write and no
+// re-serialisation.
+type announcement struct {
+	f     *meta.Format
+	frame []byte
+}
+
+// formatTable is the ordered list of formats announced on a channel, shared
+// between a parent channel and every channel derived from it.  Readers load
+// it lock-free; the single appender (the parent channel, under its mutex)
+// publishes copies.
+type formatTable struct {
+	p atomic.Pointer[[]announcement]
+}
+
+func newFormatTable() *formatTable {
+	t := &formatTable{}
+	empty := []announcement{}
+	t.p.Store(&empty)
+	return t
+}
+
+func (t *formatTable) load() []announcement { return *t.p.Load() }
+
+// append publishes a copy with a appended and returns the new length.
+// Callers hold the owning channel's mutex.
+func (t *formatTable) append(a announcement) int {
+	old := *t.p.Load()
+	next := make([]announcement, len(old)+1)
+	copy(next, old)
+	next[len(old)] = a
+	t.p.Store(&next)
+	return len(next)
+}
+
+// event is one published message: a pooled buffer holding a complete
+// transport data frame, reference-counted by the number of subscriber queues
+// it sits in (plus the publisher while fanning out).  fmtIdx snapshots the
+// format table length at publish time, so each subscriber's writer can emit
+// exactly the announcements this event depends on before its data frame —
+// announcements themselves are never queued, which keeps them safe from the
+// drop policies.
+type event struct {
+	buf    *pbio.Buffer
+	fmtIdx int
+	start  time.Time
+	refs   atomic.Int32
+}
+
+var eventPool = sync.Pool{New: func() any { return new(event) }}
+
+// release drops one reference; the last reference returns the frame buffer
+// and the event itself to their pools.
+func (ev *event) release() {
+	if ev.refs.Add(-1) == 0 {
+		ev.buf.Release()
+		ev.buf = nil
+		eventPool.Put(ev)
+	}
+}
+
+// channelMetrics are a channel's obs instruments, created once at channel
+// construction so the publish path only touches atomics.
+type channelMetrics struct {
+	published     *obs.Counter
+	delivered     *obs.Counter
+	droppedOldest *obs.Counter
+	droppedNewest *obs.Counter
+	blockWaits    *obs.Counter
+	subscribers   *obs.Gauge
+	depth         *obs.Gauge
+	fanout        *obs.Histogram
+}
+
+func (m *channelMetrics) init(reg *obs.Registry, name string) {
+	p := "echan_" + metricName(name) + "_"
+	m.published = reg.Counter(p + "published_total")
+	m.delivered = reg.Counter(p + "delivered_total")
+	m.droppedOldest = reg.Counter(p + "dropped_oldest_total")
+	m.droppedNewest = reg.Counter(p + "dropped_newest_total")
+	m.blockWaits = reg.Counter(p + "block_waits_total")
+	m.subscribers = reg.Gauge(p + "subscribers")
+	m.depth = reg.Gauge(p + "depth")
+	m.fanout = reg.Histogram(p + "fanout_latency_ns")
+}
+
+// Channel is a named event stream.  Publishers encode once; every subscriber
+// receives the same pooled frame through its own bounded queue.  All methods
+// are safe for concurrent use.
+type Channel struct {
+	broker  *Broker
+	name    string
+	qlen    int
+	oob     bool
+	parent  *Channel
+	filter  *Filter
+	formats *formatTable
+
+	mu        sync.Mutex // serialises announce, subscriber/children changes
+	announced atomic.Pointer[map[*meta.Format]int]
+	subs      atomic.Pointer[[]*Subscription]
+	children  atomic.Pointer[[]*Channel]
+	closed    atomic.Bool
+
+	metrics channelMetrics
+}
+
+// ChannelOption configures a channel at creation.
+type ChannelOption func(*Channel)
+
+// WithQueue sets the per-subscriber queue length for subscriptions to this
+// channel (default: the broker's default).
+func WithQueue(n int) ChannelOption {
+	return func(ch *Channel) {
+		if n > 0 {
+			ch.qlen = n
+		}
+	}
+}
+
+// WithOutOfBand makes the channel distribute metadata out-of-band: no format
+// announcement frames are written to subscribers, who must resolve format
+// IDs through their own resolver (the fmtserver/discovery path).  Pair it
+// with WithFormatRegistrar on the broker so published formats reach the
+// format server.
+func WithOutOfBand() ChannelOption {
+	return func(ch *Channel) { ch.oob = true }
+}
+
+func newChannel(b *Broker, name string, opts ...ChannelOption) *Channel {
+	ch := &Channel{
+		broker:  b,
+		name:    name,
+		qlen:    b.defaultQueue,
+		formats: newFormatTable(),
+	}
+	for _, o := range opts {
+		o(ch)
+	}
+	ch.announced.Store(&map[*meta.Format]int{})
+	emptySubs := []*Subscription{}
+	ch.subs.Store(&emptySubs)
+	emptyKids := []*Channel{}
+	ch.children.Store(&emptyKids)
+	ch.metrics.init(b.reg, name)
+	return ch
+}
+
+// Name returns the channel name.
+func (ch *Channel) Name() string { return ch.name }
+
+// OutOfBand reports whether the channel distributes metadata out-of-band.
+func (ch *Channel) OutOfBand() bool { return ch.oob }
+
+// Derived reports whether the channel is derived from a parent.
+func (ch *Channel) Derived() bool { return ch.parent != nil }
+
+func (ch *Channel) addChild(c *Channel) {
+	// Callers hold b.mu; children mutate under ch.mu.
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	old := *ch.children.Load()
+	next := make([]*Channel, len(old)+1)
+	copy(next, old)
+	next[len(old)] = c
+	ch.children.Store(&next)
+}
+
+// ensureAnnounced makes f part of the channel's format table, registering it
+// with the broker's registrar on first sight, and returns the table length
+// to use as the event's format index.  The fast path is one lock-free map
+// read; formats are keyed by pointer because registered formats are
+// pointer-stable and computing a FormatID re-serialises the metadata.
+func (ch *Channel) ensureAnnounced(f *meta.Format) (int, error) {
+	if idx, ok := (*ch.announced.Load())[f]; ok {
+		return idx, nil
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if idx, ok := (*ch.announced.Load())[f]; ok {
+		return idx, nil
+	}
+	if reg := ch.broker.registrar; reg != nil {
+		if err := reg(f); err != nil {
+			return 0, fmt.Errorf("echan: registering format %q: %w", f.Name, err)
+		}
+	}
+	frame := transport.AppendFrame(nil, transport.FrameFormat, f.Canonical())
+	idx := ch.formats.append(announcement{f: f, frame: frame})
+	old := *ch.announced.Load()
+	next := make(map[*meta.Format]int, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[f] = idx
+	ch.announced.Store(&next)
+	return idx, nil
+}
+
+// Publish encodes v with the binding and fans the event out to every
+// subscriber (and matching derived channels).  The message is encoded once
+// into a pooled transport frame; in steady state the call allocates nothing.
+func (ch *Channel) Publish(b *pbio.Binding, v any) error {
+	if ch.parent != nil {
+		return ErrDerivedChannel
+	}
+	if ch.closed.Load() {
+		return ErrChannelClosed
+	}
+	buf := pbio.GetBuffer()
+	dst := append(buf.B[:0], make([]byte, transport.FrameHeaderSize)...)
+	dst, err := b.AppendEncode(dst, v)
+	if err != nil {
+		buf.Release()
+		return err
+	}
+	buf.B = dst
+	return ch.publishFrame(b.Format(), buf)
+}
+
+// PublishMessage fans out a complete pre-encoded PBIO message (header and
+// body) described by f — the path the broker daemon takes for frames arriving
+// from publisher connections.  The message is copied into a pooled frame, so
+// msg may be reused immediately.
+func (ch *Channel) PublishMessage(f *meta.Format, msg []byte) error {
+	if ch.parent != nil {
+		return ErrDerivedChannel
+	}
+	if ch.closed.Load() {
+		return ErrChannelClosed
+	}
+	buf := pbio.GetBuffer()
+	dst := append(buf.B[:0], make([]byte, transport.FrameHeaderSize)...)
+	buf.B = append(dst, msg...)
+	return ch.publishFrame(f, buf)
+}
+
+// PublishOpaque fans out an opaque payload — self-describing encodings (XML,
+// chiefly) that need no format announcements and cannot feed derived-channel
+// filters.  The payload is copied into a pooled frame.
+func (ch *Channel) PublishOpaque(payload []byte) error {
+	if ch.parent != nil {
+		return ErrDerivedChannel
+	}
+	if ch.closed.Load() {
+		return ErrChannelClosed
+	}
+	buf := pbio.GetBuffer()
+	dst := append(buf.B[:0], make([]byte, transport.FrameHeaderSize)...)
+	buf.B = append(dst, payload...)
+	return ch.publishFrame(nil, buf)
+}
+
+// publishFrame takes ownership of buf (five reserved header bytes followed
+// by the payload), stamps the frame header, and fans the event out.  f is
+// nil for opaque payloads.
+func (ch *Channel) publishFrame(f *meta.Format, buf *pbio.Buffer) error {
+	payload := len(buf.B) - transport.FrameHeaderSize
+	if payload+1 > maxEventFrame {
+		buf.Release()
+		return fmt.Errorf("echan: %d-byte event over the %d-byte cap: %w",
+			payload, maxEventFrame, transport.ErrFrameTooLarge)
+	}
+	transport.PutFrameHeader(buf.B, transport.FrameData)
+
+	var fmtIdx int
+	if f != nil {
+		var err error
+		if fmtIdx, err = ch.ensureAnnounced(f); err != nil {
+			buf.Release()
+			return err
+		}
+	}
+
+	ev := eventPool.Get().(*event)
+	ev.buf = buf
+	ev.fmtIdx = fmtIdx
+	ev.start = time.Now()
+	ev.refs.Store(1) // the publisher's reference, held across fan-out
+
+	ch.metrics.published.Inc()
+	for _, s := range *ch.subs.Load() {
+		ev.refs.Add(1)
+		if !s.offer(ev) {
+			ev.refs.Add(-1) // cannot reach zero: the publisher ref is live
+		}
+	}
+
+	if children := *ch.children.Load(); len(children) > 0 && f != nil {
+		ch.fanToChildren(children, f, ev)
+	}
+
+	ev.release()
+	return nil
+}
+
+// fanToChildren routes an event to derived channels whose filters match.
+// The record is decoded at most once per event regardless of how many
+// derived channels exist; this path allocates (it materialises a Record) and
+// is deliberately kept off the plain fan-out hot path.
+func (ch *Channel) fanToChildren(children []*Channel, f *meta.Format, ev *event) {
+	body := ev.buf.B[transport.FrameHeaderSize+pbio.HeaderSize:]
+	var rec *pbio.Record
+	decoded := false
+	for _, child := range children {
+		if child.closed.Load() {
+			continue
+		}
+		if !decoded {
+			decoded = true
+			var err error
+			if rec, err = ch.broker.ctx.DecodeRecordBody(f, body); err != nil {
+				return // undecodable for filtering; derived channels see nothing
+			}
+		}
+		if !child.filter.Match(rec) {
+			continue
+		}
+		child.metrics.published.Inc()
+		for _, s := range *child.subs.Load() {
+			ev.refs.Add(1)
+			if !s.offer(ev) {
+				ev.refs.Add(-1)
+			}
+		}
+	}
+}
+
+// SubOption configures a subscription.
+type SubOption func(*Subscription)
+
+// SubQueue overrides the channel's queue length for one subscription.
+func SubQueue(n int) SubOption {
+	return func(s *Subscription) {
+		if n > 0 {
+			s.ring = make([]*event, n)
+		}
+	}
+}
+
+// Subscribe attaches a sink to the channel under the given backpressure
+// policy.  Frames are written to w by a dedicated goroutine: format
+// announcements the sink hasn't seen (for in-band channels), each followed
+// by data frames — so a subscriber joining mid-stream always receives the
+// formats its first event needs before that event's data frame.  w's Write
+// must be safe for use from one goroutine (a net.Conn or os.File is fine).
+func (ch *Channel) Subscribe(w io.Writer, policy Policy, opts ...SubOption) (*Subscription, error) {
+	if ch.closed.Load() {
+		return nil, ErrChannelClosed
+	}
+	s := &Subscription{
+		ch:     ch,
+		w:      w,
+		policy: policy,
+		ring:   make([]*event, ch.qlen),
+		done:   make(chan struct{}),
+	}
+	s.cond.L = &s.mu
+	for _, o := range opts {
+		o(s)
+	}
+	ch.mu.Lock()
+	if ch.closed.Load() {
+		ch.mu.Unlock()
+		return nil, ErrChannelClosed
+	}
+	old := *ch.subs.Load()
+	next := make([]*Subscription, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	ch.subs.Store(&next)
+	ch.mu.Unlock()
+	ch.metrics.subscribers.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// removeSub detaches s from the channel's fan-out list (idempotent).
+func (ch *Channel) removeSub(s *Subscription) {
+	ch.mu.Lock()
+	old := *ch.subs.Load()
+	next := make([]*Subscription, 0, len(old))
+	found := false
+	for _, o := range old {
+		if o == s {
+			found = true
+			continue
+		}
+		next = append(next, o)
+	}
+	if found {
+		ch.subs.Store(&next)
+	}
+	ch.mu.Unlock()
+	if found {
+		ch.metrics.subscribers.Add(-1)
+	}
+}
+
+// Sync blocks until every queue on the channel (and its derived channels)
+// has drained and no delivery is in flight — a barrier for tests and
+// graceful shutdown.
+func (ch *Channel) Sync() {
+	for _, s := range *ch.subs.Load() {
+		s.Sync()
+	}
+	for _, c := range *ch.children.Load() {
+		c.Sync()
+	}
+}
+
+// Close marks the channel closed (publishes fail with ErrChannelClosed) and
+// aborts every subscription: queued events are discarded and sinks that
+// implement io.Closer are closed, so shutdown never waits on a stuck
+// consumer.  Use Sync before Close for a drain-then-stop sequence.
+func (ch *Channel) Close() error {
+	if ch.closed.Swap(true) {
+		return nil
+	}
+	for _, c := range *ch.children.Load() {
+		c.Close()
+	}
+	for _, s := range *ch.subs.Load() {
+		s.abort()
+	}
+	return nil
+}
+
+// ChannelStats is a snapshot of a channel's counters.
+type ChannelStats struct {
+	Published     int64
+	Delivered     int64
+	DroppedOldest int64
+	DroppedNewest int64
+	BlockWaits    int64
+	Subscribers   int64
+	Depth         int64
+}
+
+// Stats snapshots the channel's counters (the same values exported through
+// the obs registry).
+func (ch *Channel) Stats() ChannelStats {
+	return ChannelStats{
+		Published:     ch.metrics.published.Value(),
+		Delivered:     ch.metrics.delivered.Value(),
+		DroppedOldest: ch.metrics.droppedOldest.Value(),
+		DroppedNewest: ch.metrics.droppedNewest.Value(),
+		BlockWaits:    ch.metrics.blockWaits.Value(),
+		Subscribers:   ch.metrics.subscribers.Value(),
+		Depth:         ch.metrics.depth.Value(),
+	}
+}
+
+// Subscription is one sink's attachment to a channel: a bounded ring of
+// pending events drained by a dedicated writer goroutine.
+type Subscription struct {
+	ch     *Channel
+	w      io.Writer
+	policy Policy
+
+	mu       sync.Mutex
+	cond     sync.Cond
+	ring     []*event
+	head     int
+	count    int
+	inflight bool // writer is between pop and write-complete
+	closed   bool
+	failed   error
+
+	sent int // formats already written; writer goroutine only
+	done chan struct{}
+}
+
+// Policy returns the subscription's backpressure policy.
+func (s *Subscription) Policy() Policy { return s.policy }
+
+// Err returns the write error that terminated the subscription, if any.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// offer enqueues one event reference under the subscription's policy,
+// reporting whether the reference was accepted.
+func (s *Subscription) offer(ev *event) bool {
+	s.mu.Lock()
+	if s.closed || s.failed != nil {
+		s.mu.Unlock()
+		return false
+	}
+	if s.count == len(s.ring) {
+		switch s.policy {
+		case DropNewest:
+			s.mu.Unlock()
+			s.ch.metrics.droppedNewest.Inc()
+			return false
+		case DropOldest:
+			old := s.ring[s.head]
+			s.ring[s.head] = nil
+			s.head = (s.head + 1) % len(s.ring)
+			s.count--
+			s.ch.metrics.depth.Add(-1)
+			s.ch.metrics.droppedOldest.Inc()
+			old.release()
+		case Block:
+			s.ch.metrics.blockWaits.Inc()
+			for s.count == len(s.ring) && !s.closed && s.failed == nil {
+				s.cond.Wait()
+			}
+			if s.closed || s.failed != nil {
+				s.mu.Unlock()
+				return false
+			}
+		}
+	}
+	s.ring[(s.head+s.count)%len(s.ring)] = ev
+	s.count++
+	s.ch.metrics.depth.Add(1)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return true
+}
+
+// run is the subscription's writer loop: pop, emit any missing format
+// announcements, write the data frame, release the event.  It exits once
+// the subscription is closed and drained, or on the first write error
+// (discarding whatever remains queued).
+func (s *Subscription) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for s.count == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.count == 0 { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		ev := s.ring[s.head]
+		s.ring[s.head] = nil
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		s.inflight = true
+		s.ch.metrics.depth.Add(-1)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+
+		err := s.deliver(ev)
+		ev.release()
+
+		s.mu.Lock()
+		s.inflight = false
+		if err != nil {
+			s.failed = err
+			s.closed = true
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+
+		if err != nil {
+			s.discardQueue()
+			s.ch.removeSub(s)
+			return
+		}
+	}
+}
+
+// deliver writes one event to the sink, preceded by any format
+// announcements the sink hasn't seen yet (in-band channels only).
+func (s *Subscription) deliver(ev *event) error {
+	if !s.ch.oob && s.sent < ev.fmtIdx {
+		table := s.ch.formats.load()
+		for s.sent < ev.fmtIdx {
+			if _, err := s.w.Write(table[s.sent].frame); err != nil {
+				return err
+			}
+			s.sent++
+		}
+	}
+	if _, err := s.w.Write(ev.buf.B); err != nil {
+		return err
+	}
+	s.ch.metrics.delivered.Inc()
+	s.ch.metrics.fanout.Observe(time.Since(ev.start))
+	return nil
+}
+
+// discardQueue releases every queued event without writing it.
+func (s *Subscription) discardQueue() {
+	s.mu.Lock()
+	for s.count > 0 {
+		ev := s.ring[s.head]
+		s.ring[s.head] = nil
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		s.ch.metrics.depth.Add(-1)
+		ev.release()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Sync blocks until the subscription's queue is empty and no delivery is in
+// flight (or the subscription has failed).
+func (s *Subscription) Sync() {
+	s.mu.Lock()
+	for (s.count > 0 || s.inflight) && s.failed == nil {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// abort tears the subscription down without draining: the queue is
+// discarded and, if the sink is closable, it is closed to unblock any write
+// in flight.  Used by Channel.Close so shutdown cannot hang on a consumer
+// that stopped reading.
+func (s *Subscription) abort() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.discardQueue()
+	if c, ok := s.w.(io.Closer); ok {
+		c.Close()
+	}
+	<-s.done
+	s.ch.removeSub(s)
+}
+
+// Close detaches the subscription: already-queued events are still written,
+// then the writer exits.  It blocks until the writer is done and returns
+// the subscription's terminal write error, if any.
+func (s *Subscription) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.done
+	s.ch.removeSub(s)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}

@@ -1,0 +1,203 @@
+package echan
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+// readResponseLine reads one "OK ..."/"ERR ..." line byte-by-byte, so no
+// bytes beyond the newline are consumed — the next byte on the stream may
+// already belong to a transport frame.
+func readResponseLine(conn net.Conn) (string, error) {
+	var sb strings.Builder
+	var one [1]byte
+	for sb.Len() <= maxCommandLine {
+		if _, err := conn.Read(one[:]); err != nil {
+			return "", err
+		}
+		if one[0] == '\n' {
+			return strings.TrimRight(sb.String(), "\r"), nil
+		}
+		sb.WriteByte(one[0])
+	}
+	return "", fmt.Errorf("echan: response line over %d bytes", maxCommandLine)
+}
+
+// checkResponse splits a response line into its payload, turning "ERR ..."
+// into an error.
+func checkResponse(line string) (string, error) {
+	switch {
+	case line == "OK":
+		return "", nil
+	case strings.HasPrefix(line, "OK "):
+		return line[len("OK "):], nil
+	case strings.HasPrefix(line, "ERR "):
+		return "", fmt.Errorf("echan: broker: %s", line[len("ERR "):])
+	}
+	return "", fmt.Errorf("echan: malformed broker response %q", line)
+}
+
+// Client is a control connection to a broker daemon, for channel management
+// and stats; use DialPublisher/DialSubscriber for data streams.
+type Client struct {
+	conn net.Conn
+}
+
+// DialControl opens a control connection to the broker at addr.
+func DialControl(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("echan: connecting to %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Do sends one raw control line and returns the response payload.
+func (c *Client) Do(line string) (string, error) {
+	if err := writeLine(c.conn, line); err != nil {
+		return "", err
+	}
+	resp, err := readResponseLine(c.conn)
+	if err != nil {
+		return "", err
+	}
+	return checkResponse(resp)
+}
+
+// Create creates a channel on the broker.
+func (c *Client) Create(name string) error {
+	_, err := c.Do("CREATE " + name)
+	return err
+}
+
+// CreateOutOfBand creates a channel whose subscribers resolve formats
+// through the discovery path instead of in-band announcements.
+func (c *Client) CreateOutOfBand(name string) error {
+	_, err := c.Do("CREATE " + name + " oob")
+	return err
+}
+
+// Derive creates a filtered channel fed by parent.
+func (c *Client) Derive(name, parent, filter string) error {
+	_, err := c.Do("DERIVE " + name + " " + parent + " " + filter)
+	return err
+}
+
+// List returns the broker's channel names.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.Do("LIST")
+	if err != nil {
+		return nil, err
+	}
+	return strings.Fields(resp), nil
+}
+
+// Stats fetches a channel's counters.
+func (c *Client) Stats(name string) (ChannelStats, error) {
+	resp, err := c.Do("STATS " + name)
+	if err != nil {
+		return ChannelStats{}, err
+	}
+	var st ChannelStats
+	for _, kv := range strings.Fields(resp) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return st, fmt.Errorf("echan: malformed stats field %q", kv)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return st, fmt.Errorf("echan: malformed stats value %q", kv)
+		}
+		switch k {
+		case "published":
+			st.Published = n
+		case "delivered":
+			st.Delivered = n
+		case "dropped_oldest":
+			st.DroppedOldest = n
+		case "dropped_newest":
+			st.DroppedNewest = n
+		case "block_waits":
+			st.BlockWaits = n
+		case "subscribers":
+			st.Subscribers = n
+		case "depth":
+			st.Depth = n
+		}
+	}
+	return st, nil
+}
+
+// Close tears down the control connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// DialPublisher connects to the broker and binds the connection to a
+// channel as a publisher.  The returned transport.Conn sends through the
+// broker: Send/SendRecord fan out to the channel's subscribers.  ctx
+// determines the wire formats; the connection announces them in-band to the
+// broker, which re-announces to subscribers as needed.
+func DialPublisher(addr, channel string, ctx *pbio.Context, opts ...transport.ConnOption) (*transport.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("echan: connecting to %s: %w", addr, err)
+	}
+	if err := writeLine(conn, "PUB "+channel); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp, err := readResponseLine(conn)
+	if err == nil {
+		_, err = checkResponse(resp)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return transport.NewConn(conn, ctx, opts...), nil
+}
+
+// SubscriberConn is a subscriber's connection to a broker channel: a
+// transport.Conn for receiving events plus the control verb to detach.
+type SubscriberConn struct {
+	*transport.Conn
+	nc net.Conn
+}
+
+// DialSubscriber connects to the broker and subscribes to a channel under
+// the given policy (queue <= 0 uses the channel default).  Received events
+// decode through ctx; for out-of-band channels give ctx a resolver.
+func DialSubscriber(addr, channel string, policy Policy, queue int, ctx *pbio.Context, opts ...transport.ConnOption) (*SubscriberConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("echan: connecting to %s: %w", addr, err)
+	}
+	cmd := "SUB " + channel + " " + policy.String()
+	if queue > 0 {
+		cmd += " " + strconv.Itoa(queue)
+	}
+	if err := writeLine(conn, cmd); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp, err := readResponseLine(conn)
+	if err == nil {
+		_, err = checkResponse(resp)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &SubscriberConn{Conn: transport.NewConn(conn, ctx, opts...), nc: conn}, nil
+}
+
+// Unsubscribe asks the broker to drain and detach.  Keep calling Recv until
+// it returns an error (io.EOF once the broker closes the stream) to consume
+// whatever was still queued.
+func (s *SubscriberConn) Unsubscribe() error {
+	return writeLine(s.nc, "UNSUB")
+}

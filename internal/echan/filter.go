@@ -1,0 +1,187 @@
+package echan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+// Filter is a server-side predicate over decoded event records: a
+// conjunction of field comparisons, the derived-channel counterpart of the
+// paper's receiver-side field selection.  The grammar is deliberately small:
+//
+//	expr   := clause { "&&" clause }
+//	clause := field op literal
+//	op     := "==" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Literals are numbers, single- or double-quoted strings, or the bare words
+// true/false.  Field names resolve case-insensitively against the event's
+// wire format; a clause naming a field the event lacks fails the match.
+type Filter struct {
+	src     string
+	clauses []clause
+}
+
+type filterOp int
+
+const (
+	opEQ filterOp = iota
+	opNE
+	opLT
+	opLE
+	opGT
+	opGE
+)
+
+type clause struct {
+	field string
+	op    filterOp
+	num   float64
+	str   string
+	isStr bool
+}
+
+// ParseFilter compiles a filter expression.
+func ParseFilter(expr string) (*Filter, error) {
+	f := &Filter{src: expr}
+	for _, part := range strings.Split(expr, "&&") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("echan: empty clause in filter %q", expr)
+		}
+		c, err := parseClause(part)
+		if err != nil {
+			return nil, fmt.Errorf("echan: filter %q: %w", expr, err)
+		}
+		f.clauses = append(f.clauses, c)
+	}
+	if len(f.clauses) == 0 {
+		return nil, fmt.Errorf("echan: empty filter")
+	}
+	return f, nil
+}
+
+// MustFilter is ParseFilter for compile-time-constant expressions.
+func MustFilter(expr string) *Filter {
+	f, err := ParseFilter(expr)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// String returns the source expression the filter was compiled from.
+func (f *Filter) String() string { return f.src }
+
+var filterOps = []struct {
+	tok string
+	op  filterOp
+}{
+	// Two-character operators first so "<=" is not read as "<" then "=".
+	{"==", opEQ}, {"!=", opNE}, {"<=", opLE}, {">=", opGE}, {"<", opLT}, {">", opGT},
+}
+
+func parseClause(s string) (clause, error) {
+	for _, cand := range filterOps {
+		i := strings.Index(s, cand.tok)
+		if i < 0 {
+			continue
+		}
+		field := strings.TrimSpace(s[:i])
+		lit := strings.TrimSpace(s[i+len(cand.tok):])
+		if field == "" || lit == "" {
+			return clause{}, fmt.Errorf("malformed clause %q", s)
+		}
+		c := clause{field: field, op: cand.op}
+		switch {
+		case len(lit) >= 2 && (lit[0] == '"' || lit[0] == '\''):
+			if lit[len(lit)-1] != lit[0] {
+				return clause{}, fmt.Errorf("unterminated string in clause %q", s)
+			}
+			c.str = lit[1 : len(lit)-1]
+			c.isStr = true
+		case lit == "true":
+			c.num = 1
+		case lit == "false":
+			c.num = 0
+		default:
+			n, err := strconv.ParseFloat(lit, 64)
+			if err != nil {
+				return clause{}, fmt.Errorf("bad literal %q in clause %q", lit, s)
+			}
+			c.num = n
+		}
+		if c.isStr && c.op != opEQ && c.op != opNE {
+			return clause{}, fmt.Errorf("clause %q: strings support only == and !=", s)
+		}
+		return c, nil
+	}
+	return clause{}, fmt.Errorf("no operator in clause %q", s)
+}
+
+// Match evaluates the filter against a decoded record.  Every clause must
+// hold; missing fields and type mismatches fail the clause.
+func (f *Filter) Match(rec *pbio.Record) bool {
+	for i := range f.clauses {
+		c := &f.clauses[i]
+		v, ok := rec.Get(c.field)
+		if !ok {
+			return false
+		}
+		if c.isStr {
+			s, ok := v.(string)
+			if !ok {
+				return false
+			}
+			if eq := s == c.str; (c.op == opEQ) != eq {
+				return false
+			}
+			continue
+		}
+		n, ok := toNum(v)
+		if !ok || !compare(n, c.op, c.num) {
+			return false
+		}
+	}
+	return true
+}
+
+// toNum normalises the scalar types Record.Get yields to float64.
+func toNum(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case byte:
+		return float64(x), true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+func compare(a float64, op filterOp, b float64) bool {
+	switch op {
+	case opEQ:
+		return a == b
+	case opNE:
+		return a != b
+	case opLT:
+		return a < b
+	case opLE:
+		return a <= b
+	case opGT:
+		return a > b
+	case opGE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package echan
+
+import (
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+func filterRecord(t *testing.T, vals map[string]any) *pbio.Record {
+	t.Helper()
+	ctx := pbio.NewContext()
+	f, err := ctx.RegisterFields("Reading", []pbio.IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "temp", Type: "double"},
+		{Name: "site", Type: "string"},
+		{Name: "ok", Type: "boolean"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pbio.NewRecord(f)
+	for k, v := range vals {
+		if err := r.Set(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestFilterMatch(t *testing.T) {
+	rec := filterRecord(t, map[string]any{
+		"seq": 7, "temp": 31.5, "site": "upstream", "ok": true,
+	})
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"temp >= 30", true},
+		{"temp > 31.5", false},
+		{"temp <= 31.5 && seq == 7", true},
+		{"seq != 7", false},
+		{"seq < 10 && temp > 30 && site == \"upstream\"", true},
+		{"site == 'downstream'", false},
+		{"site != 'downstream'", true},
+		{"ok == true", true},
+		{"ok == false", false},
+		{"missing > 0", false}, // absent field fails the clause
+		{"site > 'a'", false},  // ordering on strings is rejected at parse; see below
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.expr)
+		if err != nil {
+			// The last case is a parse error by design.
+			if c.expr == "site > 'a'" {
+				continue
+			}
+			t.Errorf("ParseFilter(%q): %v", c.expr, err)
+			continue
+		}
+		if got := f.Match(rec); got != c.want {
+			t.Errorf("%q matched %v, want %v", c.expr, got, c.want)
+		}
+		if f.String() != c.expr {
+			t.Errorf("String() = %q, want %q", f.String(), c.expr)
+		}
+	}
+}
+
+func TestFilterParseErrors(t *testing.T) {
+	for _, expr := range []string{
+		"", "temp", "temp >", "> 3", "temp == ", "temp == 'open",
+		"temp >= 30 &&", "temp = 30", "temp == banana",
+	} {
+		if _, err := ParseFilter(expr); err == nil {
+			t.Errorf("ParseFilter(%q) accepted a malformed expression", expr)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFilter did not panic on a bad expression")
+		}
+	}()
+	MustFilter("not a filter")
+}

@@ -1,0 +1,161 @@
+package echan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The broker control protocol is line-oriented text until a connection
+// commits to a role, then binary transport frames:
+//
+//	CREATE <channel> [oob]            create a channel (oob: out-of-band metadata)
+//	DERIVE <channel> <parent> <expr>  create a filtered derived channel
+//	PUB <channel>                     become a publisher; transport frames follow
+//	SUB <channel> [policy] [queue]    become a subscriber; frames flow to the client
+//	UNSUB                             (subscriber only) drain and detach
+//	STATS <channel>                   one line of counters
+//	LIST                              channel names
+//
+// Responses are a single line: "OK ..." or "ERR <reason>".  After "OK" to
+// PUB the client sends transport frames (format announcements and data
+// messages); after "OK" to SUB the server sends them.  A subscriber may
+// still send "UNSUB" as a text line — the server acknowledges by draining
+// the queue and closing the stream, so the text never interleaves with
+// frame bytes in either direction.
+//
+// maxCommandLine bounds a control line; longer input is a protocol error.
+const maxCommandLine = 4096
+
+// Verb is a control-protocol command verb.
+type Verb int
+
+const (
+	VerbCreate Verb = iota
+	VerbDerive
+	VerbPub
+	VerbSub
+	VerbUnsub
+	VerbStats
+	VerbList
+)
+
+// Command is one parsed control line.
+type Command struct {
+	Verb   Verb
+	Name   string
+	Parent string // DERIVE only
+	Filter string // DERIVE only, validated by ParseFilter
+	Policy Policy // SUB only (default Block)
+	Queue  int    // SUB only (0: channel default)
+	OOB    bool   // CREATE only
+}
+
+// ParseCommand parses one control line.  It validates channel names, policy
+// names, queue sizes, and (for DERIVE) that the filter expression compiles,
+// so a command that parses is safe to execute.
+func ParseCommand(line string) (Command, error) {
+	if len(line) > maxCommandLine {
+		return Command{}, fmt.Errorf("echan: command line over %d bytes", maxCommandLine)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Command{}, fmt.Errorf("echan: empty command")
+	}
+	verb := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch verb {
+	case "CREATE":
+		if len(args) < 1 || len(args) > 2 {
+			return Command{}, fmt.Errorf("echan: usage: CREATE <channel> [oob]")
+		}
+		cmd := Command{Verb: VerbCreate, Name: args[0]}
+		if len(args) == 2 {
+			if !strings.EqualFold(args[1], "oob") {
+				return Command{}, fmt.Errorf("echan: unknown CREATE option %q", args[1])
+			}
+			cmd.OOB = true
+		}
+		return cmd, checkName(cmd.Name)
+	case "DERIVE":
+		if len(args) < 3 {
+			return Command{}, fmt.Errorf("echan: usage: DERIVE <channel> <parent> <filter>")
+		}
+		cmd := Command{Verb: VerbDerive, Name: args[0], Parent: args[1]}
+		// The filter is the untokenised remainder of the line (so string
+		// literals may contain spaces): skip the first three tokens in
+		// place rather than re-searching, which would mis-split when the
+		// parent name is a substring of the channel name.
+		rest := line
+		for _, tok := range []string{fields[0], args[0], args[1]} {
+			rest = strings.TrimLeftFunc(rest, unicode.IsSpace)
+			rest = rest[len(tok):]
+		}
+		cmd.Filter = strings.TrimSpace(rest)
+		if err := checkName(cmd.Name); err != nil {
+			return Command{}, err
+		}
+		if err := checkName(cmd.Parent); err != nil {
+			return Command{}, err
+		}
+		if _, err := ParseFilter(cmd.Filter); err != nil {
+			return Command{}, err
+		}
+		return cmd, nil
+	case "PUB":
+		if len(args) != 1 {
+			return Command{}, fmt.Errorf("echan: usage: PUB <channel>")
+		}
+		cmd := Command{Verb: VerbPub, Name: args[0]}
+		return cmd, checkName(cmd.Name)
+	case "SUB":
+		if len(args) < 1 || len(args) > 3 {
+			return Command{}, fmt.Errorf("echan: usage: SUB <channel> [policy] [queue]")
+		}
+		cmd := Command{Verb: VerbSub, Name: args[0], Policy: Block}
+		if err := checkName(cmd.Name); err != nil {
+			return Command{}, err
+		}
+		if len(args) >= 2 {
+			p, err := ParsePolicy(args[1])
+			if err != nil {
+				return Command{}, err
+			}
+			cmd.Policy = p
+		}
+		if len(args) == 3 {
+			n, err := strconv.Atoi(args[2])
+			if err != nil || n < 1 || n > 1<<20 {
+				return Command{}, fmt.Errorf("echan: bad queue length %q", args[2])
+			}
+			cmd.Queue = n
+		}
+		return cmd, nil
+	case "UNSUB":
+		if len(args) != 0 {
+			return Command{}, fmt.Errorf("echan: UNSUB takes no arguments")
+		}
+		return Command{Verb: VerbUnsub}, nil
+	case "STATS":
+		if len(args) != 1 {
+			return Command{}, fmt.Errorf("echan: usage: STATS <channel>")
+		}
+		cmd := Command{Verb: VerbStats, Name: args[0]}
+		return cmd, checkName(cmd.Name)
+	case "LIST":
+		if len(args) != 0 {
+			return Command{}, fmt.Errorf("echan: LIST takes no arguments")
+		}
+		return Command{Verb: VerbList}, nil
+	}
+	return Command{}, fmt.Errorf("echan: unknown command %q", fields[0])
+}
+
+func checkName(name string) error {
+	if !validName(name) {
+		return fmt.Errorf("echan: invalid channel name %q", name)
+	}
+	return nil
+}

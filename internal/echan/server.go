@@ -1,0 +1,309 @@
+package echan
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+// Server serves a Broker over TCP using the control protocol described in
+// protocol.go: each connection starts in text mode and either stays a
+// control connection (CREATE/DERIVE/STATS/LIST) or commits to a publisher
+// or subscriber role and switches to transport frames.
+type Server struct {
+	broker *Broker
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer creates a server over a (possibly shared) broker.
+func NewServer(b *Broker) *Server {
+	if b == nil {
+		b = NewBroker()
+	}
+	return &Server{broker: b, conns: make(map[net.Conn]bool)}
+}
+
+// Broker returns the broker the server fronts.
+func (s *Server) Broker() *Broker { return s.broker }
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and tears down live connections.  The broker and
+// its channels are left to their owner.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func writeLine(w io.Writer, line string) error {
+	_, err := io.WriteString(w, line+"\n")
+	return err
+}
+
+// readCommandLine reads one bounded control line.
+func readCommandLine(rd *bufio.Reader) (string, error) {
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxCommandLine {
+		return "", fmt.Errorf("echan: command line over %d bytes", maxCommandLine)
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	for {
+		line, err := readCommandLine(rd)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			if writeLine(conn, "ERR "+err.Error()) != nil {
+				return
+			}
+			continue
+		}
+		switch cmd.Verb {
+		case VerbCreate:
+			var opts []ChannelOption
+			if cmd.OOB {
+				opts = append(opts, WithOutOfBand())
+			}
+			if _, err := s.broker.Create(cmd.Name, opts...); err != nil {
+				err = writeLine(conn, "ERR "+err.Error())
+			} else {
+				err = writeLine(conn, "OK created "+cmd.Name)
+			}
+			if err != nil {
+				return
+			}
+		case VerbDerive:
+			f, err := ParseFilter(cmd.Filter)
+			if err == nil {
+				_, err = s.broker.Derive(cmd.Name, cmd.Parent, f)
+			}
+			if err != nil {
+				err = writeLine(conn, "ERR "+err.Error())
+			} else {
+				err = writeLine(conn, "OK derived "+cmd.Name)
+			}
+			if err != nil {
+				return
+			}
+		case VerbStats:
+			ch, ok := s.broker.Get(cmd.Name)
+			if !ok {
+				if writeLine(conn, "ERR "+ErrNoChannel.Error()+": "+cmd.Name) != nil {
+					return
+				}
+				continue
+			}
+			st := ch.Stats()
+			line := fmt.Sprintf(
+				"OK published=%d delivered=%d dropped_oldest=%d dropped_newest=%d block_waits=%d subscribers=%d depth=%d",
+				st.Published, st.Delivered, st.DroppedOldest, st.DroppedNewest,
+				st.BlockWaits, st.Subscribers, st.Depth)
+			if writeLine(conn, line) != nil {
+				return
+			}
+		case VerbList:
+			if writeLine(conn, "OK "+strings.Join(s.broker.Channels(), " ")) != nil {
+				return
+			}
+		case VerbUnsub:
+			if writeLine(conn, "ERR not subscribed") != nil {
+				return
+			}
+		case VerbPub:
+			s.servePublisher(conn, rd, cmd)
+			return
+		case VerbSub:
+			s.serveSubscriber(conn, rd, cmd)
+			return
+		}
+	}
+}
+
+// servePublisher turns the connection into a frame stream feeding a
+// channel.  Format frames register metadata with the broker's context; data
+// frames are looked up by format ID and republished.  An out-of-band
+// publisher sends no format frames — the broker context's resolver (if any)
+// supplies the metadata instead.
+func (s *Server) servePublisher(conn net.Conn, rd *bufio.Reader, cmd Command) {
+	ch, err := s.broker.GetOrCreate(cmd.Name)
+	if err != nil {
+		writeLine(conn, "ERR "+err.Error())
+		return
+	}
+	if err := writeLine(conn, "OK publishing "+cmd.Name); err != nil {
+		return
+	}
+	var buf []byte
+	for {
+		kind, payload, err := readFrameInto(rd, &buf)
+		if err != nil {
+			return // EOF: publisher done
+		}
+		switch kind {
+		case transport.FrameFormat:
+			f, err := meta.ParseCanonical(payload)
+			if err != nil {
+				writeLine(conn, "ERR bad format frame: "+err.Error())
+				return
+			}
+			if _, err := s.broker.ctx.RegisterFormat(f); err != nil {
+				writeLine(conn, "ERR "+err.Error())
+				return
+			}
+		case transport.FrameData:
+			id, _, err := pbio.ParseHeader(payload)
+			if err != nil {
+				writeLine(conn, "ERR "+err.Error())
+				return
+			}
+			f, err := s.broker.ctx.LookupFormat(id)
+			if err != nil {
+				writeLine(conn, "ERR "+err.Error())
+				return
+			}
+			if err := ch.PublishMessage(f, payload); err != nil {
+				writeLine(conn, "ERR "+err.Error())
+				return
+			}
+		default:
+			writeLine(conn, fmt.Sprintf("ERR unknown frame kind %d", kind))
+			return
+		}
+	}
+}
+
+// serveSubscriber attaches the connection to a channel and then watches the
+// text side for UNSUB (drain and detach) until the client disconnects.
+func (s *Server) serveSubscriber(conn net.Conn, rd *bufio.Reader, cmd Command) {
+	ch, err := s.broker.GetOrCreate(cmd.Name)
+	if err != nil {
+		writeLine(conn, "ERR "+err.Error())
+		return
+	}
+	// The OK must be on the wire before the first frame can be, so the
+	// client reads a clean line and then switches to frame mode.
+	if err := writeLine(conn, "OK subscribed "+cmd.Name); err != nil {
+		return
+	}
+	var opts []SubOption
+	if cmd.Queue > 0 {
+		opts = append(opts, SubQueue(cmd.Queue))
+	}
+	sub, err := ch.Subscribe(conn, cmd.Policy, opts...)
+	if err != nil {
+		writeLine(conn, "ERR "+err.Error())
+		return
+	}
+	for {
+		line, err := readCommandLine(rd)
+		if err != nil {
+			// Client went away; drop queued events and detach.
+			sub.abort()
+			return
+		}
+		if strings.EqualFold(strings.TrimSpace(line), "UNSUB") {
+			// Drain what is queued, then EOF acknowledges the detach.
+			sub.Close()
+			return
+		}
+		// Any other text mid-stream is a protocol violation.
+		sub.abort()
+		return
+	}
+}
+
+// readFrameInto reads one transport frame into *buf (grown as needed and
+// reused across calls, so a steady publisher stream does not allocate).
+func readFrameInto(rd *bufio.Reader, buf *[]byte) (byte, []byte, error) {
+	var hdr [transport.FrameHeaderSize]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || int64(n) > int64(maxEventFrame) {
+		return 0, nil, fmt.Errorf("echan: frame of %d bytes out of range", n)
+	}
+	need := int(n) - 1
+	if cap(*buf) < need {
+		*buf = make([]byte, need)
+	}
+	b := (*buf)[:need]
+	if _, err := io.ReadFull(rd, b); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], b, nil
+}

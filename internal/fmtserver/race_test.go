@@ -1,0 +1,113 @@
+package fmtserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestRegistryConcurrentHammer drives Register, ResolveFormat,
+// LookupCanonical, IDs, and metrics scrapes from many goroutines at once, so
+// the -race run checks the registry's RWMutex discipline and the atomics
+// behind PublishMetrics against concurrent mutation.  The registry is shared
+// service infrastructure — every broker and transport in a deployment leans
+// on it simultaneously, which is exactly the load simulated here.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	m := obs.NewRegistry()
+	reg.PublishMetrics(m, "fmtserver")
+
+	shared := sampleFormat(t)
+	sharedID, err := reg.Register(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+
+	// Registrars: each stores its own stream of new formats and re-registers
+	// the shared one (counted, not re-stored).
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				f, err := meta.Build(fmt.Sprintf("hammer_%d_%d", w, i), platform.X8664, []meta.FieldDef{
+					{Name: "seq", Kind: meta.Integer, Class: platform.Int},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := reg.Register(f); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := reg.Register(shared); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Resolvers: hit the shared format, a guaranteed miss, and the catalogue
+	// listing while the registrars churn the map.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := reg.ResolveFormat(sharedID); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := reg.LookupCanonical(sharedID + 1); ok {
+					t.Error("bogus ID resolved")
+					return
+				}
+				if len(reg.IDs()) == 0 {
+					t.Error("IDs() lost the shared format")
+					return
+				}
+			}
+		}()
+	}
+
+	// Scrapers: read every published metric (including the formats gauge,
+	// which takes the registry lock) and replace the funcs mid-flight, the
+	// way a restarted exporter would.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			m.Each(func(string, any) {})
+			if v, ok := m.Value("fmtserver_formats"); !ok || v < 1 {
+				t.Errorf("fmtserver_formats = %v (ok=%v)", v, ok)
+				return
+			}
+			reg.PublishMetrics(m, "fmtserver")
+		}
+	}()
+
+	wg.Wait()
+
+	regs, regsNew, regErrs, _, misses := reg.Stats()
+	wantRegs := int64(1 + 2*workers*rounds)
+	wantNew := int64(1 + workers*rounds)
+	if regs != wantRegs || regsNew != wantNew || regErrs != 0 {
+		t.Errorf("Stats() = regs %d new %d errs %d, want %d %d 0", regs, regsNew, regErrs, wantRegs, wantNew)
+	}
+	if misses != int64(workers*rounds) {
+		t.Errorf("lookup misses = %d, want %d", misses, workers*rounds)
+	}
+	if v, ok := m.Value("fmtserver_register_total"); !ok || v != float64(wantRegs) {
+		t.Errorf("fmtserver_register_total = %v (ok=%v), want %d", v, ok, wantRegs)
+	}
+}

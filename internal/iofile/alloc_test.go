@@ -1,0 +1,43 @@
+package iofile
+
+import (
+	"io"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestWriterAllocFree pins the data-file port of the zero-allocation hot
+// path: once the binding is warm and the announcement frame is on the wire,
+// Writer.Write builds each frame in a pooled buffer and hands it to the
+// stream without allocating.
+func TestWriterAllocFree(t *testing.T) {
+	_, eb, _ := writerContext(t, platform.Sparc32)
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm: announce the format, compile the encode plan, prime the pool.
+	in := event{Seq: 1, Temp: 21.5, Note: "warm"}
+	for i := 0; i < 8; i++ {
+		if err := w.Write(eb, &in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		in.Seq++
+		if err := w.Write(eb, &in); err != nil {
+			t.Error(err)
+		}
+	}); n != 0 {
+		t.Errorf("Writer.Write: %v allocs/op, want 0", n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,8 @@ const (
 	frameFormat = 1
 	frameData   = 2
 
+	frameHeaderSize = 5
+
 	maxFrame = 256 << 20
 )
 
@@ -66,16 +68,24 @@ func Create(path string) (*Writer, error) {
 	return w, nil
 }
 
-// Write appends one message marshalled with the binding.
+// Write appends one message marshalled with the binding.  The frame is
+// built in a pooled buffer (reserve the header, encode in place, stamp the
+// length) and handed to the buffered stream as one contiguous Write, so
+// steady-state writes allocate nothing — the data-file transport costs what
+// the network transport costs.
 func (w *Writer) Write(b *pbio.Binding, v any) error {
 	if w.err != nil {
 		return w.err
 	}
-	msg, err := b.Encode(v)
+	buf := pbio.GetBuffer()
+	defer buf.Release()
+	dst := append(buf.B[:0], make([]byte, frameHeaderSize)...)
+	dst, err := b.AppendEncode(dst, v)
 	if err != nil {
 		return err
 	}
-	return w.writeMessage(b.ID(), b.Format(), msg)
+	buf.B = dst
+	return w.writeMessage(b.ID(), b.Format(), buf)
 }
 
 // WriteRecord appends a dynamic record using the given context for
@@ -84,21 +94,36 @@ func (w *Writer) WriteRecord(ctx *pbio.Context, r *pbio.Record) error {
 	if w.err != nil {
 		return w.err
 	}
-	msg, err := ctx.EncodeRecord(r)
+	id := r.Format().ID()
+	buf := pbio.GetBuffer()
+	defer buf.Release()
+	dst := append(buf.B[:0], make([]byte, frameHeaderSize)...)
+	dst = pbio.AppendHeader(dst, id)
+	dst, err := ctx.EncodeRecordBody(dst, r)
 	if err != nil {
 		return err
 	}
-	return w.writeMessage(r.Format().ID(), r.Format(), msg)
+	buf.B = dst
+	return w.writeMessage(id, r.Format(), buf)
 }
 
-func (w *Writer) writeMessage(id meta.FormatID, f *meta.Format, msg []byte) error {
+// writeMessage finishes a data frame built in place (frameHeaderSize
+// reserved bytes followed by the complete message) and writes it,
+// announcing the format first if the file hasn't carried it yet.
+func (w *Writer) writeMessage(id meta.FormatID, f *meta.Format, buf *pbio.Buffer) error {
 	if !w.announced[id] {
 		if err := w.writeFrame(frameFormat, f.Canonical()); err != nil {
 			return err
 		}
 		w.announced[id] = true
 	}
-	return w.writeFrame(frameData, msg)
+	binary.BigEndian.PutUint32(buf.B[:4], uint32(len(buf.B)-frameHeaderSize+1))
+	buf.B[4] = frameData
+	if _, err := w.w.Write(buf.B); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
 }
 
 func (w *Writer) writeFrame(kind byte, payload []byte) error {

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestRecvOversizeFrameSurvives pins the WithMaxFrame receive contract: a
+// frame beyond the receiver's cap yields ErrFrameTooLarge with the payload
+// drained, and the connection keeps working for subsequent messages.
+func TestRecvOversizeFrameSurvives(t *testing.T) {
+	sctx, b := senderContext(t, platform.X8664)
+	rctx := pbio.NewContext()
+	// Sender has the default cap; only the receiver is limited, so the
+	// oversize frame reaches the wire and must be drained on arrival.
+	ca, cb := Pipe(sctx, rctx)
+	WithMaxFrame(512)(cb)
+	defer ca.Close()
+	defer cb.Close()
+
+	big := SimpleData{Timestep: 1, Data: make([]float32, 1024)}
+	small := SimpleData{Timestep: 2, Data: []float32{1, 2, 3}}
+	sendErr := make(chan error, 1)
+	go func() {
+		if err := ca.Send(b, &big); err != nil {
+			sendErr <- err
+			return
+		}
+		sendErr <- ca.Send(b, &small)
+	}()
+
+	var out SimpleData
+	// The format announcement is small and absorbed; the oversize data
+	// frame surfaces as a typed error.
+	if _, err := cb.Recv(&out); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("Recv of oversize frame returned %v, want ErrFrameTooLarge", err)
+	}
+	// The stream is still framed: the next message decodes normally.
+	if _, err := cb.Recv(&out); err != nil {
+		t.Fatalf("Recv after oversize frame: %v", err)
+	}
+	if out.Timestep != 2 || len(out.Data) != 3 {
+		t.Errorf("got timestep %d with %d elems, want 2 with 3", out.Timestep, len(out.Data))
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+// TestDuplicateFormatAnnouncement drives the same format into one receiving
+// context from two connections: both announcements must be absorbed (the
+// second registration is idempotent) and messages from both connections
+// must decode.
+func TestDuplicateFormatAnnouncement(t *testing.T) {
+	s1, b1 := senderContext(t, platform.Sparc32)
+	s2, b2 := senderContext(t, platform.Sparc32)
+	rctx := pbio.NewContext()
+
+	ca1, cb1 := Pipe(s1, rctx)
+	ca2, cb2 := Pipe(s2, rctx)
+	defer ca1.Close()
+	defer cb1.Close()
+	defer ca2.Close()
+	defer cb2.Close()
+
+	go func() { ca1.Send(b1, &SimpleData{Timestep: 1, Data: []float32{1}}) }()
+	go func() { ca2.Send(b2, &SimpleData{Timestep: 2, Data: []float32{2}}) }()
+
+	var out1, out2 SimpleData
+	if _, err := cb1.Recv(&out1); err != nil {
+		t.Fatalf("recv conn1: %v", err)
+	}
+	if _, err := cb2.Recv(&out2); err != nil {
+		t.Fatalf("recv conn2: %v", err)
+	}
+	if out1.Timestep != 1 || out2.Timestep != 2 {
+		t.Errorf("got timesteps %d/%d, want 1/2", out1.Timestep, out2.Timestep)
+	}
+	if n := cb1.Stats().FormatsLearned + cb2.Stats().FormatsLearned; n != 2 {
+		t.Errorf("formats learned across connections = %d, want 2", n)
+	}
+}
+
+// TestConcurrentAnnouncementsSharedContext hammers a single receiving
+// context from many connections all announcing the same format, so the
+// -race run exercises concurrent RegisterFormat of identical metadata.
+func TestConcurrentAnnouncementsSharedContext(t *testing.T) {
+	const conns = 8
+	const msgs = 50
+	rctx := pbio.NewContext()
+
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		sctx, b := senderContext(t, platform.Sparc32)
+		ca, cb := Pipe(sctx, rctx)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			defer ca.Close()
+			for k := 0; k < msgs; k++ {
+				if err := ca.Send(b, &SimpleData{Timestep: int32(k), Data: []float32{1, 2}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			defer cb.Close()
+			var out SimpleData
+			for k := 0; k < msgs; k++ {
+				if _, err := cb.Recv(&out); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

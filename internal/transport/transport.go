@@ -12,6 +12,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,18 +25,30 @@ import (
 	"github.com/open-metadata/xmit/internal/pbio"
 )
 
-// Frame kinds.
+// Frame kinds.  They are exported so layers that speak the same wire format
+// (the event-channel broker, chiefly) frame through this package rather
+// than re-deriving the layout.
 const (
-	kindFormat = 1 // payload: canonical format metadata
-	kindData   = 2 // payload: 8-byte format ID + message body
+	// FrameFormat frames canonical format metadata.
+	FrameFormat = 1
+	// FrameData frames a complete PBIO message: the 8-byte format ID
+	// followed by the message body.
+	FrameData = 2
 )
 
-// frameHdrSize is the length of a frame header: a 4-byte big-endian length
-// (covering the kind byte and payload) followed by the 1-byte kind.
-const frameHdrSize = 5
+// FrameHeaderSize is the length of a frame header: a 4-byte big-endian
+// length (covering the kind byte and payload) followed by the 1-byte kind.
+const FrameHeaderSize = 5
 
-// maxFrame bounds a single message (64 MiB, far above any benchmark size).
-const maxFrame = 64 << 20
+// DefaultMaxFrame bounds a single message when WithMaxFrame is not given
+// (64 MiB, far above any benchmark size).
+const DefaultMaxFrame = 64 << 20
+
+// ErrFrameTooLarge reports a frame beyond the connection's size limit.  On
+// send it is returned before any bytes reach the wire; on receive the
+// oversized payload is drained so the stream stays framed — in both cases
+// the connection remains usable.  Match it with errors.Is.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
 
 // Mode selects how receivers learn formats.
 type Mode int
@@ -61,7 +74,8 @@ type Conn struct {
 	rwc io.ReadWriteCloser
 	ctx *pbio.Context
 
-	mode Mode
+	mode     Mode
+	maxFrame int // frame size cap (DefaultMaxFrame unless WithMaxFrame)
 
 	batchMax   int           // >1 enables batching
 	flushAfter time.Duration // deadline for a partially filled batch
@@ -151,6 +165,18 @@ func WithMode(m Mode) ConnOption {
 	return func(c *Conn) { c.mode = m }
 }
 
+// WithMaxFrame caps the size of a single frame (header byte plus payload)
+// on both send and receive.  Oversize sends and receives return
+// ErrFrameTooLarge without invalidating the connection.  n <= 0 keeps the
+// default (DefaultMaxFrame).
+func WithMaxFrame(n int) ConnOption {
+	return func(c *Conn) {
+		if n > 0 {
+			c.maxFrame = n
+		}
+	}
+}
+
 // WithBatching coalesces up to maxMsgs data messages into a single Write on
 // the underlying stream.  A partially filled batch is flushed when
 // flushAfter elapses (if positive), on an explicit Flush, or on Close, so a
@@ -167,7 +193,7 @@ func WithBatching(maxMsgs int, flushAfter time.Duration) ConnOption {
 // NewConn wraps a byte stream as a message connection using ctx for all
 // metadata and marshaling.
 func NewConn(rwc io.ReadWriteCloser, ctx *pbio.Context, opts ...ConnOption) *Conn {
-	c := &Conn{rwc: rwc, ctx: ctx, announced: make(map[meta.FormatID]bool)}
+	c := &Conn{rwc: rwc, ctx: ctx, maxFrame: DefaultMaxFrame, announced: make(map[meta.FormatID]bool)}
 	for _, o := range opts {
 		o(c)
 	}
@@ -194,7 +220,7 @@ func (c *Conn) Close() error {
 func (c *Conn) Send(b *pbio.Binding, v any) error {
 	buf := pbio.GetBuffer()
 	defer buf.Release()
-	dst := append(buf.B[:0], make([]byte, frameHdrSize)...)
+	dst := append(buf.B[:0], make([]byte, FrameHeaderSize)...)
 	dst, err := b.AppendEncode(dst, v)
 	if err != nil {
 		return err
@@ -211,7 +237,7 @@ func (c *Conn) SendRecord(r *pbio.Record) error {
 	}
 	buf := pbio.GetBuffer()
 	defer buf.Release()
-	dst := append(buf.B[:0], make([]byte, frameHdrSize)...)
+	dst := append(buf.B[:0], make([]byte, FrameHeaderSize)...)
 	dst = pbio.AppendHeader(dst, id)
 	dst, err = c.ctx.EncodeRecordBody(dst, r)
 	if err != nil {
@@ -221,15 +247,15 @@ func (c *Conn) SendRecord(r *pbio.Record) error {
 	return c.sendFramed(id, r.Format(), buf)
 }
 
-// sendFramed finishes a data frame whose buffer holds frameHdrSize reserved
-// bytes followed by the message, then writes or batches it.
+// sendFramed finishes a data frame whose buffer holds FrameHeaderSize
+// reserved bytes followed by the message, then writes or batches it.
 func (c *Conn) sendFramed(id meta.FormatID, f *meta.Format, buf *pbio.Buffer) error {
-	payload := len(buf.B) - frameHdrSize
-	if payload+1 > maxFrame {
-		return fmt.Errorf("transport: message of %d bytes exceeds frame limit", payload)
+	payload := len(buf.B) - FrameHeaderSize
+	if payload+1 > c.maxFrame {
+		return fmt.Errorf("transport: %d-byte message over the %d-byte cap: %w",
+			payload, c.maxFrame, ErrFrameTooLarge)
 	}
-	binary.BigEndian.PutUint32(buf.B[:4], uint32(payload+1))
-	buf.B[4] = kindData
+	PutFrameHeader(buf.B, FrameData)
 
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -238,14 +264,14 @@ func (c *Conn) sendFramed(id meta.FormatID, f *meta.Format, buf *pbio.Buffer) er
 	}
 	if c.mode == InBand && !c.announced[id] {
 		canon := f.Canonical()
-		if err := c.writeOrBatch(kindFormat, canon, nil); err != nil {
+		if err := c.writeOrBatch(FrameFormat, canon, nil); err != nil {
 			return err
 		}
 		c.announced[id] = true
 		c.stats.formatsAnnounced.Add(1)
-		c.stats.bytesSent.Add(int64(len(canon)) + frameHdrSize)
+		c.stats.bytesSent.Add(int64(len(canon)) + FrameHeaderSize)
 	}
-	if err := c.writeOrBatch(kindData, nil, buf.B); err != nil {
+	if err := c.writeOrBatch(FrameData, nil, buf.B); err != nil {
 		return err
 	}
 	c.stats.messagesSent.Add(1)
@@ -259,6 +285,10 @@ func (c *Conn) sendFramed(id meta.FormatID, f *meta.Format, buf *pbio.Buffer) er
 // buffer and flushes when the batch reaches batchMax data messages.
 // Callers hold sendMu.
 func (c *Conn) writeOrBatch(kind byte, payload, frame []byte) error {
+	if payload != nil && len(payload)+1 > c.maxFrame {
+		return fmt.Errorf("transport: %d-byte payload over the %d-byte cap: %w",
+			len(payload), c.maxFrame, ErrFrameTooLarge)
+	}
 	if c.batchMax <= 1 {
 		if frame != nil {
 			_, err := c.rwc.Write(frame)
@@ -272,12 +302,9 @@ func (c *Conn) writeOrBatch(kind byte, payload, frame []byte) error {
 	if frame != nil {
 		c.batch.B = append(c.batch.B, frame...)
 	} else {
-		if len(payload)+1 > maxFrame {
-			return fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(payload))
-		}
-		c.batch.B = appendFrame(c.batch.B, kind, payload)
+		c.batch.B = AppendFrame(c.batch.B, kind, payload)
 	}
-	if kind == kindData {
+	if kind == FrameData {
 		c.batchN++
 		if c.batchN >= c.batchMax {
 			return c.flushLocked()
@@ -389,9 +416,9 @@ func (c *Conn) nextData() ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.stats.bytesReceived.Add(int64(len(payload)) + frameHdrSize)
+		c.stats.bytesReceived.Add(int64(len(payload)) + FrameHeaderSize)
 		switch kind {
-		case kindFormat:
+		case FrameFormat:
 			f, err := meta.ParseCanonical(payload)
 			if err != nil {
 				return nil, fmt.Errorf("transport: bad format announcement: %w", err)
@@ -400,7 +427,7 @@ func (c *Conn) nextData() ([]byte, error) {
 				return nil, err
 			}
 			c.stats.formatsLearned.Add(1)
-		case kindData:
+		case FrameData:
 			c.stats.messagesReceived.Add(1)
 			return payload, nil
 		default:
@@ -410,15 +437,25 @@ func (c *Conn) nextData() ([]byte, error) {
 }
 
 func (c *Conn) readFrame() (byte, []byte, error) {
-	var hdr [5]byte
+	var hdr [FrameHeaderSize]byte
 	if _, err := io.ReadFull(c.rwc, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if n < 1 || n > maxFrame {
+	if n < 1 {
 		return 0, nil, fmt.Errorf("transport: frame of %d bytes out of range", n)
 	}
 	need := int(n) - 1
+	if int64(n) > int64(c.maxFrame) {
+		// Drain the payload so the stream stays framed; the caller can
+		// keep receiving on the same connection.
+		if _, err := io.CopyN(io.Discard, c.rwc, int64(need)); err != nil {
+			return 0, nil, err
+		}
+		c.stats.bytesReceived.Add(int64(need) + FrameHeaderSize)
+		return 0, nil, fmt.Errorf("transport: %d-byte frame over the %d-byte cap: %w",
+			n, c.maxFrame, ErrFrameTooLarge)
+	}
 	if cap(c.recvBuf) < need {
 		c.recvBuf = make([]byte, need)
 	}
@@ -430,10 +467,7 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 }
 
 func writeFrame(w io.Writer, kind byte, payload []byte) error {
-	if len(payload)+1 > maxFrame {
-		return fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(payload))
-	}
-	var hdr [frameHdrSize]byte
+	var hdr [FrameHeaderSize]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = kind
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -443,13 +477,24 @@ func writeFrame(w io.Writer, kind byte, payload []byte) error {
 	return err
 }
 
-// appendFrame appends a framed payload to dst.  Callers check maxFrame.
-func appendFrame(dst []byte, kind byte, payload []byte) []byte {
-	var hdr [frameHdrSize]byte
+// AppendFrame appends a framed payload to dst and returns the extended
+// slice.  Callers enforce their frame cap.
+func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+	var hdr [FrameHeaderSize]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = kind
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
+}
+
+// PutFrameHeader fills in the header of a frame built in place: frame holds
+// FrameHeaderSize reserved bytes followed by the payload.  Building frames
+// this way (reserve, encode, stamp) avoids copying the payload; the
+// transport send path and the event-channel broker both use it, so the wire
+// layout cannot drift between them.
+func PutFrameHeader(frame []byte, kind byte) {
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-FrameHeaderSize+1))
+	frame[4] = kind
 }
 
 // Pipe returns two connected in-process Conns (for tests and single-process

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -266,16 +267,16 @@ func TestOversizeFrameRejected(t *testing.T) {
 	sctx, b := senderContext(t, platform.X8664)
 	// Out-of-band mode: the only write attempted is the (oversize) data
 	// frame, which must be rejected before any blocking I/O.
-	cs, cr := Pipe(sctx, pbio.NewContext(), WithMode(OutOfBand))
+	cs, cr := Pipe(sctx, pbio.NewContext(), WithMode(OutOfBand), WithMaxFrame(1024))
 	defer cr.Close()
-	in := SimpleData{Data: make([]float32, (maxFrame/4)+16)}
+	in := SimpleData{Data: make([]float32, 1024/4+16)}
 	errc := make(chan error, 1)
 	go func() {
 		errc <- cs.Send(b, &in)
 	}()
-	// The send must fail locally without writing.
-	if err := <-errc; err == nil {
-		t.Error("oversize message should be rejected")
+	// The send must fail locally without writing, with the typed error.
+	if err := <-errc; !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize message returned %v, want ErrFrameTooLarge", err)
 	}
 	cs.Close()
 }
