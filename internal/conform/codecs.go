@@ -1,0 +1,304 @@
+package conform
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"github.com/open-metadata/xmit/internal/cdr"
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/mpidt"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+	"github.com/open-metadata/xmit/internal/xdr"
+	"github.com/open-metadata/xmit/internal/xmlwire"
+)
+
+// Platforms are the simulated ABIs every conformance run crosses: both byte
+// orders, both pointer widths, and the i386 4-byte double-alignment quirk.
+func Platforms() []*platform.Platform {
+	return []*platform.Platform{platform.Sparc32, platform.Sparc64, platform.X86, platform.X8664}
+}
+
+// CompiledSpec caches everything derived from one Spec: the synthesized Go
+// type and the concrete format per platform.
+type CompiledSpec struct {
+	Spec    *Spec
+	GoType  reflect.Type
+	formats map[string]*meta.Format
+}
+
+// Compile lays the spec out on every platform and synthesizes its Go type.
+func (s *Spec) Compile(plats []*platform.Platform) (*CompiledSpec, error) {
+	t, err := s.GoType()
+	if err != nil {
+		return nil, err
+	}
+	cs := &CompiledSpec{Spec: s, GoType: t, formats: make(map[string]*meta.Format, len(plats))}
+	for _, p := range plats {
+		f, err := s.Build(p)
+		if err != nil {
+			return nil, fmt.Errorf("conform: spec %q on %s: %w", s.Name, p.Name, err)
+		}
+		cs.formats[p.Name] = f
+	}
+	return cs, nil
+}
+
+// Format returns the spec's layout on the named platform.
+func (cs *CompiledSpec) Format(platformName string) *meta.Format { return cs.formats[platformName] }
+
+// newValue returns a pointer to a zero value of the spec's Go type.
+func (cs *CompiledSpec) newValue() any { return reflect.New(cs.GoType).Interface() }
+
+// Driver is one marshaling backend under differential test.  Encode
+// produces the wire bytes a sender on fSend's platform would emit; Decode
+// consumes them on a receiver whose native layout is fRecv (only codecs
+// that rebuild a local memory image — mpidt — use fRecv; the others decode
+// straight into Go values).
+type Driver interface {
+	Name() string
+	// Eligible reports whether the codec supports this spec at all
+	// (mpidt has no mapping for strings or dynamic arrays).
+	Eligible(s *Spec) bool
+	Encode(cs *CompiledSpec, fSend *meta.Format, tree []any) ([]byte, error)
+	Decode(cs *CompiledSpec, fSend, fRecv *meta.Format, wire []byte) ([]any, error)
+}
+
+// Drivers returns every backend, pbio (the reference) first.
+func Drivers(ctx *pbio.Context) []Driver {
+	return []Driver{
+		&pbioStructDriver{ctx: ctx},
+		&pbioRecordDriver{ctx: ctx},
+		&xdrDriver{},
+		&cdrDriver{},
+		&xmlDriver{},
+		&mpiDriver{ctx: ctx},
+	}
+}
+
+// ReferenceDriver is the driver whose result defines correctness: PBIO's
+// compiled struct path.
+const ReferenceDriver = "pbio"
+
+type pbioStructDriver struct{ ctx *pbio.Context }
+
+func (d *pbioStructDriver) Name() string          { return ReferenceDriver }
+func (d *pbioStructDriver) Eligible(s *Spec) bool { return true }
+
+func (d *pbioStructDriver) Encode(cs *CompiledSpec, fSend *meta.Format, tree []any) ([]byte, error) {
+	v, err := cs.Spec.BuildStruct(tree)
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.ctx.Bind(fSend, v)
+	if err != nil {
+		return nil, err
+	}
+	return b.EncodeBody(nil, v)
+}
+
+func (d *pbioStructDriver) Decode(cs *CompiledSpec, fSend, fRecv *meta.Format, wire []byte) ([]any, error) {
+	out := cs.newValue()
+	if err := d.ctx.DecodeBody(fSend, wire, out); err != nil {
+		return nil, err
+	}
+	return cs.Spec.ExtractStruct(out)
+}
+
+type pbioRecordDriver struct{ ctx *pbio.Context }
+
+func (d *pbioRecordDriver) Name() string          { return "pbio-record" }
+func (d *pbioRecordDriver) Eligible(s *Spec) bool { return true }
+
+func (d *pbioRecordDriver) Encode(cs *CompiledSpec, fSend *meta.Format, tree []any) ([]byte, error) {
+	rec, err := cs.Spec.BuildRecord(fSend, tree)
+	if err != nil {
+		return nil, err
+	}
+	return d.ctx.EncodeRecordBody(nil, rec)
+}
+
+func (d *pbioRecordDriver) Decode(cs *CompiledSpec, fSend, fRecv *meta.Format, wire []byte) ([]any, error) {
+	rec, err := d.ctx.DecodeRecordBody(fSend, wire)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Spec.ExtractRecord(rec)
+}
+
+// refbindCodec is the common shape of the xdr/cdr/xmlwire codecs.
+type refbindCodec interface {
+	Encode(dst []byte, v any) ([]byte, error)
+	Decode(data []byte, out any) error
+}
+
+// codecCache memoises compiled refbind codecs per format (formats are
+// interned per CompiledSpec, so pointer identity is the right key).
+type codecCache struct {
+	mu sync.Mutex
+	m  map[*meta.Format]refbindCodec
+}
+
+func (cc *codecCache) get(f *meta.Format, build func() (refbindCodec, error)) (refbindCodec, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.m == nil {
+		cc.m = make(map[*meta.Format]refbindCodec)
+	}
+	if c, ok := cc.m[f]; ok {
+		return c, nil
+	}
+	c, err := build()
+	if err != nil {
+		return nil, err
+	}
+	cc.m[f] = c
+	return c, nil
+}
+
+func refbindEncode(cc *codecCache, cs *CompiledSpec, f *meta.Format, tree []any,
+	build func() (refbindCodec, error)) ([]byte, error) {
+	c, err := cc.get(f, build)
+	if err != nil {
+		return nil, err
+	}
+	v, err := cs.Spec.BuildStruct(tree)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encode(nil, v)
+}
+
+func refbindDecode(cc *codecCache, cs *CompiledSpec, f *meta.Format, wire []byte,
+	build func() (refbindCodec, error)) ([]any, error) {
+	c, err := cc.get(f, build)
+	if err != nil {
+		return nil, err
+	}
+	out := cs.newValue()
+	if err := c.Decode(wire, out); err != nil {
+		return nil, err
+	}
+	return cs.Spec.ExtractStruct(out)
+}
+
+type xdrDriver struct{ cache codecCache }
+
+func (d *xdrDriver) Name() string          { return "xdr" }
+func (d *xdrDriver) Eligible(s *Spec) bool { return true }
+
+func (d *xdrDriver) Encode(cs *CompiledSpec, fSend *meta.Format, tree []any) ([]byte, error) {
+	return refbindEncode(&d.cache, cs, fSend, tree, func() (refbindCodec, error) {
+		return xdr.NewCodec(fSend, cs.newValue())
+	})
+}
+
+func (d *xdrDriver) Decode(cs *CompiledSpec, fSend, fRecv *meta.Format, wire []byte) ([]any, error) {
+	return refbindDecode(&d.cache, cs, fSend, wire, func() (refbindCodec, error) {
+		return xdr.NewCodec(fSend, cs.newValue())
+	})
+}
+
+type cdrDriver struct{ cache codecCache }
+
+func (d *cdrDriver) Name() string          { return "cdr" }
+func (d *cdrDriver) Eligible(s *Spec) bool { return true }
+
+func (d *cdrDriver) Encode(cs *CompiledSpec, fSend *meta.Format, tree []any) ([]byte, error) {
+	return refbindEncode(&d.cache, cs, fSend, tree, func() (refbindCodec, error) {
+		return cdr.NewCodec(fSend, cs.newValue())
+	})
+}
+
+func (d *cdrDriver) Decode(cs *CompiledSpec, fSend, fRecv *meta.Format, wire []byte) ([]any, error) {
+	return refbindDecode(&d.cache, cs, fSend, wire, func() (refbindCodec, error) {
+		return cdr.NewCodec(fSend, cs.newValue())
+	})
+}
+
+type xmlDriver struct{ cache codecCache }
+
+func (d *xmlDriver) Name() string          { return "xmlwire" }
+func (d *xmlDriver) Eligible(s *Spec) bool { return true }
+
+func (d *xmlDriver) Encode(cs *CompiledSpec, fSend *meta.Format, tree []any) ([]byte, error) {
+	return refbindEncode(&d.cache, cs, fSend, tree, func() (refbindCodec, error) {
+		return xmlwire.NewCodec(fSend, cs.newValue())
+	})
+}
+
+func (d *xmlDriver) Decode(cs *CompiledSpec, fSend, fRecv *meta.Format, wire []byte) ([]any, error) {
+	return refbindDecode(&d.cache, cs, fSend, wire, func() (refbindCodec, error) {
+		return xmlwire.NewCodec(fSend, cs.newValue())
+	})
+}
+
+// mpiDriver drives MPI derived datatypes: the sender's native memory image
+// (identical bytes to PBIO's fixed block) is packed one basic element at a
+// time into the canonical big-endian external format, then unpacked into
+// the *receiver's* native image and read back through the record decoder —
+// the only driver whose decode genuinely depends on the receiver ABI.
+type mpiDriver struct{ ctx *pbio.Context }
+
+func (d *mpiDriver) Name() string { return "mpidt" }
+
+// Eligible: MPI struct datatypes describe fixed layouts only.
+func (d *mpiDriver) Eligible(s *Spec) bool { return specFixed(s) }
+
+func specFixed(s *Spec) bool {
+	for i := range s.Fields {
+		fs := &s.Fields[i]
+		if fs.Kind == meta.String || fs.IsDynamic() {
+			return false
+		}
+		if fs.Kind == meta.Struct && !specFixed(fs.Sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func byteOrder(f *meta.Format) binary.ByteOrder {
+	if f.BigEndian {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+func (d *mpiDriver) Encode(cs *CompiledSpec, fSend *meta.Format, tree []any) ([]byte, error) {
+	v, err := cs.Spec.BuildStruct(tree)
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.ctx.Bind(fSend, v)
+	if err != nil {
+		return nil, err
+	}
+	image, err := b.EncodeBody(nil, v) // fixed layouts: body == memory image
+	if err != nil {
+		return nil, err
+	}
+	dt, err := mpidt.FromFormat(fSend)
+	if err != nil {
+		return nil, err
+	}
+	return mpidt.Pack(image, byteOrder(fSend), 1, dt, nil)
+}
+
+func (d *mpiDriver) Decode(cs *CompiledSpec, fSend, fRecv *meta.Format, wire []byte) ([]any, error) {
+	dt, err := mpidt.FromFormat(fRecv)
+	if err != nil {
+		return nil, err
+	}
+	image := make([]byte, fRecv.Size)
+	if err := mpidt.Unpack(wire, image, byteOrder(fRecv), 1, dt); err != nil {
+		return nil, err
+	}
+	rec, err := d.ctx.DecodeRecordBody(fRecv, image)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Spec.ExtractRecord(rec)
+}

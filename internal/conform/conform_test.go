@@ -1,0 +1,161 @@
+package conform
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// differentialN is the acceptance-criteria case count; -short (used by the
+// CI conform job to stay under its time budget) runs a subset.
+func differentialN(t *testing.T) int {
+	if testing.Short() {
+		return 64
+	}
+	return 500
+}
+
+// TestDifferential is the tentpole assertion: hundreds of random formats,
+// every codec, all 16 sender/receiver platform pairs, zero disagreements.
+func TestDifferential(t *testing.T) {
+	h := NewHarness()
+	n := differentialN(t)
+	st, err := h.Run(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Specs != n {
+		t.Fatalf("ran %d specs, want %d", st.Specs, n)
+	}
+	if st.Pairs != 16 {
+		t.Fatalf("platform pairs = %d, want 16", st.Pairs)
+	}
+	if st.Eligible[ReferenceDriver] != n {
+		t.Fatalf("reference driver eligible for %d/%d specs", st.Eligible[ReferenceDriver], n)
+	}
+	if st.Eligible["mpidt"] == 0 {
+		t.Fatal("no generated spec was mpidt-eligible; generator shape distribution is broken")
+	}
+	t.Logf("%d specs, %d legs, eligibility: %v", st.Specs, st.Checks, st.Eligible)
+}
+
+// TestTreeRepresentations checks the harness's own plumbing: a value tree
+// survives materialisation as a Go struct and as a dynamic record.
+func TestTreeRepresentations(t *testing.T) {
+	for seed := int64(2000); seed < 2100; seed++ {
+		s, tree := GenCase(seed)
+		v, err := s.BuildStruct(tree)
+		if err != nil {
+			t.Fatalf("seed %d: BuildStruct: %v", seed, err)
+		}
+		got, err := s.ExtractStruct(v)
+		if err != nil {
+			t.Fatalf("seed %d: ExtractStruct: %v", seed, err)
+		}
+		if !EqualTrees(tree, got) {
+			t.Fatalf("seed %d: struct round-trip\nwant %s\ngot  %s", seed, FormatTree(tree), FormatTree(got))
+		}
+		for _, p := range Platforms() {
+			f, err := s.Build(p)
+			if err != nil {
+				t.Fatalf("seed %d: build on %s: %v", seed, p.Name, err)
+			}
+			rec, err := s.BuildRecord(f, tree)
+			if err != nil {
+				t.Fatalf("seed %d: BuildRecord: %v", seed, err)
+			}
+			got, err := s.ExtractRecord(rec)
+			if err != nil {
+				t.Fatalf("seed %d: ExtractRecord: %v", seed, err)
+			}
+			if !EqualTrees(tree, got) {
+				t.Fatalf("seed %d: record round-trip on %s\nwant %s\ngot  %s",
+					seed, p.Name, FormatTree(tree), FormatTree(got))
+			}
+		}
+	}
+}
+
+// TestMinimizeEditsStayConsistent: every structural edit of a random spec
+// must yield a spec that still compiles and a tree that still materialises.
+func TestMinimizeEditsStayConsistent(t *testing.T) {
+	for seed := int64(3000); seed < 3050; seed++ {
+		s, tree := GenCase(seed)
+		for i, e := range edits(s) {
+			cand := e.adapt(cloneTree(tree))
+			if _, err := e.spec.Compile(Platforms()); err != nil {
+				t.Fatalf("seed %d edit %d: candidate spec does not compile: %v\n%s", seed, i, err, e.spec.XML())
+			}
+			if _, err := e.spec.BuildStruct(cand); err != nil {
+				t.Fatalf("seed %d edit %d: candidate tree does not materialise: %v\n%s", seed, i, err, e.spec.XML())
+			}
+		}
+		for i, cand := range zeroEdits(s, tree) {
+			if _, err := s.BuildStruct(cand); err != nil {
+				t.Fatalf("seed %d zero-edit %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// TestGoldenVectors gates the committed corpus: regenerating every vector
+// must reproduce the files under testdata/golden byte-for-byte.
+func TestGoldenVectors(t *testing.T) {
+	h := NewHarness()
+	mismatches, err := h.CheckGolden(filepath.Join("testdata", "golden"), GoldenCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+}
+
+// TestGoldenDetectsPerturbation proves the gate actually fires: flip one
+// byte of one committed vector in a scratch copy and the check must report
+// drift in exactly that file.
+func TestGoldenDetectsPerturbation(t *testing.T) {
+	h := NewHarness()
+	dir := t.TempDir()
+	if err := h.WriteGolden(dir, GoldenCount); err != nil {
+		t.Fatal(err)
+	}
+	if ms, err := h.CheckGolden(dir, GoldenCount); err != nil || len(ms) != 0 {
+		t.Fatalf("fresh corpus should verify cleanly, got %v, %v", ms, err)
+	}
+	path := goldenFile(dir, ReferenceDriver, "sparc32")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the first hex digit of the first vector line.
+	i := strings.IndexByte(string(data), '\n') + 1
+	for data[i] == '-' || data[i] == '\n' {
+		i++
+	}
+	if data[i] == '0' {
+		data[i] = '1'
+	} else {
+		data[i] = '0'
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := h.CheckGolden(dir, GoldenCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || !strings.Contains(ms[0], "pbio_sparc32") {
+		t.Fatalf("perturbed byte not detected: %v", ms)
+	}
+}
+
+// TestXMLRendersMinimizedFailure pins the reproduction output format.
+func TestXMLRendersMinimizedFailure(t *testing.T) {
+	s, _ := GenCase(1)
+	xml := s.XML()
+	if !strings.HasPrefix(xml, "<format name=") || !strings.Contains(xml, "<field name=") {
+		t.Fatalf("unexpected spec XML:\n%s", xml)
+	}
+}

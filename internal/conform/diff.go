@@ -1,0 +1,235 @@
+package conform
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// Harness wires the codec drivers, the platform set, and a shared pbio
+// context into one differential engine.
+type Harness struct {
+	Ctx   *pbio.Context
+	Plats []*platform.Platform
+	Drv   []Driver
+}
+
+// NewHarness builds the standard harness: all four simulated platforms,
+// every codec driver, one shared (concurrency-safe) pbio context.
+func NewHarness() *Harness {
+	ctx := pbio.NewContext()
+	return &Harness{Ctx: ctx, Plats: Platforms(), Drv: Drivers(ctx)}
+}
+
+// Disagreement is one codec result that differs from the reference.
+type Disagreement struct {
+	Spec     *Spec
+	Codec    string
+	Sender   string // sender platform
+	Receiver string // receiver platform
+	Stage    string // decode | relay-decode | encode | relay-encode | wire-identity
+	Detail   string
+}
+
+func (d Disagreement) String() string {
+	return fmt.Sprintf("%s [%s -> %s] %s: %s", d.Codec, d.Sender, d.Receiver, d.Stage, d.Detail)
+}
+
+// RunStats aggregates one differential run.
+type RunStats struct {
+	Specs         int
+	Pairs         int            // platform pairs per spec
+	Checks        int            // encode+decode legs executed
+	Eligible      map[string]int // codec name -> specs it ran on
+	Disagreements []Disagreement
+}
+
+func (st *RunStats) add(other []Disagreement) { st.Disagreements = append(st.Disagreements, other...) }
+
+// CheckSpec round-trips one (spec, value) through every codec and every
+// sender/receiver platform pair:
+//
+//	tree --encode(S)--> wire --decode(S on R)--> tree'   (must equal tree)
+//	tree' --encode(R)--> wire' --decode(R on S)--> tree'' (must equal tree)
+//
+// The second ("relay") leg is what makes the receiver platform meaningful
+// for codecs that decode straight into Go values: the decoded value is
+// re-encoded under the receiver's native layout and read back.  The two
+// pbio paths (struct and record) must additionally agree byte-for-byte on
+// the wire, covering the zero-alloc encoder against the reference encoder.
+func (h *Harness) CheckSpec(cs *CompiledSpec, tree []any, st *RunStats) []Disagreement {
+	var out []Disagreement
+	report := func(codec, sender, recv, stage, detail string) {
+		out = append(out, Disagreement{
+			Spec: cs.Spec, Codec: codec, Sender: sender, Receiver: recv, Stage: stage, Detail: detail,
+		})
+	}
+	for _, pS := range h.Plats {
+		fS := cs.Format(pS.Name)
+		// Wire identity between the two pbio encoders is per-sender.
+		refWire, err := h.Drv[0].Encode(cs, fS, tree)
+		if err != nil {
+			report(h.Drv[0].Name(), pS.Name, "-", "encode", err.Error())
+			continue
+		}
+		recWire, err := h.Drv[1].Encode(cs, fS, tree)
+		if err != nil {
+			report(h.Drv[1].Name(), pS.Name, "-", "encode", err.Error())
+		} else if !bytes.Equal(refWire, recWire) {
+			report(h.Drv[1].Name(), pS.Name, "-", "wire-identity",
+				fmt.Sprintf("record-path wire differs from struct-path wire at byte %d", firstDiff(refWire, recWire)))
+		}
+		for _, pR := range h.Plats {
+			fR := cs.Format(pR.Name)
+			for _, drv := range h.Drv {
+				if !drv.Eligible(cs.Spec) {
+					continue
+				}
+				out = append(out, h.roundTrip(cs, drv, fS, fR, pS.Name, pR.Name, tree, st)...)
+			}
+		}
+	}
+	return out
+}
+
+func (h *Harness) roundTrip(cs *CompiledSpec, drv Driver, fS, fR *meta.Format, sName, rName string,
+	tree []any, st *RunStats) []Disagreement {
+	var out []Disagreement
+	report := func(stage, detail string) {
+		out = append(out, Disagreement{
+			Spec: cs.Spec, Codec: drv.Name(), Sender: sName, Receiver: rName, Stage: stage, Detail: detail,
+		})
+	}
+	leg := func() {
+		if st != nil {
+			st.Checks++
+		}
+	}
+	leg()
+	wire, err := drv.Encode(cs, fS, tree)
+	if err != nil {
+		report("encode", err.Error())
+		return out
+	}
+	leg()
+	got, err := drv.Decode(cs, fS, fR, wire)
+	if err != nil {
+		report("decode", err.Error())
+		return out
+	}
+	if !EqualTrees(tree, got) {
+		report("decode", diffDetail(tree, got))
+		return out
+	}
+	// Relay: re-encode the decoded value under the receiver's layout and
+	// read it back on the original sender.
+	leg()
+	wire2, err := drv.Encode(cs, fR, got)
+	if err != nil {
+		report("relay-encode", err.Error())
+		return out
+	}
+	leg()
+	got2, err := drv.Decode(cs, fR, fS, wire2)
+	if err != nil {
+		report("relay-decode", err.Error())
+		return out
+	}
+	if !EqualTrees(tree, got2) {
+		report("relay-decode", diffDetail(tree, got2))
+	}
+	return out
+}
+
+func diffDetail(want, got []any) string {
+	w, g := FormatTree(want), FormatTree(got)
+	if len(w) > 160 {
+		w = w[:160] + "..."
+	}
+	if len(g) > 160 {
+		g = g[:160] + "..."
+	}
+	return fmt.Sprintf("decoded value differs\n    want %s\n    got  %s", w, g)
+}
+
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Run generates n random (spec, value) cases from the seed and checks each.
+// Case i uses its own generator seeded seed+i, so any failure replays in
+// isolation with Run(seed+i, 1) — the one-liner xmitconform prints.
+func (h *Harness) Run(seed int64, n int) (*RunStats, error) {
+	st := &RunStats{Pairs: len(h.Plats) * len(h.Plats), Eligible: map[string]int{}}
+	for i := 0; i < n; i++ {
+		caseSeed := seed + int64(i)
+		s, tree := GenCase(caseSeed)
+		cs, err := s.Compile(h.Plats)
+		if err != nil {
+			return st, fmt.Errorf("case seed %d: %w", caseSeed, err)
+		}
+		st.Specs++
+		for _, drv := range h.Drv {
+			if drv.Eligible(s) {
+				st.Eligible[drv.Name()]++
+			}
+		}
+		if ds := h.CheckSpec(cs, tree, st); len(ds) > 0 {
+			ms, mtree := h.Minimize(s, tree)
+			mds := h.mustCheck(ms, mtree)
+			detail := ds[0]
+			if len(mds) > 0 {
+				detail = mds[0]
+			}
+			st.add([]Disagreement{detail})
+			return st, fmt.Errorf(
+				"conform: codec disagreement (replay: xmitconform -seed %d -n 1)\n  %s\n  minimized format:\n%s",
+				caseSeed, detail, indent(ms.XML(), "    "))
+		}
+	}
+	return st, nil
+}
+
+// mustCheck re-runs a candidate during minimization, compiling on the fly;
+// compile errors mean the candidate is invalid and count as "no failure".
+func (h *Harness) mustCheck(s *Spec, tree []any) []Disagreement {
+	cs, err := s.Compile(h.Plats)
+	if err != nil {
+		return nil
+	}
+	return h.CheckSpec(cs, tree, nil)
+}
+
+// GenCase deterministically generates the (spec, value) pair for one case
+// seed.  Shared by Run, the golden corpus, and the fuzz seed writer.
+func GenCase(caseSeed int64) (*Spec, []any) {
+	r := newRand(caseSeed)
+	s := RandomSpec(r, fmt.Sprintf("m%d", abs64(caseSeed)), DefaultGen)
+	tree := RandomValue(r, s)
+	return s, tree
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

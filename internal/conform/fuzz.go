@@ -1,0 +1,86 @@
+package conform
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// SeedFuzzCorpora writes generator-derived seed corpora for the repo's
+// fuzz targets under root (the repository root): format-metadata XML for
+// the dom parser, PBIO wire bodies for the body decoder, broker control
+// lines built from generated names, and case seeds for this package's own
+// FuzzRoundTrip.  Seeding the fuzzers with structures the generator
+// considers interesting (shared length fields, markup-hostile strings,
+// boundary scalars) starts each CI fuzz pass deep inside the input space
+// instead of at `[]byte("0")`.
+func SeedFuzzCorpora(root string, n int) error {
+	h := NewHarness()
+	type target struct {
+		dir     string
+		entries []string
+	}
+	targets := map[string]*target{
+		"dom":     {dir: filepath.Join(root, "internal", "dom", "testdata", "fuzz", "FuzzParse")},
+		"pbio":    {dir: filepath.Join(root, "internal", "pbio", "testdata", "fuzz", "FuzzDecodeBody")},
+		"echan":   {dir: filepath.Join(root, "internal", "echan", "testdata", "fuzz", "FuzzParseCommand")},
+		"conform": {dir: filepath.Join(root, "internal", "conform", "testdata", "fuzz", "FuzzRoundTrip")},
+	}
+
+	for i := 0; i < n; i++ {
+		caseSeed := GoldenSeed + int64(i)
+		s, tree := GenCase(caseSeed)
+		cs, err := s.Compile(h.Plats)
+		if err != nil {
+			return fmt.Errorf("conform: fuzz seed %d: %w", caseSeed, err)
+		}
+		targets["dom"].entries = append(targets["dom"].entries, bytesEntry([]byte(s.XML())))
+		for _, p := range h.Plats {
+			body, err := h.Drv[0].Encode(cs, cs.Format(p.Name), tree)
+			if err != nil {
+				return fmt.Errorf("conform: fuzz seed %d on %s: %w", caseSeed, p.Name, err)
+			}
+			targets["pbio"].entries = append(targets["pbio"].entries, bytesEntry(body))
+		}
+		targets["echan"].entries = append(targets["echan"].entries,
+			stringEntry("CREATE "+s.Name),
+			stringEntry("SUB "+s.Name+" drop_oldest 8"),
+		)
+		if idx := s.nonLengthFields(); len(idx) > 0 {
+			targets["echan"].entries = append(targets["echan"].entries,
+				stringEntry("DERIVE d_"+s.Name+" "+s.Name+" "+s.Fields[idx[0]].Name+" >= 1"))
+		}
+		targets["conform"].entries = append(targets["conform"].entries,
+			"go test fuzz v1\nint64("+strconv.FormatInt(caseSeed, 10)+")\n")
+	}
+	// The three historical disagreement seeds stay in the round-trip corpus
+	// forever (xdr enum(8), mpidt boolean(2), xmlwire carriage return).
+	for _, seed := range []int64{8, 15, 41} {
+		targets["conform"].entries = append(targets["conform"].entries,
+			"go test fuzz v1\nint64("+strconv.FormatInt(seed, 10)+")\n")
+	}
+
+	for _, tg := range targets {
+		if err := os.MkdirAll(tg.dir, 0o755); err != nil {
+			return err
+		}
+		for i, entry := range tg.entries {
+			name := filepath.Join(tg.dir, fmt.Sprintf("conform_seed_%03d", i))
+			if err := os.WriteFile(name, []byte(entry), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bytesEntry renders one []byte-typed Go fuzz corpus file.
+func bytesEntry(b []byte) string {
+	return "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+}
+
+// stringEntry renders one string-typed Go fuzz corpus file.
+func stringEntry(s string) string {
+	return "go test fuzz v1\nstring(" + strconv.Quote(s) + ")\n"
+}

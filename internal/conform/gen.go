@@ -1,0 +1,260 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/open-metadata/xmit/internal/meta"
+)
+
+// The generator is deliberately built on math/rand with an explicit seeded
+// Source: the stream for a given seed is stable across Go releases (that
+// guarantee is why math/rand/v2 exists), which makes every failure a
+// one-liner to replay (`xmitconform -seed N -only i`) and keeps the golden
+// wire-vector corpus reproducible from its seed.
+
+// newRand returns the deterministic generator stream for a seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// GenConfig bounds the shapes RandomSpec produces.
+type GenConfig struct {
+	// MaxFields is the maximum number of fields per struct level.
+	MaxFields int
+	// MaxDepth is the maximum struct nesting depth.
+	MaxDepth int
+	// MaxDim is the maximum static array dimension and dynamic length.
+	MaxDim int
+}
+
+// DefaultGen is the configuration the conformance suite and the golden
+// corpus use.
+var DefaultGen = GenConfig{MaxFields: 7, MaxDepth: 2, MaxDim: 5}
+
+var scalarSizes = []int{1, 2, 4, 8}
+
+// RandomSpec generates a random format spec: a mix of every atomic kind and
+// width, strings, static arrays, nested structs (including arrays of
+// structs), and dynamic arrays — sometimes two sharing one length field,
+// the layout-sharing case the PBIO encoder has a dedicated disagreement
+// check for.
+func RandomSpec(r *rand.Rand, name string, cfg GenConfig) *Spec {
+	return randomSpec(r, name, cfg, 0)
+}
+
+func randomSpec(r *rand.Rand, name string, cfg GenConfig, depth int) *Spec {
+	s := &Spec{Name: name}
+	n := 1 + r.Intn(cfg.MaxFields)
+	seq := 0
+	nextName := func() string {
+		seq++
+		return fmt.Sprintf("f%d", seq-1)
+	}
+	for len(s.Fields) < n {
+		switch choice := r.Intn(10); {
+		case choice < 4: // plain scalar
+			s.Fields = append(s.Fields, randomScalar(r, nextName()))
+		case choice < 5: // string
+			s.Fields = append(s.Fields, FieldSpec{Name: nextName(), Kind: meta.String, Size: 1})
+		case choice < 7: // static array of scalars
+			fs := randomScalar(r, nextName())
+			fs.StaticDim = 1 + r.Intn(cfg.MaxDim)
+			s.Fields = append(s.Fields, fs)
+		case choice < 9: // dynamic array group: length field + 1..2 arrays
+			lf := FieldSpec{Name: nextName(), Kind: meta.Integer, Size: scalarSizes[r.Intn(4)]}
+			if r.Intn(2) == 0 {
+				lf.Kind = meta.Unsigned
+			}
+			s.Fields = append(s.Fields, lf)
+			arrays := 1
+			if r.Intn(3) == 0 {
+				arrays = 2 // shared length field
+			}
+			for a := 0; a < arrays; a++ {
+				el := randomScalar(r, nextName())
+				el.LengthField = lf.Name
+				if depth < cfg.MaxDepth && r.Intn(4) == 0 {
+					el.Kind = meta.Struct
+					el.Size = 0
+					el.Sub = randomSpec(r, el.Name+"t", cfg, depth+1)
+				}
+				s.Fields = append(s.Fields, el)
+			}
+		default: // nested struct, possibly a static array of structs
+			if depth >= cfg.MaxDepth {
+				s.Fields = append(s.Fields, randomScalar(r, nextName()))
+				continue
+			}
+			fn := nextName()
+			fs := FieldSpec{Name: fn, Kind: meta.Struct, Sub: randomSpec(r, fn+"t", cfg, depth+1)}
+			if r.Intn(3) == 0 {
+				fs.StaticDim = 1 + r.Intn(cfg.MaxDim)
+			}
+			s.Fields = append(s.Fields, fs)
+		}
+	}
+	return s
+}
+
+func randomScalar(r *rand.Rand, name string) FieldSpec {
+	fs := FieldSpec{Name: name}
+	switch r.Intn(6) {
+	case 0:
+		fs.Kind, fs.Size = meta.Integer, scalarSizes[r.Intn(4)]
+	case 1:
+		fs.Kind, fs.Size = meta.Unsigned, scalarSizes[r.Intn(4)]
+	case 2:
+		fs.Kind, fs.Size = meta.Float, 4+4*r.Intn(2)
+	case 3:
+		fs.Kind, fs.Size = meta.Char, 1
+	case 4:
+		fs.Kind, fs.Size = meta.Boolean, scalarSizes[r.Intn(4)]
+	default:
+		fs.Kind, fs.Size = meta.Enum, scalarSizes[r.Intn(4)]
+	}
+	return fs
+}
+
+// RandomValue generates a canonical value tree for the spec (see value.go
+// for the tree's type discipline).  Scalars mix boundary values (min/max,
+// ±0, ±Inf, NaN, denormals) with uniform randoms; strings mix empty,
+// XML-hostile, multi-byte UTF-8, and CR/LF content.
+func RandomValue(r *rand.Rand, s *Spec) []any {
+	lengths := s.lengthFieldNames()
+	// One element count per length field name, shared by every array that
+	// references it (the slices are the authoritative source of the wire
+	// value, so they must agree at generation time).
+	counts := map[string]int{}
+	for i := range s.Fields {
+		fs := &s.Fields[i]
+		if fs.LengthField != "" {
+			key := lowerKey(fs.LengthField)
+			if _, ok := counts[key]; !ok {
+				counts[key] = r.Intn(DefaultGen.MaxDim + 1) // 0 included: empty arrays
+			}
+		}
+	}
+	var tree []any
+	for i := range s.Fields {
+		fs := &s.Fields[i]
+		if lengths[lowerKey(fs.Name)] {
+			continue
+		}
+		switch {
+		case fs.IsDynamic():
+			n := counts[lowerKey(fs.LengthField)]
+			tree = append(tree, randomArray(r, fs, n))
+		case fs.StaticDim > 0:
+			tree = append(tree, randomArray(r, fs, fs.StaticDim))
+		default:
+			tree = append(tree, randomElem(r, fs))
+		}
+	}
+	return tree
+}
+
+func randomArray(r *rand.Rand, fs *FieldSpec, n int) []any {
+	out := make([]any, n)
+	for k := range out {
+		out[k] = randomElem(r, fs)
+	}
+	return out
+}
+
+func randomElem(r *rand.Rand, fs *FieldSpec) any {
+	switch fs.Kind {
+	case meta.Integer:
+		return randomInt(r, fs.Size)
+	case meta.Unsigned, meta.Enum:
+		return randomUint(r, fs.Size)
+	case meta.Float:
+		return randomFloatBits(r, fs.Size)
+	case meta.Char:
+		return byte(r.Intn(256))
+	case meta.Boolean:
+		return r.Intn(2) == 0
+	case meta.String:
+		return randomString(r)
+	case meta.Struct:
+		return RandomValue(r, fs.Sub)
+	}
+	return nil
+}
+
+func randomInt(r *rand.Rand, size int) int64 {
+	bits := uint(8 * size)
+	if r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return 0
+		case 1:
+			return -1
+		case 2:
+			return -1 << (bits - 1) // min
+		default:
+			return 1<<(bits-1) - 1 // max
+		}
+	}
+	v := r.Uint64() & (^uint64(0) >> (64 - bits))
+	return int64(v<<(64-bits)) >> (64 - bits) // sign-extend to the wire width
+}
+
+func randomUint(r *rand.Rand, size int) uint64 {
+	bits := uint(8 * size)
+	if r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return 0
+		case 1:
+			return ^uint64(0) >> (64 - bits) // max
+		default:
+			return 1
+		}
+	}
+	return r.Uint64() & (^uint64(0) >> (64 - bits))
+}
+
+// randomFloatBits returns the canonical tree encoding of a float: the bit
+// pattern, widened to uint64 (Float32bits for 4-byte fields).  Using bits
+// rather than float64 keeps NaN comparable with reflect.DeepEqual and makes
+// the "byte-exact after decode" contract literal.
+func randomFloatBits(r *rand.Rand, size int) uint64 {
+	var f64 float64
+	if r.Intn(3) == 0 {
+		boundary := []float64{
+			0, math.Copysign(0, -1), 1.5, -2.25,
+			math.Inf(1), math.Inf(-1), math.NaN(),
+			math.MaxFloat64, 5e-324, // float64 max, min denormal
+			math.MaxFloat32, 1e-45, // float32 max, min denormal
+		}
+		f64 = boundary[r.Intn(len(boundary))]
+	} else {
+		f64 = (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(60)-30))
+	}
+	if size == 4 {
+		return uint64(math.Float32bits(float32(f64)))
+	}
+	return math.Float64bits(f64)
+}
+
+var stringPool = []string{
+	"",
+	"a",
+	"hello, world",
+	`&<>"' markup-hostile`,
+	"tab\tand\nnewline",
+	"carriage\rreturn",
+	"héllo → 世界", // multi-byte UTF-8
+}
+
+func randomString(r *rand.Rand) string {
+	if r.Intn(2) == 0 {
+		return stringPool[r.Intn(len(stringPool))]
+	}
+	n := r.Intn(24)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(' ' + r.Intn('~'-' '+1)) // printable ASCII
+	}
+	return string(b)
+}

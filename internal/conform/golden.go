@@ -1,0 +1,214 @@
+package conform
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/meta"
+)
+
+// The golden corpus pins the exact wire bytes of every codec on every
+// platform for a fixed set of generated cases.  Any byte of drift — a
+// changed layout rule, a broken zero-alloc encode path, an "optimization"
+// that reorders the variable section — fails the CI gate until the vectors
+// are regenerated deliberately with `xmitconform -update`.
+
+// GoldenSeed is the fixed base seed of the corpus cases.
+const GoldenSeed = 101
+
+// GoldenCount is the number of corpus cases per codec × platform file.
+const GoldenCount = 24
+
+// GoldenCase is one corpus entry.
+type GoldenCase struct {
+	Seed int64
+	Spec *Spec
+	Tree []any
+}
+
+// GoldenCases generates the deterministic corpus.
+func GoldenCases(n int) []GoldenCase {
+	out := make([]GoldenCase, n)
+	for i := range out {
+		seed := int64(GoldenSeed) + int64(i)
+		s, tree := GenCase(seed)
+		out[i] = GoldenCase{Seed: seed, Spec: s, Tree: tree}
+	}
+	return out
+}
+
+func goldenFile(dir, codec, plat string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s_%s.hex", codec, plat))
+}
+
+// WriteGolden (re)generates the full corpus under dir: one file per
+// codec × platform, one hex line per case ("-" where the codec is not
+// eligible for the case's spec).
+func (h *Harness) WriteGolden(dir string, n int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cases := GoldenCases(n)
+	compiled, err := h.compileCases(cases)
+	if err != nil {
+		return err
+	}
+	for _, drv := range h.Drv {
+		for _, p := range h.Plats {
+			var b strings.Builder
+			fmt.Fprintf(&b, "# xmit conformance golden vectors codec=%s platform=%s seed=%d n=%d\n",
+				drv.Name(), p.Name, GoldenSeed, n)
+			for i, gc := range cases {
+				line, err := h.goldenLine(drv, compiled[i], p.Name, gc)
+				if err != nil {
+					return err
+				}
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+			if err := os.WriteFile(goldenFile(dir, drv.Name(), p.Name), []byte(b.String()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (h *Harness) compileCases(cases []GoldenCase) ([]*CompiledSpec, error) {
+	out := make([]*CompiledSpec, len(cases))
+	for i, gc := range cases {
+		cs, err := gc.Spec.Compile(h.Plats)
+		if err != nil {
+			return nil, fmt.Errorf("golden case seed %d: %w", gc.Seed, err)
+		}
+		out[i] = cs
+	}
+	return out, nil
+}
+
+func (h *Harness) goldenLine(drv Driver, cs *CompiledSpec, plat string, gc GoldenCase) (string, error) {
+	if !drv.Eligible(gc.Spec) {
+		return "-", nil
+	}
+	f := cs.Format(plat)
+	wire, err := drv.Encode(cs, f, gc.Tree)
+	if err != nil {
+		return "", fmt.Errorf("golden case seed %d codec %s platform %s: %w", gc.Seed, drv.Name(), plat, err)
+	}
+	if drv.Name() == ReferenceDriver {
+		// The corpus also stands guard over the zero-alloc encode paths:
+		// all three full-message entry points must emit identical bytes.
+		if err := h.pbioPathsAgree(cs, f, gc.Tree, wire); err != nil {
+			return "", fmt.Errorf("golden case seed %d platform %s: %w", gc.Seed, plat, err)
+		}
+	}
+	return hex.EncodeToString(wire), nil
+}
+
+// pbioPathsAgree asserts Encode, AppendEncode, and EncodeTo produce the same
+// message, and that its body matches the EncodeBody wire used for the
+// corpus.
+func (h *Harness) pbioPathsAgree(cs *CompiledSpec, f *meta.Format, tree []any, body []byte) error {
+	v, err := cs.Spec.BuildStruct(tree)
+	if err != nil {
+		return err
+	}
+	if _, err := h.Ctx.RegisterFormat(f); err != nil {
+		return err
+	}
+	b, err := h.Ctx.Bind(f, v)
+	if err != nil {
+		return err
+	}
+	msg, err := b.Encode(v)
+	if err != nil {
+		return err
+	}
+	app, err := b.AppendEncode(nil, v)
+	if err != nil {
+		return err
+	}
+	to, err := b.EncodeTo(make([]byte, 0, len(msg)+64), v)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(msg, app) {
+		return fmt.Errorf("pbio: AppendEncode differs from Encode at byte %d", firstDiff(msg, app))
+	}
+	if !bytes.Equal(msg, to) {
+		return fmt.Errorf("pbio: EncodeTo differs from Encode at byte %d", firstDiff(msg, to))
+	}
+	if !bytes.Equal(msg[len(msg)-len(body):], body) {
+		return fmt.Errorf("pbio: Encode body differs from EncodeBody at byte %d",
+			firstDiff(msg[len(msg)-len(body):], body))
+	}
+	return nil
+}
+
+// CheckGolden regenerates every vector and compares it byte-for-byte with
+// the corpus on disk.  It returns a description per mismatch (empty means
+// the wire formats are unchanged).
+func (h *Harness) CheckGolden(dir string, n int) ([]string, error) {
+	cases := GoldenCases(n)
+	compiled, err := h.compileCases(cases)
+	if err != nil {
+		return nil, err
+	}
+	var mismatches []string
+	for _, drv := range h.Drv {
+		for _, p := range h.Plats {
+			path := goldenFile(dir, drv.Name(), p.Name)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				mismatches = append(mismatches, fmt.Sprintf("%s: %v (run xmitconform -update)", path, err))
+				continue
+			}
+			lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+			if len(lines) < 1 || !strings.HasPrefix(lines[0], "#") {
+				mismatches = append(mismatches, fmt.Sprintf("%s: missing header line", path))
+				continue
+			}
+			lines = lines[1:]
+			if len(lines) < n {
+				mismatches = append(mismatches,
+					fmt.Sprintf("%s: %d vectors on disk, want %d (run xmitconform -update)", path, len(lines), n))
+				continue
+			}
+			for i, gc := range cases {
+				want, err := h.goldenLine(drv, compiled[i], p.Name, gc)
+				if err != nil {
+					return nil, err
+				}
+				if got := strings.TrimSpace(lines[i]); got != want {
+					mismatches = append(mismatches, describeGoldenDiff(path, i, gc.Seed, got, want))
+				}
+			}
+		}
+	}
+	return mismatches, nil
+}
+
+func describeGoldenDiff(path string, idx int, seed int64, got, want string) string {
+	if got == "-" || want == "-" {
+		return fmt.Sprintf("%s: vector %d (seed %d): eligibility changed (disk %q, regenerated %q)",
+			path, idx, seed, truncate(got, 40), truncate(want, 40))
+	}
+	gb, errG := hex.DecodeString(got)
+	wb, errW := hex.DecodeString(want)
+	if errG != nil || errW != nil {
+		return fmt.Sprintf("%s: vector %d (seed %d): undecodable hex", path, idx, seed)
+	}
+	return fmt.Sprintf("%s: vector %d (seed %d): wire drift at byte %d (disk %d bytes, regenerated %d bytes)",
+		path, idx, seed, firstDiff(gb, wb), len(gb), len(wb))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

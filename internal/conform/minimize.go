@@ -1,0 +1,402 @@
+package conform
+
+import (
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/meta"
+)
+
+// Minimize greedily shrinks a failing (spec, value) pair while the harness
+// still reports a disagreement, so the reproduction printed with the seed is
+// the smallest format this minimizer can reach: drop fields (at any nesting
+// depth), shrink arrays, zero scalar values.  The input pair is not
+// modified; every candidate is a deep copy.
+func (h *Harness) Minimize(s *Spec, tree []any) (*Spec, []any) {
+	cur, curTree := cloneSpec(s), cloneTree(tree)
+	fails := func(c *Spec, t []any) bool { return len(h.mustCheck(c, t)) > 0 }
+	if !fails(cur, curTree) {
+		return cur, curTree // not reproducible in isolation; report as-is
+	}
+	for round := 0; round < 200; round++ {
+		improved := false
+		for _, e := range edits(cur) {
+			cand := e.adapt(cloneTree(curTree))
+			if fails(e.spec, cand) {
+				cur, curTree = e.spec, cand
+				improved = true
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		// Structural fixpoint reached: try zeroing value leaves (tree-only
+		// candidates; each leaf zeroes at most once, so this terminates).
+		for _, cand := range zeroEdits(cur, curTree) {
+			if fails(cur, cand) {
+				curTree = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curTree
+}
+
+// edit is one structural shrink candidate: a smaller spec plus the function
+// mapping a value tree of the old spec onto the new one.
+type edit struct {
+	spec  *Spec
+	adapt func([]any) []any
+}
+
+// edits enumerates single-step structural shrinks of s at every depth:
+// field removals, dynamic-group length shrinks, static-dimension shrinks.
+func edits(s *Spec) []edit {
+	var out []edit
+	for j := range s.Fields {
+		if e, ok := removeField(s, j); ok {
+			out = append(out, e)
+		}
+	}
+	out = append(out, shrinkEdits(s)...)
+	out = append(out, descalarEdits(s)...)
+	// Lift every edit of a sub-spec through its struct field.
+	for j := range s.Fields {
+		if s.Fields[j].Kind != meta.Struct {
+			continue
+		}
+		for _, se := range edits(s.Fields[j].Sub) {
+			out = append(out, liftEdit(s, j, se))
+		}
+	}
+	return out
+}
+
+// removeField drops field j.  Dropping a length field drops its arrays too;
+// dropping the last array of a length field turns that length field into a
+// plain scalar, which then needs a (zero) tree entry.
+func removeField(s *Spec, j int) (edit, bool) {
+	if len(s.Fields) == 1 {
+		return edit{}, false
+	}
+	drop := map[int]bool{j: true}
+	if name := lowerKey(s.Fields[j].Name); s.lengthFieldNames()[name] {
+		for i := range s.Fields {
+			if lowerKey(s.Fields[i].LengthField) == name {
+				drop[i] = true
+			}
+		}
+	}
+	if len(drop) >= len(s.Fields) {
+		return edit{}, false
+	}
+	ns := &Spec{Name: s.Name}
+	var kept []int
+	for i := range s.Fields {
+		if !drop[i] {
+			ns.Fields = append(ns.Fields, *cloneField(&s.Fields[i]))
+			kept = append(kept, i)
+		}
+	}
+	oldPos := treePositions(s)
+	newLengths := ns.lengthFieldNames()
+	adapt := func(old []any) []any {
+		var nt []any
+		for k, i := range kept {
+			fs := &ns.Fields[k]
+			if newLengths[lowerKey(fs.Name)] {
+				continue
+			}
+			if p, ok := oldPos[i]; ok {
+				nt = append(nt, old[p])
+			} else {
+				// Was a length field, now a plain scalar.
+				nt = append(nt, zeroScalar(fs))
+			}
+		}
+		if nt == nil {
+			nt = []any{}
+		}
+		return nt
+	}
+	return edit{spec: ns, adapt: adapt}, true
+}
+
+// shrinkEdits proposes array shrinks: every dynamic-length group to zero and
+// to half, every static dimension to 1.
+func shrinkEdits(s *Spec) []edit {
+	var out []edit
+	seen := map[string]bool{}
+	for j := range s.Fields {
+		fs := &s.Fields[j]
+		if fs.IsDynamic() {
+			key := lowerKey(fs.LengthField)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, resizeGroup(s, key, func(n int) int { return 0 }))
+				out = append(out, resizeGroup(s, key, func(n int) int { return n / 2 }))
+				out = append(out, dropHeadGroup(s, key))
+			}
+		}
+		if fs.StaticDim > 1 {
+			out = append(out, shrinkStatic(s, j))
+		}
+	}
+	return out
+}
+
+// resizeGroup truncates every dynamic array sharing one length field.
+func resizeGroup(s *Spec, lengthKey string, newLen func(int) int) edit {
+	ns := cloneSpec(s)
+	pos := treePositions(s)
+	adapt := func(old []any) []any {
+		for i := range s.Fields {
+			fs := &s.Fields[i]
+			if !fs.IsDynamic() || lowerKey(fs.LengthField) != lengthKey {
+				continue
+			}
+			p := pos[i]
+			elems := old[p].([]any)
+			old[p] = elems[:newLen(len(elems))]
+		}
+		return old
+	}
+	return edit{spec: ns, adapt: adapt}
+}
+
+// dropHeadGroup discards the first half of every dynamic array sharing one
+// length field — resizeGroup only truncates from the tail, which cannot
+// isolate a failure carried by a late element.
+func dropHeadGroup(s *Spec, lengthKey string) edit {
+	ns := cloneSpec(s)
+	pos := treePositions(s)
+	adapt := func(old []any) []any {
+		for i := range s.Fields {
+			fs := &s.Fields[i]
+			if !fs.IsDynamic() || lowerKey(fs.LengthField) != lengthKey {
+				continue
+			}
+			p := pos[i]
+			elems := old[p].([]any)
+			old[p] = elems[(len(elems)+1)/2:]
+		}
+		return old
+	}
+	return edit{spec: ns, adapt: adapt}
+}
+
+// shrinkStatic reduces a static array's dimension to 1.
+func shrinkStatic(s *Spec, j int) edit {
+	ns := cloneSpec(s)
+	ns.Fields[j].StaticDim = 1
+	p := treePositions(s)[j]
+	adapt := func(old []any) []any {
+		old[p] = old[p].([]any)[:1]
+		return old
+	}
+	return edit{spec: ns, adapt: adapt}
+}
+
+// descalarEdits proposes turning each array field into a plain scalar of
+// the same kind, keeping the first element's value (this is how a failure
+// inside a dynamic wrapper shrinks to a bare field).
+func descalarEdits(s *Spec) []edit {
+	var out []edit
+	for j := range s.Fields {
+		fs := &s.Fields[j]
+		if !fs.IsDynamic() && fs.StaticDim == 0 {
+			continue
+		}
+		ns := cloneSpec(s)
+		ns.Fields[j].LengthField = ""
+		ns.Fields[j].StaticDim = 0
+		oldPos := treePositions(s)
+		newLengths := ns.lengthFieldNames()
+		j := j
+		adapt := func(old []any) []any {
+			nt := make([]any, 0, len(old))
+			for _, i := range ns.nonLengthFields() {
+				nf := &ns.Fields[i]
+				if newLengths[lowerKey(nf.Name)] {
+					continue
+				}
+				p, ok := oldPos[i]
+				if !ok {
+					nt = append(nt, zeroValue(nf)) // length field freed into a plain scalar
+					continue
+				}
+				v := old[p]
+				if i == j {
+					if elems := v.([]any); len(elems) > 0 {
+						v = elems[0]
+					} else {
+						v = zeroValue(nf)
+					}
+				}
+				nt = append(nt, v)
+			}
+			return nt
+		}
+		out = append(out, edit{spec: ns, adapt: adapt})
+	}
+	return out
+}
+
+// liftEdit applies a sub-spec edit through struct field j of s, rewriting
+// every value of that struct type (the scalar subtree, or each element of a
+// struct array).
+func liftEdit(s *Spec, j int, se edit) edit {
+	ns := cloneSpec(s)
+	ns.Fields[j].Sub = se.spec
+	pos, hasPos := treePositions(s)[j]
+	isArray := s.Fields[j].IsDynamic() || s.Fields[j].StaticDim > 0
+	adapt := func(old []any) []any {
+		if !hasPos {
+			return old
+		}
+		if isArray {
+			elems := old[pos].([]any)
+			for k := range elems {
+				elems[k] = se.adapt(elems[k].([]any))
+			}
+		} else {
+			old[pos] = se.adapt(old[pos].([]any))
+		}
+		return old
+	}
+	return edit{spec: ns, adapt: adapt}
+}
+
+// treePositions maps field index -> value-tree position for non-length
+// fields.
+func treePositions(s *Spec) map[int]int {
+	pos := map[int]int{}
+	for p, i := range s.nonLengthFields() {
+		pos[i] = p
+	}
+	return pos
+}
+
+// zeroEdits proposes tree-only candidates, each with one top-level scalar
+// leaf (or one array element) replaced by its zero value.  Leaves inside
+// nested structs are reached indirectly: structural edits usually remove the
+// enclosing field first.
+func zeroEdits(s *Spec, tree []any) [][]any {
+	var out [][]any
+	for p, i := range s.nonLengthFields() {
+		fs := &s.Fields[i]
+		if fs.Kind == meta.Struct {
+			continue
+		}
+		if fs.IsDynamic() || fs.StaticDim > 0 {
+			elems := tree[p].([]any)
+			for k := range elems {
+				if elems[k] == zeroScalar(fs) {
+					continue
+				}
+				cand := cloneTree(tree)
+				cand[p].([]any)[k] = zeroScalar(fs)
+				out = append(out, cand)
+			}
+			continue
+		}
+		if tree[p] == zeroScalar(fs) {
+			continue
+		}
+		cand := cloneTree(tree)
+		cand[p] = zeroScalar(fs)
+		out = append(out, cand)
+	}
+	return out
+}
+
+// zeroValue is zeroScalar extended to struct fields (a tree of zeros).
+func zeroValue(fs *FieldSpec) any {
+	if fs.Kind == meta.Struct {
+		return zeroSpecTree(fs.Sub)
+	}
+	return zeroScalar(fs)
+}
+
+func zeroSpecTree(s *Spec) []any {
+	idx := s.nonLengthFields()
+	tree := make([]any, 0, len(idx))
+	for _, i := range idx {
+		fs := &s.Fields[i]
+		if fs.IsDynamic() || fs.StaticDim > 0 {
+			tree = append(tree, []any{})
+			continue
+		}
+		tree = append(tree, zeroValue(fs))
+	}
+	return tree
+}
+
+func zeroScalar(fs *FieldSpec) any {
+	switch fs.Kind {
+	case meta.Integer:
+		return int64(0)
+	case meta.Unsigned, meta.Enum:
+		return uint64(0)
+	case meta.Float:
+		return uint64(0)
+	case meta.Char:
+		return byte(0)
+	case meta.Boolean:
+		return false
+	case meta.String:
+		return ""
+	}
+	return nil
+}
+
+func cloneSpec(s *Spec) *Spec {
+	ns := &Spec{Name: s.Name, Fields: make([]FieldSpec, len(s.Fields))}
+	for i := range s.Fields {
+		ns.Fields[i] = *cloneField(&s.Fields[i])
+	}
+	return ns
+}
+
+func cloneField(fs *FieldSpec) *FieldSpec {
+	nf := *fs
+	if fs.Sub != nil {
+		nf.Sub = cloneSpec(fs.Sub)
+	}
+	return &nf
+}
+
+func cloneTree(tree []any) []any {
+	out := make([]any, len(tree))
+	for i, v := range tree {
+		if sub, ok := v.([]any); ok {
+			out[i] = cloneTree(sub)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// specSignature is a short stable description used in test names.
+func specSignature(s *Spec) string {
+	var b strings.Builder
+	for i := range s.Fields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fs := &s.Fields[i]
+		b.WriteString(fs.Kind.String())
+		if fs.StaticDim > 0 {
+			b.WriteByte('*')
+		}
+		if fs.IsDynamic() {
+			b.WriteByte('+')
+		}
+	}
+	return b.String()
+}

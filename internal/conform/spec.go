@@ -1,0 +1,222 @@
+// Package conform is the differential conformance harness: it proves that
+// every marshaling backend in this repository (pbio struct and record paths,
+// xdr, cdr, xmlwire, mpidt) decodes every value to exactly the same result,
+// for formats laid out on every simulated platform pair.
+//
+// The paper's central correctness claim is that run-time XML metadata is
+// exactly as faithful as compiled-in native metadata — the run-time path
+// costs registration time, never fidelity.  Nothing short of a differential
+// harness demonstrates that: this package generates random format metadata
+// and matching values, round-trips each value through every codec and every
+// sender/receiver platform pair, and flags any codec whose decoded value
+// disagrees with PBIO's.
+//
+// Three layers:
+//
+//   - A deterministic property-based generator (gen.go) producing Specs —
+//     platform-independent format descriptions — and random values.
+//   - A differential engine (diff.go) running each (spec, value) through
+//     every codec × sender platform × receiver platform combination.
+//   - A golden wire-vector corpus (golden.go, testdata/golden/) that pins
+//     every codec's exact wire bytes per platform, so silent wire-format
+//     drift fails CI.
+//
+// The cmd/xmitconform tool drives all three from the command line.
+package conform
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// FieldSpec describes one field independent of any platform: wire sizes are
+// explicit, so the same spec laid out on different platforms differs only in
+// offsets, alignment, byte order, and pointer-slot width.  (The platform
+// "long" class, whose size itself differs between ILP32 and LP64 ABIs, is
+// deliberately not expressible: a cross-platform value identity for it does
+// not exist, which is a property of the C type system, not of any codec.)
+type FieldSpec struct {
+	// Name is the field name (unique per struct level, case-insensitive,
+	// and a valid XML element name).
+	Name string
+	// Kind classifies the value.
+	Kind meta.Kind
+	// Size is the element wire size in bytes.  Ignored for String (always
+	// 1 per character) and Struct (the subformat's size) fields.
+	Size int
+	// StaticDim declares a fixed-size array.
+	StaticDim int
+	// LengthField names the earlier integer field holding a dynamic
+	// array's element count.  Length fields are never part of generated Go
+	// struct types or value trees: their wire value is synthesized from
+	// the slice length, which is what all encoders treat as authoritative.
+	LengthField string
+	// Sub is the nested spec for Struct fields.
+	Sub *Spec
+}
+
+// IsDynamic reports whether the field is a dynamic array.
+func (fs *FieldSpec) IsDynamic() bool { return fs.LengthField != "" }
+
+// Spec is a platform-independent message format description.
+type Spec struct {
+	Name   string
+	Fields []FieldSpec
+}
+
+// lengthFieldNames returns the lower-cased names of fields used as dynamic
+// array lengths.
+func (s *Spec) lengthFieldNames() map[string]bool {
+	set := map[string]bool{}
+	for i := range s.Fields {
+		if lf := s.Fields[i].LengthField; lf != "" {
+			set[strings.ToLower(lf)] = true
+		}
+	}
+	return set
+}
+
+// Build lays the spec out on a platform, producing the concrete wire format
+// a sender on that machine would register.
+func (s *Spec) Build(p *platform.Platform) (*meta.Format, error) {
+	defs := make([]meta.FieldDef, len(s.Fields))
+	for i := range s.Fields {
+		fs := &s.Fields[i]
+		def := meta.FieldDef{
+			Name:        fs.Name,
+			Kind:        fs.Kind,
+			StaticDim:   fs.StaticDim,
+			LengthField: fs.LengthField,
+		}
+		switch fs.Kind {
+		case meta.String:
+			// Size is implicit (pointer slot).
+		case meta.Struct:
+			sub, err := fs.Sub.Build(p)
+			if err != nil {
+				return nil, err
+			}
+			def.Sub = sub
+		default:
+			// Explicit sizes keep element widths identical on every
+			// platform; layout still differs through alignment rules
+			// (x86 caps 8-byte alignment at 4) and pointer slots.
+			def.Class = platform.Int
+			def.ExplicitSize = fs.Size
+		}
+		defs[i] = def
+	}
+	return meta.Build(s.Name, p, defs)
+}
+
+// GoType synthesizes the Go struct type bound to the spec: one exported
+// field per non-length spec field, tagged with the metadata name.  Element
+// types follow the wire width exactly (int8..int64, uint8..uint64, float32/
+// float64), so a decoded Go value holds precisely the information the wire
+// carried and no codec can hide a truncation behind a wider native type.
+// Arrays (static and dynamic) are slices.
+func (s *Spec) GoType() (reflect.Type, error) {
+	lengths := s.lengthFieldNames()
+	var sf []reflect.StructField
+	for i := range s.Fields {
+		fs := &s.Fields[i]
+		if lengths[strings.ToLower(fs.Name)] {
+			continue // synthesized from the slice length
+		}
+		et, err := fs.goElemType()
+		if err != nil {
+			return nil, err
+		}
+		ft := et
+		if fs.IsDynamic() || fs.StaticDim > 0 {
+			ft = reflect.SliceOf(et)
+		}
+		sf = append(sf, reflect.StructField{
+			Name: fmt.Sprintf("F%d", i),
+			Type: ft,
+			Tag:  reflect.StructTag(fmt.Sprintf(`xmit:"%s"`, fs.Name)),
+		})
+	}
+	return reflect.StructOf(sf), nil
+}
+
+func (fs *FieldSpec) goElemType() (reflect.Type, error) {
+	switch fs.Kind {
+	case meta.Integer:
+		switch fs.Size {
+		case 1:
+			return reflect.TypeOf(int8(0)), nil
+		case 2:
+			return reflect.TypeOf(int16(0)), nil
+		case 4:
+			return reflect.TypeOf(int32(0)), nil
+		case 8:
+			return reflect.TypeOf(int64(0)), nil
+		}
+	case meta.Unsigned, meta.Enum:
+		switch fs.Size {
+		case 1:
+			return reflect.TypeOf(uint8(0)), nil
+		case 2:
+			return reflect.TypeOf(uint16(0)), nil
+		case 4:
+			return reflect.TypeOf(uint32(0)), nil
+		case 8:
+			return reflect.TypeOf(uint64(0)), nil
+		}
+	case meta.Float:
+		switch fs.Size {
+		case 4:
+			return reflect.TypeOf(float32(0)), nil
+		case 8:
+			return reflect.TypeOf(float64(0)), nil
+		}
+	case meta.Char:
+		return reflect.TypeOf(byte(0)), nil
+	case meta.Boolean:
+		return reflect.TypeOf(false), nil
+	case meta.String:
+		return reflect.TypeOf(""), nil
+	case meta.Struct:
+		return fs.Sub.GoType()
+	}
+	return nil, fmt.Errorf("conform: field %q: no Go type for %s size %d", fs.Name, fs.Kind, fs.Size)
+}
+
+// XML renders the spec as a compact format-description document — the
+// reproduction one-liner printed when a differential failure is minimized.
+func (s *Spec) XML() string {
+	var b strings.Builder
+	s.appendXML(&b, 0)
+	return b.String()
+}
+
+func (s *Spec) appendXML(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s<format name=%q>\n", indent, s.Name)
+	for i := range s.Fields {
+		fs := &s.Fields[i]
+		fmt.Fprintf(b, "%s  <field name=%q kind=%q", indent, fs.Name, fs.Kind.String())
+		if fs.Kind != meta.String && fs.Kind != meta.Struct {
+			fmt.Fprintf(b, " size=\"%d\"", fs.Size)
+		}
+		if fs.StaticDim > 0 {
+			fmt.Fprintf(b, " dim=\"%d\"", fs.StaticDim)
+		}
+		if fs.LengthField != "" {
+			fmt.Fprintf(b, " lengthField=%q", fs.LengthField)
+		}
+		if fs.Kind == meta.Struct {
+			b.WriteString(">\n")
+			fs.Sub.appendXML(b, depth+2)
+			fmt.Fprintf(b, "%s  </field>\n", indent)
+		} else {
+			b.WriteString("/>\n")
+		}
+	}
+	fmt.Fprintf(b, "%s</format>\n", indent)
+}

@@ -1,0 +1,383 @@
+package conform
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+// A value tree is the codec-independent canonical form of one message:
+// one entry per non-length spec field, in declaration order.
+//
+//	Integer        int64
+//	Unsigned/Enum  uint64
+//	Float          uint64  (the bit pattern; Float32bits widened for size 4)
+//	Char           byte
+//	Boolean        bool
+//	String         string
+//	Struct         []any   (the sub-spec's tree)
+//	arrays         []any of the element form (always non-nil, even empty)
+//
+// Floats live as bits so that NaN compares equal to itself under
+// reflect.DeepEqual and "byte-exact value equality after decode" is the
+// literal, not approximate, contract.  Length fields never appear: every
+// encoder in the repository treats the slice length as authoritative and
+// synthesizes the member, so the tree carries each datum exactly once.
+
+func lowerKey(s string) string { return strings.ToLower(s) }
+
+// nonLengthFields yields the indices of s.Fields that appear in value trees.
+func (s *Spec) nonLengthFields() []int {
+	lengths := s.lengthFieldNames()
+	idx := make([]int, 0, len(s.Fields))
+	for i := range s.Fields {
+		if !lengths[lowerKey(s.Fields[i].Name)] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// BuildStruct materialises a value tree as a pointer to a freshly allocated
+// instance of the spec's synthesized Go struct type.
+func (s *Spec) BuildStruct(tree []any) (any, error) {
+	t, err := s.GoType()
+	if err != nil {
+		return nil, err
+	}
+	pv := reflect.New(t)
+	if err := s.buildStructInto(tree, pv.Elem()); err != nil {
+		return nil, err
+	}
+	return pv.Interface(), nil
+}
+
+func (s *Spec) buildStructInto(tree []any, v reflect.Value) error {
+	idx := s.nonLengthFields()
+	if len(tree) != len(idx) || len(idx) != v.NumField() {
+		return fmt.Errorf("conform: spec %q: tree has %d entries, struct %d fields, spec %d value fields",
+			s.Name, len(tree), v.NumField(), len(idx))
+	}
+	for j, i := range idx {
+		fs := &s.Fields[i]
+		fv := v.Field(j)
+		if fs.IsDynamic() || fs.StaticDim > 0 {
+			elems, ok := tree[j].([]any)
+			if !ok {
+				return fmt.Errorf("conform: field %q: tree entry is %T, want []any", fs.Name, tree[j])
+			}
+			sl := reflect.MakeSlice(fv.Type(), len(elems), len(elems))
+			for k, ev := range elems {
+				if err := fs.buildElem(ev, sl.Index(k)); err != nil {
+					return err
+				}
+			}
+			fv.Set(sl)
+			continue
+		}
+		if err := fs.buildElem(tree[j], fv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fs *FieldSpec) buildElem(ev any, fv reflect.Value) error {
+	switch fs.Kind {
+	case meta.Integer:
+		fv.SetInt(ev.(int64))
+	case meta.Unsigned, meta.Enum:
+		fv.SetUint(ev.(uint64))
+	case meta.Float:
+		fv.SetFloat(floatFromTreeBits(fs.Size, ev.(uint64)))
+	case meta.Char:
+		fv.SetUint(uint64(ev.(byte)))
+	case meta.Boolean:
+		fv.SetBool(ev.(bool))
+	case meta.String:
+		fv.SetString(ev.(string))
+	case meta.Struct:
+		return fs.Sub.buildStructInto(ev.([]any), fv)
+	default:
+		return fmt.Errorf("conform: field %q: unsupported kind %s", fs.Name, fs.Kind)
+	}
+	return nil
+}
+
+// ExtractStruct reads a decoded Go struct (or pointer to one) back into a
+// canonical value tree.
+func (s *Spec) ExtractStruct(v any) ([]any, error) {
+	rv := reflect.ValueOf(v)
+	for rv.Kind() == reflect.Pointer {
+		rv = rv.Elem()
+	}
+	return s.extractStruct(rv)
+}
+
+func (s *Spec) extractStruct(v reflect.Value) ([]any, error) {
+	idx := s.nonLengthFields()
+	if len(idx) != v.NumField() {
+		return nil, fmt.Errorf("conform: spec %q: struct has %d fields, want %d", s.Name, v.NumField(), len(idx))
+	}
+	tree := make([]any, 0, len(idx))
+	for j, i := range idx {
+		fs := &s.Fields[i]
+		fv := v.Field(j)
+		if fs.IsDynamic() || fs.StaticDim > 0 {
+			elems := make([]any, 0, fv.Len())
+			for k := 0; k < fv.Len(); k++ {
+				ev, err := fs.extractElem(fv.Index(k))
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, ev)
+			}
+			tree = append(tree, elems)
+			continue
+		}
+		ev, err := fs.extractElem(fv)
+		if err != nil {
+			return nil, err
+		}
+		tree = append(tree, ev)
+	}
+	return tree, nil
+}
+
+func (fs *FieldSpec) extractElem(fv reflect.Value) (any, error) {
+	switch fs.Kind {
+	case meta.Integer:
+		return fv.Int(), nil
+	case meta.Unsigned, meta.Enum:
+		return fv.Uint(), nil
+	case meta.Float:
+		return floatToTreeBits(fs.Size, fv.Float()), nil
+	case meta.Char:
+		return byte(fv.Uint()), nil
+	case meta.Boolean:
+		return fv.Bool(), nil
+	case meta.String:
+		return fv.String(), nil
+	case meta.Struct:
+		return fs.Sub.extractStruct(fv)
+	}
+	return nil, fmt.Errorf("conform: field %q: unsupported kind %s", fs.Name, fs.Kind)
+}
+
+// floatFromTreeBits widens a tree bit pattern to the float64 every Go-side
+// representation stores (exact for size 4: float32→float64 is lossless).
+func floatFromTreeBits(size int, bits uint64) float64 {
+	if size == 4 {
+		return float64(math.Float32frombits(uint32(bits)))
+	}
+	return math.Float64frombits(bits)
+}
+
+// floatToTreeBits is the inverse: for size-4 fields the float64 is known to
+// be an exact float32 image, so the narrowing conversion is lossless too.
+func floatToTreeBits(size int, f float64) uint64 {
+	if size == 4 {
+		return uint64(math.Float32bits(float32(f)))
+	}
+	return math.Float64bits(f)
+}
+
+// BuildRecord materialises a value tree as a dynamic pbio record of the
+// given format (which must have been built from this spec, so fields match
+// one-to-one).
+func (s *Spec) BuildRecord(f *meta.Format, tree []any) (*pbio.Record, error) {
+	if len(f.Fields) != len(s.Fields) {
+		return nil, fmt.Errorf("conform: spec %q: format has %d fields, want %d", s.Name, len(f.Fields), len(s.Fields))
+	}
+	rec := pbio.NewRecord(f)
+	idx := s.nonLengthFields()
+	if len(tree) != len(idx) {
+		return nil, fmt.Errorf("conform: spec %q: tree has %d entries, want %d", s.Name, len(tree), len(idx))
+	}
+	for j, i := range idx {
+		fs := &s.Fields[i]
+		fl := &f.Fields[i]
+		rv, err := fs.recordValue(fl, tree[j])
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.Set(fs.Name, rv); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+func (fs *FieldSpec) recordValue(fl *meta.Field, ev any) (any, error) {
+	if fs.IsDynamic() || fs.StaticDim > 0 {
+		elems := ev.([]any)
+		switch fs.Kind {
+		case meta.Integer:
+			out := make([]int64, len(elems))
+			for k := range elems {
+				out[k] = elems[k].(int64)
+			}
+			return out, nil
+		case meta.Unsigned, meta.Enum:
+			out := make([]uint64, len(elems))
+			for k := range elems {
+				out[k] = elems[k].(uint64)
+			}
+			return out, nil
+		case meta.Float:
+			out := make([]float64, len(elems))
+			for k := range elems {
+				out[k] = floatFromTreeBits(fs.Size, elems[k].(uint64))
+			}
+			return out, nil
+		case meta.Char:
+			out := make([]byte, len(elems))
+			for k := range elems {
+				out[k] = elems[k].(byte)
+			}
+			return out, nil
+		case meta.Boolean:
+			out := make([]bool, len(elems))
+			for k := range elems {
+				out[k] = elems[k].(bool)
+			}
+			return out, nil
+		case meta.Struct:
+			out := make([]*pbio.Record, len(elems))
+			for k := range elems {
+				sub, err := fs.Sub.BuildRecord(fl.Sub, elems[k].([]any))
+				if err != nil {
+					return nil, err
+				}
+				out[k] = sub
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("conform: field %q: unsupported array kind %s", fs.Name, fs.Kind)
+	}
+	switch fs.Kind {
+	case meta.Float:
+		return floatFromTreeBits(fs.Size, ev.(uint64)), nil
+	case meta.Struct:
+		return fs.Sub.BuildRecord(fl.Sub, ev.([]any))
+	default:
+		return ev, nil // int64, uint64, byte, bool, string: already canonical
+	}
+}
+
+// ExtractRecord reads a decoded record back into a canonical value tree.
+func (s *Spec) ExtractRecord(rec *pbio.Record) ([]any, error) {
+	idx := s.nonLengthFields()
+	tree := make([]any, 0, len(idx))
+	for _, i := range idx {
+		fs := &s.Fields[i]
+		rv, ok := rec.Get(fs.Name)
+		if !ok {
+			return nil, fmt.Errorf("conform: record missing field %q", fs.Name)
+		}
+		ev, err := fs.fromRecordValue(rv)
+		if err != nil {
+			return nil, err
+		}
+		tree = append(tree, ev)
+	}
+	return tree, nil
+}
+
+func (fs *FieldSpec) fromRecordValue(rv any) (any, error) {
+	if fs.IsDynamic() || fs.StaticDim > 0 {
+		switch sl := rv.(type) {
+		case []int64:
+			out := make([]any, len(sl))
+			for k, x := range sl {
+				out[k] = x
+			}
+			return out, nil
+		case []uint64:
+			out := make([]any, len(sl))
+			for k, x := range sl {
+				out[k] = x
+			}
+			return out, nil
+		case []float64:
+			out := make([]any, len(sl))
+			for k, x := range sl {
+				out[k] = floatToTreeBits(fs.Size, x)
+			}
+			return out, nil
+		case []byte:
+			out := make([]any, len(sl))
+			for k, x := range sl {
+				out[k] = x
+			}
+			return out, nil
+		case []bool:
+			out := make([]any, len(sl))
+			for k, x := range sl {
+				out[k] = x
+			}
+			return out, nil
+		case []*pbio.Record:
+			out := make([]any, len(sl))
+			for k, sub := range sl {
+				t, err := fs.Sub.ExtractRecord(sub)
+				if err != nil {
+					return nil, err
+				}
+				out[k] = t
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("conform: field %q: unexpected record array value %T", fs.Name, rv)
+	}
+	switch fs.Kind {
+	case meta.Float:
+		f, ok := rv.(float64)
+		if !ok {
+			return nil, fmt.Errorf("conform: field %q: unexpected record value %T", fs.Name, rv)
+		}
+		return floatToTreeBits(fs.Size, f), nil
+	case meta.Struct:
+		sub, ok := rv.(*pbio.Record)
+		if !ok {
+			return nil, fmt.Errorf("conform: field %q: unexpected record value %T", fs.Name, rv)
+		}
+		return fs.Sub.ExtractRecord(sub)
+	default:
+		return rv, nil
+	}
+}
+
+// EqualTrees reports whether two canonical value trees are identical.
+func EqualTrees(a, b []any) bool { return reflect.DeepEqual(a, b) }
+
+// FormatTree renders a tree compactly for failure messages.
+func FormatTree(tree []any) string {
+	var b strings.Builder
+	formatTree(&b, tree)
+	return b.String()
+}
+
+func formatTree(b *strings.Builder, tree []any) {
+	b.WriteByte('{')
+	for i, v := range tree {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch x := v.(type) {
+		case []any:
+			formatTree(b, x)
+		case string:
+			fmt.Fprintf(b, "%q", x)
+		case uint64:
+			fmt.Fprintf(b, "%#x", x)
+		default:
+			fmt.Fprintf(b, "%v", x)
+		}
+	}
+	b.WriteByte('}')
+}

@@ -1,0 +1,140 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+// TestRepositorySoakUnderChaos hammers one repository with thousands of
+// concurrent FetchContext calls for a pool of URLs, against an origin that
+// fails a deterministic fraction of requests, over HTTP connections whose
+// bytes pass through a fault-injecting transport.Chaos wrapper (short
+// reads, torn writes, delays).  Run under -race it is the concurrency soak
+// for the cache/singleflight/retry paths; the assertions are that the
+// herd terminates, that every successful result is the right document for
+// its URL, and that each URL eventually succeeds — a correct retry loop
+// plus the cache must absorb a 30% origin failure rate.
+func TestRepositorySoakUnderChaos(t *testing.T) {
+	const urls = 16
+	fetches := 2000
+	if testing.Short() {
+		fetches = 400
+	}
+
+	var hits atomic.Int64
+	fail := rand.New(rand.NewSource(99))
+	var failMu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		failMu.Lock()
+		unlucky := fail.Float64() < 0.3
+		failMu.Unlock()
+		if unlucky {
+			http.Error(w, "injected outage", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "<format name=%q/>", r.URL.Path)
+	}))
+	defer ts.Close()
+
+	// Every origin connection's bytes pass through chaos: reads come back
+	// short, writes are torn, and some calls stall briefly.  HTTP must not
+	// care; what this exercises is the repository's behaviour when origin
+	// latency and failure are both noisy.
+	var seed atomic.Int64
+	chaosTransport := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := (&net.Dialer{}).DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return &chaosConn{
+				Chaos: transport.NewChaos(c, 500+seed.Add(1),
+					transport.WithShortReads(0.5),
+					transport.WithPartialWrites(0.5),
+					transport.WithDelays(0.05, 500*time.Microsecond)),
+				nc: c,
+			}, nil
+		},
+	}
+	defer chaosTransport.CloseIdleConnections()
+
+	reg := obs.NewRegistry()
+	repo := NewRepository(
+		WithHTTPClient(&http.Client{Transport: chaosTransport, Timeout: 10 * time.Second}),
+		WithRetry(4, time.Millisecond),
+		WithMaxAge(5*time.Millisecond), // force steady revalidation traffic
+		WithMetricsRegistry(reg),
+	)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	var succeeded, failed atomic.Int64
+	perURL := make([]atomic.Int64, urls)
+	for i := 0; i < fetches; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			u := i % urls
+			data, err := repo.FetchContext(ctx, fmt.Sprintf("%s/doc%d", ts.URL, u))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			if want := fmt.Sprintf("<format name=%q/>", fmt.Sprintf("/doc%d", u)); string(data) != want {
+				t.Errorf("url %d: got %q, want %q (cross-URL cache corruption)", u, data, want)
+			}
+			succeeded.Add(1)
+			perURL[u].Add(1)
+		}(i)
+	}
+	wg.Wait()
+
+	if succeeded.Load() == 0 {
+		t.Fatalf("all %d fetches failed (origin hit %d times)", fetches, hits.Load())
+	}
+	for u := range perURL {
+		if perURL[u].Load() == 0 {
+			t.Errorf("url %d never fetched successfully in %d attempts", u, fetches)
+		}
+	}
+	if got := succeeded.Load() + failed.Load(); got != int64(fetches) {
+		t.Fatalf("accounting: %d outcomes for %d fetches", got, fetches)
+	}
+	// The cache and singleflight must have absorbed most of the herd:
+	// origin traffic far below one hit per fetch.
+	if h := hits.Load(); h >= int64(fetches) {
+		t.Errorf("origin saw %d hits for %d fetches; cache/singleflight ineffective", h, fetches)
+	}
+	if v := value(t, reg, "discovery_fetch_total"); v != float64(fetches) {
+		t.Errorf("discovery_fetch_total = %v, want %v", v, fetches)
+	}
+	t.Logf("soak: %d fetches, %d ok, %d failed, %d origin hits, %v retries",
+		fetches, succeeded.Load(), failed.Load(), hits.Load(),
+		value(t, reg, "discovery_retry_total"))
+}
+
+// chaosConn grafts net.Conn's deadline surface onto a chaos-wrapped
+// stream, so http.Transport can use it.
+type chaosConn struct {
+	*transport.Chaos
+	nc net.Conn
+}
+
+func (c *chaosConn) LocalAddr() net.Addr                { return c.nc.LocalAddr() }
+func (c *chaosConn) RemoteAddr() net.Addr               { return c.nc.RemoteAddr() }
+func (c *chaosConn) SetDeadline(t time.Time) error      { return c.nc.SetDeadline(t) }
+func (c *chaosConn) SetReadDeadline(t time.Time) error  { return c.nc.SetReadDeadline(t) }
+func (c *chaosConn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }

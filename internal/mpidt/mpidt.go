@@ -199,7 +199,21 @@ func FromFormat(f *meta.Format) (*Datatype, error) {
 		case meta.Char:
 			base = Char
 		case meta.Boolean:
-			base = Byte
+			// Booleans are unsigned integers of the field's declared width.
+			// Mapping every boolean to MPI_BYTE regardless of size dropped
+			// the value bytes of wide booleans — on a big-endian sender a
+			// 4-byte true packed its zero high byte and arrived false
+			// (found by the conformance harness, see internal/conform).
+			switch fl.Size {
+			case 2:
+				base = UShort
+			case 4:
+				base = UInt
+			case 8:
+				base = ULong
+			default:
+				base = Byte
+			}
 		default:
 			switch fl.Size {
 			case 1:

@@ -278,3 +278,38 @@ func TestQuickPackUnpack(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWideBooleanCrossEndian is the regression for a value-loss bug the
+// conformance harness found (internal/conform, replay `xmitconform -seed 15
+// -n 1`): FromFormat mapped every boolean to MPI_BYTE, so a 2/4/8-byte
+// boolean packed only its byte at offset 0 — the zero *high* byte on a
+// big-endian sender, turning true into false across the wire.
+func TestWideBooleanCrossEndian(t *testing.T) {
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32)) // big-endian
+	f, err := ctx.RegisterFields("flag", []pbio.IOField{
+		{Name: "b", Type: "boolean(2)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := FromFormat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dt.Size(); got != 2 {
+		t.Fatalf("typemap carries %d data bytes for a 2-byte boolean, want 2", got)
+	}
+	mem := make([]byte, f.Size)
+	binary.BigEndian.PutUint16(mem[f.Fields[0].Offset:], 1) // true
+	packed, err := Pack(mem, binary.BigEndian, 1, dt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := make([]byte, f.Size)
+	if err := Unpack(packed, le, binary.LittleEndian, 1, dt); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint16(le[f.Fields[0].Offset:]); got != 1 {
+		t.Fatalf("wide boolean arrived as %d, want 1 (true)", got)
+	}
+}

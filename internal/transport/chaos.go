@@ -1,0 +1,287 @@
+// Chaos is a fault-injecting wrapper around a byte stream, used by soak
+// tests to subject the framing layer, the event-channel broker, and the
+// discovery client to the failure modes real networks produce: writes torn
+// across syscalls, reads returning fewer bytes than asked, latency spikes,
+// connections reset mid-frame, and payload corruption.
+//
+// All fault decisions come from a single seeded source, so a failing soak
+// run replays exactly from its seed.  Faults are counted per kind and the
+// counters are exportable through obs, matching Conn.PublishStats.
+
+package transport
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/obs"
+)
+
+// ErrChaosReset is returned by a Chaos stream once its injected
+// connection reset has tripped (see WithReset).  Match it with errors.Is;
+// the write that trips it may have delivered a prefix of its data, exactly
+// like a TCP connection dying mid-frame.
+var ErrChaosReset = errors.New("transport: chaos: injected connection reset")
+
+// Chaos wraps an io.ReadWriteCloser with deterministic, seeded fault
+// injection.  The zero configuration injects nothing; each fault kind is
+// enabled by an option.  Read and Write may be driven by different
+// goroutines (the transport's own contract); the fault source is
+// mutex-guarded so the fault sequence is well-defined under -race.
+type Chaos struct {
+	rwc io.ReadWriteCloser
+
+	mu      sync.Mutex // guards rng and written
+	rng     *rand.Rand
+	written int64
+
+	pPartial float64
+	pShort   float64
+	pDelay   float64
+	maxDelay time.Duration
+	pCorrupt float64
+	resetAt  int64 // total-bytes-written threshold; 0 disables
+
+	reset  atomic.Bool
+	closed atomic.Bool
+
+	stats chaosStats
+}
+
+// chaosStats counts injected faults by kind.
+type chaosStats struct {
+	partialWrites atomic.Int64
+	shortReads    atomic.Int64
+	delays        atomic.Int64
+	resets        atomic.Int64
+	corruptions   atomic.Int64
+}
+
+// ChaosStats is a snapshot of a Chaos stream's fault counters.
+type ChaosStats struct {
+	PartialWrites int64
+	ShortReads    int64
+	Delays        int64
+	Resets        int64
+	Corruptions   int64
+}
+
+// ChaosOption configures a fault kind.
+type ChaosOption func(*Chaos)
+
+// WithPartialWrites makes each Write, with probability p, deliver its data
+// to the underlying stream in several smaller writes.  The caller still
+// sees one successful Write (the io.Writer contract); what tears is the
+// arrival pattern, which is what stresses frame reassembly.
+func WithPartialWrites(p float64) ChaosOption {
+	return func(c *Chaos) { c.pPartial = clamp01(p) }
+}
+
+// WithShortReads makes each Read, with probability p, return fewer bytes
+// than the buffer has room for (at least one) — legal under io.Reader, and
+// exactly what readers that skip io.ReadFull get wrong.
+func WithShortReads(p float64) ChaosOption {
+	return func(c *Chaos) { c.pShort = clamp01(p) }
+}
+
+// WithDelays makes each Read and Write, with probability p, first sleep a
+// random duration up to max.
+func WithDelays(p float64, max time.Duration) ChaosOption {
+	return func(c *Chaos) {
+		c.pDelay = clamp01(p)
+		c.maxDelay = max
+	}
+}
+
+// WithCorruption makes each Write, with probability p, flip one random bit
+// of the outgoing data.  The caller's buffer is never modified — senders
+// hand the transport pooled buffers they will reuse, so corruption works
+// on a copy.
+func WithCorruption(p float64) ChaosOption {
+	return func(c *Chaos) { c.pCorrupt = clamp01(p) }
+}
+
+// WithReset arranges a connection reset once afterBytes total bytes have
+// been written: the tripping Write delivers only the bytes up to the
+// threshold (usually mid-frame), closes the underlying stream, and fails
+// with ErrChaosReset, as do all later Reads and Writes.  afterBytes <= 0
+// disables the reset.
+func WithReset(afterBytes int64) ChaosOption {
+	return func(c *Chaos) { c.resetAt = afterBytes }
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// NewChaos wraps rwc with fault injection drawn deterministically from
+// seed.  With no options it is a transparent pass-through.
+func NewChaos(rwc io.ReadWriteCloser, seed int64, opts ...ChaosOption) *Chaos {
+	c := &Chaos{rwc: rwc, rng: rand.New(rand.NewSource(seed))}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the stream's fault counters.
+func (c *Chaos) Stats() ChaosStats {
+	return ChaosStats{
+		PartialWrites: c.stats.partialWrites.Load(),
+		ShortReads:    c.stats.shortReads.Load(),
+		Delays:        c.stats.delays.Load(),
+		Resets:        c.stats.resets.Load(),
+		Corruptions:   c.stats.corruptions.Load(),
+	}
+}
+
+// PublishStats registers the stream's live fault counters in an obs
+// registry under the given prefix (e.g. "chaos"), mirroring
+// Conn.PublishStats: prefix_partial_writes_total, prefix_short_reads_total,
+// prefix_delays_total, prefix_resets_total, prefix_corruptions_total.
+func (c *Chaos) PublishStats(reg *obs.Registry, prefix string) {
+	read := func(v *atomic.Int64) obs.Func {
+		return func() float64 { return float64(v.Load()) }
+	}
+	reg.RegisterFunc(prefix+"_partial_writes_total", read(&c.stats.partialWrites))
+	reg.RegisterFunc(prefix+"_short_reads_total", read(&c.stats.shortReads))
+	reg.RegisterFunc(prefix+"_delays_total", read(&c.stats.delays))
+	reg.RegisterFunc(prefix+"_resets_total", read(&c.stats.resets))
+	reg.RegisterFunc(prefix+"_corruptions_total", read(&c.stats.corruptions))
+}
+
+// roll returns whether a fault with probability p fires, plus a duration
+// for delay faults.  One lock covers all of a call's decisions so the
+// fault stream stays deterministic even with Read and Write racing.
+func (c *Chaos) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	hit := c.rng.Float64() < p
+	c.mu.Unlock()
+	return hit
+}
+
+func (c *Chaos) randDelay() time.Duration {
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(c.maxDelay) + 1))
+	c.mu.Unlock()
+	return d
+}
+
+func (c *Chaos) maybeDelay() {
+	if c.maxDelay > 0 && c.roll(c.pDelay) {
+		c.stats.delays.Add(1)
+		time.Sleep(c.randDelay())
+	}
+}
+
+// Write delivers p to the underlying stream, possibly torn, corrupted (on
+// a copy), delayed, or cut short by an injected reset.
+func (c *Chaos) Write(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrChaosReset
+	}
+	c.maybeDelay()
+
+	data := p
+	if c.roll(c.pCorrupt) && len(p) > 0 {
+		// Copy before flipping: the caller's buffer may be pooled and
+		// must come back from Write exactly as it went in.
+		data = make([]byte, len(p))
+		copy(data, p)
+		c.mu.Lock()
+		bit := c.rng.Intn(len(data) * 8)
+		c.mu.Unlock()
+		data[bit/8] ^= 1 << (bit % 8)
+		c.stats.corruptions.Add(1)
+	}
+
+	// An armed reset fires when this write crosses the byte threshold:
+	// deliver the prefix, kill the stream.
+	if c.resetAt > 0 {
+		c.mu.Lock()
+		remain := c.resetAt - c.written
+		c.mu.Unlock()
+		if remain < int64(len(data)) {
+			n := 0
+			if remain > 0 {
+				n, _ = c.rwc.Write(data[:remain])
+			}
+			if !c.reset.Swap(true) {
+				c.stats.resets.Add(1)
+				c.rwc.Close()
+			}
+			c.addWritten(int64(n))
+			return n, ErrChaosReset
+		}
+	}
+
+	if c.roll(c.pPartial) && len(data) > 1 {
+		c.stats.partialWrites.Add(1)
+		total := 0
+		for total < len(data) {
+			c.mu.Lock()
+			chunk := 1 + c.rng.Intn(len(data)-total)
+			c.mu.Unlock()
+			n, err := c.rwc.Write(data[total : total+chunk])
+			total += n
+			if err != nil {
+				c.addWritten(int64(total))
+				return total, err
+			}
+		}
+		c.addWritten(int64(total))
+		return len(p), nil
+	}
+
+	n, err := c.rwc.Write(data)
+	c.addWritten(int64(n))
+	if err == nil && n == len(data) {
+		return len(p), nil
+	}
+	return n, err
+}
+
+func (c *Chaos) addWritten(n int64) {
+	c.mu.Lock()
+	c.written += n
+	c.mu.Unlock()
+}
+
+// Read fills p from the underlying stream, possibly delayed or returning
+// fewer bytes than requested.
+func (c *Chaos) Read(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrChaosReset
+	}
+	c.maybeDelay()
+	if len(p) > 1 && c.roll(c.pShort) {
+		c.mu.Lock()
+		limit := 1 + c.rng.Intn(len(p)-1)
+		c.mu.Unlock()
+		c.stats.shortReads.Add(1)
+		return c.rwc.Read(p[:limit])
+	}
+	return c.rwc.Read(p)
+}
+
+// Close closes the underlying stream (idempotent across an injected
+// reset, which already closed it).
+func (c *Chaos) Close() error {
+	if c.closed.Swap(true) || c.reset.Load() {
+		return nil
+	}
+	return c.rwc.Close()
+}

@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+// chunkRecorder records the size of every Write it receives.
+type chunkRecorder struct {
+	mu     sync.Mutex
+	chunks []int
+	buf    bytes.Buffer
+}
+
+func (r *chunkRecorder) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chunks = append(r.chunks, len(p))
+	return r.buf.Write(p)
+}
+
+func (r *chunkRecorder) Read(p []byte) (int, error) { return 0, io.EOF }
+
+func (r *chunkRecorder) Close() error { return nil }
+
+func (r *chunkRecorder) snapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.chunks...)
+}
+
+type soakEvent struct {
+	Seq  int64  `xmit:"seq"`
+	Name string `xmit:"name"`
+}
+
+func soakBinding(t *testing.T, ctx *pbio.Context) *pbio.Binding {
+	t.Helper()
+	f, err := ctx.RegisterFields("soak_event", []pbio.IOField{
+		{Name: "seq", Type: "integer(8)"},
+		{Name: "name", Type: "string"},
+	})
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	b, err := ctx.Bind(f, soakEvent{})
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return b
+}
+
+// TestChaosDeterministic: the same seed must produce the same fault
+// sequence — that is the whole replay story.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() ([]int, ChaosStats) {
+		rec := &chunkRecorder{}
+		c := NewChaos(rec, 7, WithPartialWrites(0.7))
+		msg := bytes.Repeat([]byte("abcdefgh"), 32)
+		for i := 0; i < 50; i++ {
+			if n, err := c.Write(msg); err != nil || n != len(msg) {
+				t.Fatalf("write %d: n=%d err=%v", i, n, err)
+			}
+		}
+		return rec.snapshot(), c.Stats()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("fault counts diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.PartialWrites == 0 {
+		t.Fatalf("no partial writes injected at p=0.7: %+v", s1)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("chunk sequences diverged: %d vs %d writes", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("chunk %d: %d vs %d bytes", i, c1[i], c2[i])
+		}
+	}
+}
+
+// TestChaosWriteDoesNotMutateCallerBuffer: corruption must operate on a
+// copy — senders pass pooled buffers that they reuse after Write returns.
+func TestChaosWriteDoesNotMutateCallerBuffer(t *testing.T) {
+	rec := &chunkRecorder{}
+	c := NewChaos(rec, 3, WithCorruption(1))
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	msg := append([]byte(nil), orig...)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if c.Stats().Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", c.Stats().Corruptions)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatalf("caller buffer mutated by corruption fault")
+	}
+	if bytes.Equal(rec.buf.Bytes(), orig) {
+		t.Fatalf("wire bytes not corrupted at p=1")
+	}
+}
+
+// TestChaosTransportSurvivesTornIO: a Conn over a chaos stream injecting
+// partial writes, short reads, and small delays must still deliver every
+// message intact — framing may not assume whole-frame reads or writes.
+func TestChaosTransportSurvivesTornIO(t *testing.T) {
+	a, b := net.Pipe()
+	sendCtx, recvCtx := pbio.NewContext(), pbio.NewContext()
+	chaos := NewChaos(a, 11,
+		WithPartialWrites(0.8),
+		WithDelays(0.05, 200*time.Microsecond))
+	sender := NewConn(chaos, sendCtx)
+	receiver := NewConn(NewChaos(b, 12, WithShortReads(0.8)), recvCtx)
+
+	bind := soakBinding(t, sendCtx)
+	const n = 200
+	errc := make(chan error, 1)
+	go func() {
+		defer sender.Close()
+		for i := 0; i < n; i++ {
+			if err := sender.Send(bind, &soakEvent{Seq: int64(i), Name: "torn"}); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < n; i++ {
+		var ev soakEvent
+		if _, err := receiver.Recv(&ev); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if ev.Seq != int64(i) || ev.Name != "torn" {
+			t.Fatalf("recv %d: got %+v", i, ev)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	st := chaos.Stats()
+	if st.PartialWrites == 0 {
+		t.Fatalf("expected partial writes at p=0.8, got %+v", st)
+	}
+}
+
+// TestChaosCorruptionIsDetectable: with corruption on, a stream of known
+// messages must yield at least one receive error or value mismatch — the
+// corrupted bits cannot vanish.
+func TestChaosCorruptionIsDetectable(t *testing.T) {
+	a, b := net.Pipe()
+	sendCtx, recvCtx := pbio.NewContext(), pbio.NewContext()
+	sender := NewConn(NewChaos(a, 21, WithCorruption(0.5)), sendCtx)
+	receiver := NewConn(b, recvCtx, WithMaxFrame(1<<20))
+	defer receiver.Close() // unblocks the sender if detection breaks the loop early
+	bind := soakBinding(t, sendCtx)
+
+	const n = 50
+	go func() {
+		defer sender.Close()
+		for i := 0; i < n; i++ {
+			if err := sender.Send(bind, &soakEvent{Seq: int64(i), Name: "payload-payload"}); err != nil {
+				return // a corrupted length can kill the pipe early; fine
+			}
+		}
+	}()
+	detected := false
+	for i := 0; i < n; i++ {
+		var ev soakEvent
+		if _, err := receiver.Recv(&ev); err != nil {
+			detected = true // corrupt frame length, kind, or body structure
+			break
+		}
+		if ev.Seq != int64(i) || ev.Name != "payload-payload" {
+			detected = true // corrupt value bytes
+			break
+		}
+	}
+	if !detected {
+		t.Fatalf("50 messages at corruption p=0.5 all arrived intact")
+	}
+}
+
+// TestChaosReset: the stream dies mid-frame at the byte threshold; the
+// tripping write and everything after fail with ErrChaosReset, and the
+// peer sees the truncation.
+func TestChaosReset(t *testing.T) {
+	a, b := net.Pipe()
+	sendCtx := pbio.NewContext()
+	chaos := NewChaos(a, 31, WithReset(300))
+	sender := NewConn(chaos, sendCtx)
+	bind := soakBinding(t, sendCtx)
+
+	go func() { // drain the synchronous pipe until it closes
+		io.Copy(io.Discard, b)
+		b.Close()
+	}()
+
+	var got error
+	for i := 0; i < 100; i++ {
+		if err := sender.Send(bind, &soakEvent{Seq: int64(i), Name: "reset-me"}); err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, ErrChaosReset) {
+		t.Fatalf("want ErrChaosReset, got %v", got)
+	}
+	if st := chaos.Stats(); st.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", st.Resets)
+	}
+	if err := sender.Send(bind, &soakEvent{}); !errors.Is(err, ErrChaosReset) {
+		t.Fatalf("post-reset send: want ErrChaosReset, got %v", err)
+	}
+	if _, err := chaos.Read(make([]byte, 8)); !errors.Is(err, ErrChaosReset) {
+		t.Fatalf("post-reset read: want ErrChaosReset, got %v", err)
+	}
+	if err := chaos.Close(); err != nil {
+		t.Fatalf("close after reset: %v", err)
+	}
+}
+
+// TestChaosPublishStats: fault counters export through obs under the
+// given prefix, one per fault kind.
+func TestChaosPublishStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := &chunkRecorder{}
+	c := NewChaos(rec, 41, WithPartialWrites(1))
+	c.PublishStats(reg, "chaos_test")
+	if _, err := c.Write(bytes.Repeat([]byte{1}, 64)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if v, ok := reg.Value("chaos_test_partial_writes_total"); !ok || v < 1 {
+		t.Fatalf("partial_writes_total not exported: %v (ok=%v)", v, ok)
+	}
+	for _, name := range []string{"short_reads", "delays", "resets", "corruptions"} {
+		if _, ok := reg.Value("chaos_test_" + name + "_total"); !ok {
+			t.Fatalf("missing exported counter chaos_test_%s_total", name)
+		}
+	}
+}

@@ -44,9 +44,14 @@ func NewCodec(f *meta.Format, sample any) (*Codec, error) {
 func (c *Codec) Format() *meta.Format { return c.format }
 
 // wireSize returns the XDR unit size for a field: 4 bytes for everything
-// except 8-byte integers and doubles (hyper / double).
+// except 8-byte numeric values (hyper / unsigned hyper / double).  Enums
+// count: an 8-byte enum carries 64 bits of information and must travel as
+// an unsigned hyper, not be silently truncated through the 4-byte unit
+// (XDR's own enums are 32-bit, but this codec serves metadata that allows
+// wider ones — found by the conformance harness, see internal/conform).
 func wireSize(fl *meta.Field) int {
-	if fl.Size == 8 && (fl.Kind == meta.Integer || fl.Kind == meta.Unsigned || fl.Kind == meta.Float) {
+	if fl.Size == 8 &&
+		(fl.Kind == meta.Integer || fl.Kind == meta.Unsigned || fl.Kind == meta.Float || fl.Kind == meta.Enum) {
 		return 8
 	}
 	return 4

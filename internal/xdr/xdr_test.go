@@ -229,3 +229,37 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEnum8RoundTrip is the regression for a truncation the conformance
+// harness found (internal/conform, replay `xmitconform -seed 8 -n 1`): an
+// 8-byte enum was forced through the 4-byte XDR unit, so any value above
+// 2^32-1 lost its top half.  Wide enums must travel as unsigned hyper.
+func TestEnum8RoundTrip(t *testing.T) {
+	type m struct {
+		E uint64 `xmit:"e"`
+	}
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.Sparc32))
+	f, err := ctx.RegisterFields("m", []pbio.IOField{{Name: "e", Type: "enum(8)"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(f, &m{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := m{E: 0x24da69575da9b34b}
+	enc, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 8 {
+		t.Fatalf("enum(8) encodes to %d bytes, want 8", len(enc))
+	}
+	var out m
+	if err := c.Decode(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.E != in.E {
+		t.Fatalf("enum(8) round trip: got %#x, want %#x", out.E, in.E)
+	}
+}

@@ -194,6 +194,13 @@ func appendEscaped(dst []byte, s string) []byte {
 			dst = append(dst, "&lt;"...)
 		case '>':
 			dst = append(dst, "&gt;"...)
+		case '\r':
+			// XML 1.0 end-of-line handling turns a literal CR (or CRLF)
+			// into LF before the application ever sees it, so a carriage
+			// return in string data must travel as a character reference
+			// to survive the round trip (found by the conformance
+			// harness, see internal/conform).
+			dst = append(dst, "&#13;"...)
 		default:
 			dst = append(dst, s[i])
 		}

@@ -277,3 +277,38 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCarriageReturnSurvives is the regression for a normalization bug the
+// conformance harness found (internal/conform, replay `xmitconform -seed 41
+// -n 1`): a literal CR in string content is rewritten to LF by XML 1.0
+// end-of-line handling before the receiver sees it, so the encoder must
+// emit CR as the character reference &#13;.
+func TestCarriageReturnSurvives(t *testing.T) {
+	type m struct {
+		S string `xmit:"s"`
+	}
+	ctx := pbio.NewContext()
+	f, err := ctx.RegisterFields("m", []pbio.IOField{{Name: "s", Type: "string"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(f, &m{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := m{S: "carriage\rreturn\r\nmixed"}
+	enc, err := c.Encode(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), "&#13;") {
+		t.Fatalf("CR not escaped in %q", enc)
+	}
+	var out m
+	if err := c.Decode(enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S != in.S {
+		t.Fatalf("string round trip: got %q, want %q", out.S, in.S)
+	}
+}
