@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	echod -addr 127.0.0.1:8801 -metrics 127.0.0.1:8802 [-fmtserver 127.0.0.1:8701] [-queue 64]
+//	echod -addr 127.0.0.1:8801 -metrics 127.0.0.1:8802 [-fmtserver 127.0.0.1:8701] [-queue 64] [-shards N]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve /metrics on this HTTP address (empty: disabled)")
 	fmtsrvAddr := flag.String("fmtserver", "", "format server address for out-of-band metadata (empty: in-band only)")
 	queue := flag.Int("queue", 64, "default per-subscriber queue length")
+	shards := flag.Int("shards", 0, "default fan-out shards per channel (0: GOMAXPROCS; 1: single-worker fan-out)")
 	flag.Parse()
 
 	metrics := obs.Default()
@@ -42,6 +43,9 @@ func main() {
 	opts := []echan.BrokerOption{
 		echan.WithRegistry(metrics),
 		echan.WithDefaultQueue(*queue),
+	}
+	if *shards > 0 {
+		opts = append(opts, echan.WithDefaultShards(*shards))
 	}
 	if *fmtsrvAddr != "" {
 		fc := fmtserver.NewClient(*fmtsrvAddr)

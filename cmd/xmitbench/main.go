@@ -3,9 +3,12 @@
 //
 // Usage:
 //
-//	xmitbench              # all figures
-//	xmitbench -fig 8       # one figure (1, 3, 6, 7, 8, or "expansion")
-//	xmitbench -quick       # fast, low-precision pass
+//	xmitbench                      # all figures
+//	xmitbench -fig 8               # one figure (1, 3, 6, 7, 8, or "expansion")
+//	xmitbench -fig 8,send,fanout   # several figures
+//	xmitbench -quick               # fast, low-precision pass
+//	xmitbench -json out.json       # also write machine-readable records
+//	xmitbench -baseline BENCH.json # fail on >tolerance throughput regression
 package main
 
 import (
@@ -13,16 +16,20 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 
 	"github.com/open-metadata/xmit/internal/bench"
 	"github.com/open-metadata/xmit/internal/obs"
 )
 
 func main() {
-	fig := flag.String("fig", "all", `figure to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", or "all"`)
+	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", or "all"`)
 	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
 	metricsAddr := flag.String("metrics", "", "serve the process obs registry at /metrics on this HTTP address while running (empty: disabled)")
 	stats := flag.Bool("stats", false, "dump the process obs registry as JSON to stderr after the run")
+	jsonOut := flag.String("json", "", "write machine-readable benchmark records to this file (figures 8, fanout, send, and scale)")
+	baseline := flag.String("baseline", "", "compare this run's throughput records against a baseline JSON file; exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 0.35, "allowed fractional throughput drop vs the baseline before failing")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -39,7 +46,7 @@ func main() {
 	if *quick {
 		opts = bench.QuickOptions()
 	}
-	err := run(*fig, opts)
+	records, err := run(*fig, opts)
 	if *stats {
 		obs.Default().WriteJSON(os.Stderr)
 	}
@@ -47,18 +54,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xmitbench:", err)
 		os.Exit(1)
 	}
+	if *jsonOut != "" {
+		if err := bench.WriteJSONFile(*jsonOut, records); err != nil {
+			fmt.Fprintln(os.Stderr, "xmitbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "xmitbench: wrote %d records to %s\n", len(records), *jsonOut)
+	}
+	if *baseline != "" {
+		base, err := bench.ReadJSONFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmitbench:", err)
+			os.Exit(1)
+		}
+		regs := bench.CompareJSON(base, records, *tolerance)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "xmitbench: %d throughput regression(s) vs %s (tolerance %.0f%%):\n",
+				len(regs), *baseline, *tolerance*100)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "xmitbench: no throughput regressions vs %s (tolerance %.0f%%)\n",
+			*baseline, *tolerance*100)
+	}
 }
 
-func run(fig string, opts bench.Options) error {
+func run(figs string, opts bench.Options) ([]bench.JSONRecord, error) {
 	out := os.Stdout
-	want := func(name string) bool { return fig == "all" || fig == name }
+	wanted := make(map[string]bool)
+	for _, f := range strings.Split(figs, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			wanted[f] = true
+		}
+	}
+	want := func(name string) bool { return wanted["all"] || wanted[name] }
+	var records []bench.JSONRecord
 	ran := false
 
 	if want("1") {
 		ran = true
 		res, err := bench.Fig1(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintFig1(out, res)
 		fmt.Fprintln(out)
@@ -67,7 +106,7 @@ func run(fig string, opts bench.Options) error {
 		ran = true
 		rows, err := bench.Fig3(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintFig3(out, rows)
 		fmt.Fprintln(out)
@@ -76,7 +115,7 @@ func run(fig string, opts bench.Options) error {
 		ran = true
 		rows, err := bench.Fig6(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintFig6(out, rows)
 		fmt.Fprintln(out)
@@ -85,7 +124,7 @@ func run(fig string, opts bench.Options) error {
 		ran = true
 		rows, err := bench.Fig7(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintFig7(out, rows)
 		fmt.Fprintln(out)
@@ -94,16 +133,17 @@ func run(fig string, opts bench.Options) error {
 		ran = true
 		rows, err := bench.Fig8(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintFig8(out, rows)
 		fmt.Fprintln(out)
+		records = append(records, bench.Fig8Records(rows)...)
 	}
 	if want("expansion") {
 		ran = true
 		rows, err := bench.Expansion()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintExpansion(out, rows)
 		fmt.Fprintln(out)
@@ -112,7 +152,7 @@ func run(fig string, opts bench.Options) error {
 		ran = true
 		rows, err := bench.Amortization(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintAmortization(out, rows)
 		fmt.Fprintln(out)
@@ -121,15 +161,15 @@ func run(fig string, opts bench.Options) error {
 		ran = true
 		stages, err := bench.AblationRegistrationStages(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		conv, err := bench.AblationConversion(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fast, err := bench.AblationFastPaths(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintAblations(out, stages, conv, fast)
 		fmt.Fprintln(out)
@@ -138,7 +178,7 @@ func run(fig string, opts bench.Options) error {
 		ran = true
 		rows, err := bench.Allocs(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintAllocs(out, rows)
 		fmt.Fprintln(out)
@@ -147,13 +187,34 @@ func run(fig string, opts bench.Options) error {
 		ran = true
 		rows, err := bench.Fanout(opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		bench.PrintFanout(out, rows)
 		fmt.Fprintln(out)
+		records = append(records, bench.FanoutRecords(rows)...)
+	}
+	if want("send") {
+		ran = true
+		rows, err := bench.Send(opts)
+		if err != nil {
+			return nil, err
+		}
+		bench.PrintSend(out, rows)
+		fmt.Fprintln(out)
+		records = append(records, bench.SendRecords(rows)...)
+	}
+	if want("scale") {
+		ran = true
+		rows, err := bench.Scale(opts)
+		if err != nil {
+			return nil, err
+		}
+		bench.PrintScale(out, rows)
+		fmt.Fprintln(out)
+		records = append(records, bench.ScaleRecords(rows)...)
 	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q", fig)
+		return nil, fmt.Errorf("unknown figure %q", figs)
 	}
-	return nil
+	return records, nil
 }

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// JSONRecord is one benchmark data point in the machine-readable output
+// (the BENCH_5.json schema).  Figure/Config/Metric triple identifies the
+// point across runs; GoVersion and GoMaxProcs record the environment so a
+// regression gate can refuse to compare numbers from different worlds.
+type JSONRecord struct {
+	Figure     string  `json:"figure"`
+	Config     string  `json:"config"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit"`
+	GoVersion  string  `json:"go_version"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
+// key is the identity a record keeps across runs.
+func (r JSONRecord) key() string { return r.Figure + "|" + r.Config + "|" + r.Metric }
+
+// isRate reports whether the record measures throughput (higher is
+// better).  The regression gate compares only rates: time-per-op metrics
+// are the same information inverted, and comparing both would double-count
+// every regression.
+func (r JSONRecord) isRate() bool { return strings.HasSuffix(r.Unit, "/s") }
+
+// record stamps the environment onto one data point.
+func record(figure, config, metric string, value float64, unit string) JSONRecord {
+	return JSONRecord{
+		Figure: figure, Config: config, Metric: metric, Value: value, Unit: unit,
+		GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Fig8Records flattens the encode figure: per-mechanism encode times plus
+// the PBIO rate the regression gate watches.
+func Fig8Records(rows []Fig8Row) []JSONRecord {
+	var out []JSONRecord
+	for _, r := range rows {
+		cfg := fmt.Sprintf("%dB", r.PayloadBytes)
+		out = append(out,
+			record("8", cfg, "pbio_encode", r.PBIONs, "ns/op"),
+			record("8", cfg, "mpi_encode", r.MPINs, "ns/op"),
+			record("8", cfg, "cdr_encode", r.CDRNs, "ns/op"),
+			record("8", cfg, "xdr_encode", r.XDRNs, "ns/op"),
+			record("8", cfg, "xml_encode", r.XMLNs, "ns/op"),
+			record("8", cfg, "pbio_encode_rate", 1e9/r.PBIONs, "msg/s"),
+		)
+	}
+	return out
+}
+
+// FanoutRecords flattens the fan-out figure.
+func FanoutRecords(rows []FanoutRow) []JSONRecord {
+	var out []JSONRecord
+	for _, r := range rows {
+		cfg := fmt.Sprintf("%dsubs", r.Subscribers)
+		out = append(out,
+			record("fanout", cfg, "pbio_events", r.BinEventsPerSec, "events/s"),
+			record("fanout", cfg, "pbio_cpu_per_event", r.BinCPUPerEventNs, "ns/event"),
+			record("fanout", cfg, "xml_events", r.XMLEventsPerSec, "events/s"),
+			record("fanout", cfg, "xml_cpu_per_event", r.XMLCPUPerEventNs, "ns/event"),
+		)
+	}
+	return out
+}
+
+// SendRecords flattens the transport-send figure.
+func SendRecords(rows []SendRow) []JSONRecord {
+	var out []JSONRecord
+	for _, r := range rows {
+		cfg := fmt.Sprintf("%dB", r.PayloadBytes)
+		out = append(out,
+			record("send", cfg, "serial_msgs", r.SerialMsgsPerSec, "msg/s"),
+			record("send", cfg, "parallel_msgs", r.ParallelMsgsPerSec, "msg/s"),
+		)
+	}
+	return out
+}
+
+// ScaleRecords flattens the broker-scaling figure.  GoMaxProcs records the
+// row's setting, not the ambient one, since the experiment varies it.
+func ScaleRecords(rows []ScaleRow) []JSONRecord {
+	var out []JSONRecord
+	for _, r := range rows {
+		cfg := fmt.Sprintf("p%d_%dsubs", r.Procs, r.Subscribers)
+		recs := []JSONRecord{
+			record("scale", cfg, "sharded_events", r.ShardedEventsPerSec, "events/s"),
+			record("scale", cfg, "sharded_cpu_per_event", r.ShardedCPUPerEventNs, "ns/event"),
+			record("scale", cfg, "single_events", r.SingleEventsPerSec, "events/s"),
+			record("scale", cfg, "single_cpu_per_event", r.SingleCPUPerEventNs, "ns/event"),
+		}
+		for i := range recs {
+			recs[i].GoMaxProcs = r.Procs
+		}
+		out = append(out, recs...)
+	}
+	return out
+}
+
+// WriteJSONFile writes records to path as an indented JSON array.
+func WriteJSONFile(path string, recs []JSONRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteJSON writes records to w as an indented JSON array.
+func WriteJSON(w io.Writer, recs []JSONRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// ReadJSONFile loads a record array written by WriteJSONFile.
+func ReadJSONFile(path string) ([]JSONRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []JSONRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// CompareJSON checks fresh throughput numbers against a baseline and
+// returns one message per regression: a rate metric present in both sets
+// whose fresh value fell more than tolerance below the baseline (0.35
+// means anything above a 35% drop fails).  Time-per-op metrics and
+// baseline entries the fresh run didn't produce (figures not re-run) are
+// ignored, so a full baseline can gate a partial rerun.
+func CompareJSON(baseline, fresh []JSONRecord, tolerance float64) []string {
+	got := make(map[string]JSONRecord, len(fresh))
+	for _, r := range fresh {
+		got[r.key()] = r
+	}
+	var regressions []string
+	for _, base := range baseline {
+		if !base.isRate() || base.Value <= 0 {
+			continue
+		}
+		cur, ok := got[base.key()]
+		if !ok {
+			continue
+		}
+		floor := base.Value * (1 - tolerance)
+		if cur.Value < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s/%s %s: %.0f %s, %.1f%% below baseline %.0f (floor %.0f)",
+					base.Figure, base.Config, base.Metric, cur.Value, cur.Unit,
+					100*(1-cur.Value/base.Value), base.Value, floor))
+		}
+	}
+	return regressions
+}

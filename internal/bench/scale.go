@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"github.com/open-metadata/xmit/internal/echan"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+// ScaleProcs is the GOMAXPROCS axis of the scaling experiment.  Values
+// above the machine's core count still measure something real — they show
+// whether the sharded broker degrades when oversubscribed — so the axis is
+// fixed rather than trimmed to the hardware.
+var ScaleProcs = []int{1, 2, 4, 8}
+
+// ScaleSubscribers is the fan-out-width axis of the scaling experiment.
+var ScaleSubscribers = []int{16, 64, 256}
+
+// ScaleRow compares sharded against single-shard fan-out at one
+// (GOMAXPROCS, subscribers) point: a publisher pushing the 100-byte binary
+// payload through the broker under the Block policy, with the channel's
+// shard count equal to GOMAXPROCS versus pinned to one.  CPU per event is
+// process-wide (publisher, shard workers, and subscriber writers), so the
+// sharded column also exposes any coordination overhead the extra workers
+// cost on a small machine.
+type ScaleRow struct {
+	Procs       int
+	Subscribers int
+
+	ShardedEventsPerSec  float64
+	ShardedCPUPerEventNs float64
+	SingleEventsPerSec   float64
+	SingleCPUPerEventNs  float64
+}
+
+// scaleChannel is fanoutChannel with an explicit shard count.
+func scaleChannel(subs, shards int) (*echan.Broker, *echan.Channel, error) {
+	broker := echan.NewBroker(echan.WithRegistry(obs.NewRegistry()), echan.WithDefaultShards(shards))
+	ch, err := broker.Create("scale", echan.WithQueue(256))
+	if err != nil {
+		broker.Close()
+		return nil, nil, err
+	}
+	for i := 0; i < subs; i++ {
+		if _, err := ch.Subscribe(io.Discard, echan.Block); err != nil {
+			broker.Close()
+			return nil, nil, err
+		}
+	}
+	return broker, ch, nil
+}
+
+// measureScalePoint measures one broker configuration at the current
+// GOMAXPROCS setting.
+func measureScalePoint(o Options, subs, shards int, bind *pbio.Binding, msg any) (perEventNs, cpuPerEventNs float64, err error) {
+	broker, ch, err := scaleChannel(subs, shards)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer broker.Close()
+	return measureFanout(o, func() error {
+		return ch.Publish(bind, msg)
+	}, ch.Sync)
+}
+
+// Scale runs the multi-core scaling experiment: events/sec and CPU/event
+// across GOMAXPROCS {1,2,4,8} x subscribers {16,64,256}, sharded
+// (shards == GOMAXPROCS) versus single-shard fan-out.  GOMAXPROCS is
+// restored before returning.
+func Scale(o Options) ([]ScaleRow, error) {
+	return ScaleGrid(o, ScaleProcs, ScaleSubscribers)
+}
+
+// ScaleGrid is Scale with caller-chosen axes.
+func ScaleGrid(o Options, procs, subscribers []int) ([]ScaleRow, error) {
+	ctx := pbio.NewContext(pbio.WithPlatform(Paper))
+	f, err := ctx.RegisterFields("Payload", PayloadFields())
+	if err != nil {
+		return nil, err
+	}
+	msg, err := NewPayload(100)
+	if err != nil {
+		return nil, err
+	}
+	bind, err := ctx.Bind(f, msg)
+	if err != nil {
+		return nil, err
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var rows []ScaleRow
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		for _, n := range subscribers {
+			row := ScaleRow{Procs: p, Subscribers: n}
+
+			per, cpu, err := measureScalePoint(o, n, p, bind, msg)
+			if err != nil {
+				return nil, err
+			}
+			row.ShardedEventsPerSec = 1e9 / per
+			row.ShardedCPUPerEventNs = cpu
+
+			per, cpu, err = measureScalePoint(o, n, 1, bind, msg)
+			if err != nil {
+				return nil, err
+			}
+			row.SingleEventsPerSec = 1e9 / per
+			row.SingleCPUPerEventNs = cpu
+
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintScale renders the scaling table.
+func PrintScale(w io.Writer, rows []ScaleRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Broker scaling: sharded (shards = GOMAXPROCS) vs single-shard fan-out, Block policy, 100 B binary payload (machine cores: %d)\n",
+		runtime.NumCPU())
+	fmt.Fprintf(w, "%6s %6s %16s %18s %16s %18s %14s\n",
+		"procs", "subs", "sharded ev/s", "sharded CPU us/ev", "single ev/s", "single CPU us/ev", "sharded/single")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %6d %16.0f %18.2f %16.0f %18.2f %14.2f\n",
+			r.Procs, r.Subscribers,
+			r.ShardedEventsPerSec, r.ShardedCPUPerEventNs/1e3,
+			r.SingleEventsPerSec, r.SingleCPUPerEventNs/1e3,
+			r.ShardedEventsPerSec/r.SingleEventsPerSec)
+	}
+}

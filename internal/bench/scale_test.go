@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestScaleGridQuick(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	rows, err := ScaleGrid(QuickOptions(), []int{1, 2}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOMAXPROCS(0) != before {
+		t.Fatalf("GOMAXPROCS not restored: %d, want %d", runtime.GOMAXPROCS(0), before)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.ShardedEventsPerSec <= 0 || r.SingleEventsPerSec <= 0 {
+			t.Errorf("non-positive rate in %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintScale(&buf, rows)
+	if !strings.Contains(buf.String(), "sharded ev/s") {
+		t.Errorf("table missing header:\n%s", buf.String())
+	}
+}
+
+func TestSendSizesQuick(t *testing.T) {
+	rows, err := SendSizes(QuickOptions(), []int{100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.SerialMsgsPerSec <= 0 || r.ParallelMsgsPerSec <= 0 {
+			t.Errorf("non-positive rate in %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintSend(&buf, rows)
+	if !strings.Contains(buf.String(), "parallel msg/s") {
+		t.Errorf("table missing header:\n%s", buf.String())
+	}
+}
+
+func TestJSONRoundTripAndCompare(t *testing.T) {
+	recs := append(
+		SendRecords([]SendRow{{PayloadBytes: 100, Workers: 2, SerialMsgsPerSec: 1000, ParallelMsgsPerSec: 2000}}),
+		ScaleRecords([]ScaleRow{{Procs: 4, Subscribers: 16, ShardedEventsPerSec: 5000, SingleEventsPerSec: 4000,
+			ShardedCPUPerEventNs: 10, SingleCPUPerEventNs: 12}})...,
+	)
+	for _, r := range recs {
+		if r.GoVersion == "" {
+			t.Errorf("record %s missing go_version", r.key())
+		}
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteJSONFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) || back[0] != recs[0] {
+		t.Fatalf("round trip mismatch: %d records, first %+v vs %+v", len(back), back[0], recs[0])
+	}
+
+	// Identical runs never regress.
+	if regs := CompareJSON(recs, back, 0.35); len(regs) != 0 {
+		t.Errorf("self-comparison regressed: %v", regs)
+	}
+
+	// A 50% throughput drop on one rate metric is a regression; the same
+	// drop on a time metric, or a baseline row absent from the fresh run,
+	// is not.
+	fresh := make([]JSONRecord, len(recs))
+	copy(fresh, recs)
+	for i := range fresh {
+		if fresh[i].Metric == "serial_msgs" {
+			fresh[i].Value /= 2
+		}
+		if fresh[i].Metric == "sharded_cpu_per_event" {
+			fresh[i].Value *= 10 // worse, but not a rate — ignored
+		}
+	}
+	regs := CompareJSON(recs, fresh, 0.35)
+	if len(regs) != 1 || !strings.Contains(regs[0], "serial_msgs") {
+		t.Errorf("regressions = %v, want exactly the serial_msgs drop", regs)
+	}
+	if regs := CompareJSON(recs, fresh[:0], 0.35); len(regs) != 0 {
+		t.Errorf("empty fresh run should gate nothing, got %v", regs)
+	}
+
+	// Within tolerance passes.
+	within := make([]JSONRecord, len(recs))
+	copy(within, recs)
+	for i := range within {
+		within[i].Value *= 0.70
+	}
+	if regs := CompareJSON(recs, within, 0.35); len(regs) != 0 {
+		t.Errorf("30%% drop inside 35%% tolerance flagged: %v", regs)
+	}
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+// SendBatch is how many independent messages one SendParallel call (or one
+// serial Send loop iteration set) carries in the transport-send experiment.
+const SendBatch = 16
+
+// SendRow compares the serial and parallel-encode transport send paths at
+// one payload size: a batch of SendBatch independent messages marshaled and
+// written to a discarding stream, Conn.Send in a loop versus
+// Conn.SendParallel over an encode pool sized to GOMAXPROCS.  Rates are
+// messages per second; the wire output of the two paths is identical, so
+// the difference is purely where the marshal work runs.
+type SendRow struct {
+	PayloadBytes int
+	Workers      int
+
+	SerialMsgsPerSec   float64
+	ParallelMsgsPerSec float64
+}
+
+// Send runs the transport-send experiment over Figure 8's payload sizes,
+// writing to the discardRWC sink shared with the alloc experiment.
+func Send(o Options) ([]SendRow, error) {
+	return SendSizes(o, PayloadSizes)
+}
+
+// SendSizes is Send with caller-chosen payload sizes.
+func SendSizes(o Options, sizes []int) ([]SendRow, error) {
+	workers := runtime.GOMAXPROCS(0)
+	var rows []SendRow
+	for _, size := range sizes {
+		ctx := pbio.NewContext(pbio.WithPlatform(Paper))
+		f, err := ctx.RegisterFields("Payload", PayloadFields())
+		if err != nil {
+			return nil, err
+		}
+		msg, err := NewPayload(size)
+		if err != nil {
+			return nil, err
+		}
+		bind, err := ctx.Bind(f, msg)
+		if err != nil {
+			return nil, err
+		}
+		vs := make([]any, SendBatch)
+		for i := range vs {
+			vs[i] = msg
+		}
+		row := SendRow{PayloadBytes: size, Workers: workers}
+
+		serial := transport.NewConn(discardRWC{}, ctx)
+		perBatch, err := timeOp(o, func() error {
+			for _, v := range vs {
+				if err := serial.Send(bind, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		serial.Close()
+		if err != nil {
+			return nil, err
+		}
+		row.SerialMsgsPerSec = float64(SendBatch) * 1e9 / perBatch
+
+		par := transport.NewConn(discardRWC{}, ctx, transport.WithParallelEncode(workers))
+		perBatch, err = timeOp(o, func() error {
+			return par.SendParallel(bind, vs...)
+		})
+		par.Close()
+		if err != nil {
+			return nil, err
+		}
+		row.ParallelMsgsPerSec = float64(SendBatch) * 1e9 / perBatch
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintSend renders the transport-send table.
+func PrintSend(w io.Writer, rows []SendRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Transport send: serial Send loop vs SendParallel (%d-message batches, %d encode workers)\n",
+		SendBatch, rows[0].Workers)
+	fmt.Fprintf(w, "%10s %16s %16s %16s\n",
+		"bytes", "serial msg/s", "parallel msg/s", "parallel/serial")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %16.0f %16.0f %16.2f\n",
+			r.PayloadBytes, r.SerialMsgsPerSec, r.ParallelMsgsPerSec,
+			r.ParallelMsgsPerSec/r.SerialMsgsPerSec)
+	}
+}

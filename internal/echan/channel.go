@@ -51,14 +51,17 @@ func (t *formatTable) append(a announcement) int {
 
 // event is one published message: a pooled buffer holding a complete
 // transport data frame, reference-counted by the number of subscriber queues
-// it sits in (plus the publisher while fanning out).  fmtIdx snapshots the
-// format table length at publish time, so each subscriber's writer can emit
-// exactly the announcements this event depends on before its data frame —
-// announcements themselves are never queued, which keeps them safe from the
-// drop policies.
+// and shard rings it sits in (plus the publisher while fanning out).
+// fmtIdx snapshots the format table length at publish time, so each
+// subscriber's writer can emit exactly the announcements this event depends
+// on before its data frame — announcements themselves are never queued,
+// which keeps them safe from the drop policies.  gen is the channel's
+// publish sequence number; shard workers use it to skip subscribers that
+// attached after the event was published.
 type event struct {
 	buf    *pbio.Buffer
 	fmtIdx int
+	gen    uint64
 	start  time.Time
 	refs   atomic.Int32
 }
@@ -85,6 +88,8 @@ type channelMetrics struct {
 	blockWaits    *obs.Counter
 	subscribers   *obs.Gauge
 	depth         *obs.Gauge
+	shards        *obs.Gauge
+	shardDepth    *obs.Gauge
 	fanout        *obs.Histogram
 }
 
@@ -97,24 +102,30 @@ func (m *channelMetrics) init(reg *obs.Registry, name string) {
 	m.blockWaits = reg.Counter(p + "block_waits_total")
 	m.subscribers = reg.Gauge(p + "subscribers")
 	m.depth = reg.Gauge(p + "depth")
+	m.shards = reg.Gauge(p + "shards")
+	m.shardDepth = reg.Gauge(p + "shard_depth")
 	m.fanout = reg.Histogram(p + "fanout_latency_ns")
 }
 
-// Channel is a named event stream.  Publishers encode once; every subscriber
-// receives the same pooled frame through its own bounded queue.  All methods
-// are safe for concurrent use.
+// Channel is a named event stream.  Publishers encode once; the subscriber
+// set is partitioned across shards, each drained by its own worker
+// goroutine, and every subscriber receives the same pooled frame through its
+// own bounded queue.  All methods are safe for concurrent use.
 type Channel struct {
 	broker  *Broker
 	name    string
 	qlen    int
+	nshards int
+	ringLen int
 	oob     bool
 	parent  *Channel
 	filter  *Filter
 	formats *formatTable
+	gen     *atomic.Uint64 // publish sequence; shared with derived channels
 
 	mu        sync.Mutex // serialises announce, subscriber/children changes
 	announced atomic.Pointer[map[*meta.Format]int]
-	subs      atomic.Pointer[[]*Subscription]
+	shards    []*shard
 	children  atomic.Pointer[[]*Channel]
 	closed    atomic.Bool
 
@@ -134,6 +145,30 @@ func WithQueue(n int) ChannelOption {
 	}
 }
 
+// WithShards sets the number of fan-out shards for this channel (default:
+// the broker's default, which scales with GOMAXPROCS).  One shard
+// reproduces the single-worker fan-out; more shards split the subscriber
+// set so the per-subscriber offer loops run on multiple cores.
+func WithShards(n int) ChannelOption {
+	return func(ch *Channel) {
+		if n > 0 {
+			ch.nshards = n
+		}
+	}
+}
+
+// WithShardRing sets the depth of each shard's event ring (default: the
+// channel's queue length).  The ring is the publisher→shard handoff buffer;
+// when it fills, publishes block until the shard's worker catches up, which
+// is how Block-policy backpressure propagates to the publisher.
+func WithShardRing(n int) ChannelOption {
+	return func(ch *Channel) {
+		if n > 0 {
+			ch.ringLen = n
+		}
+	}
+}
+
 // WithOutOfBand makes the channel distribute metadata out-of-band: no format
 // announcement frames are written to subscribers, who must resolve format
 // IDs through their own resolver (the fmtserver/discovery path).  Pair it
@@ -148,19 +183,35 @@ func newChannel(b *Broker, name string, opts ...ChannelOption) *Channel {
 		broker:  b,
 		name:    name,
 		qlen:    b.defaultQueue,
+		nshards: b.defaultShards,
 		formats: newFormatTable(),
+		gen:     new(atomic.Uint64),
 	}
 	for _, o := range opts {
 		o(ch)
 	}
+	if ch.nshards <= 0 {
+		ch.nshards = 1
+	}
+	if ch.ringLen <= 0 {
+		ch.ringLen = ch.qlen
+	}
 	ch.announced.Store(&map[*meta.Format]int{})
-	emptySubs := []*Subscription{}
-	ch.subs.Store(&emptySubs)
 	emptyKids := []*Channel{}
 	ch.children.Store(&emptyKids)
 	ch.metrics.init(b.reg, name)
+	ch.metrics.shards.Set(int64(ch.nshards))
+	ch.shards = make([]*shard, ch.nshards)
+	for i := range ch.shards {
+		events := b.reg.Counter(fmt.Sprintf(
+			"echan_%s_shard%d_events_total", metricName(name), i))
+		ch.shards[i] = newShard(ch, i, ch.ringLen, events)
+	}
 	return ch
 }
+
+// Shards returns the channel's shard count.
+func (ch *Channel) Shards() int { return ch.nshards }
 
 // Name returns the channel name.
 func (ch *Channel) Name() string { return ch.name }
@@ -291,16 +342,12 @@ func (ch *Channel) publishFrame(f *meta.Format, buf *pbio.Buffer) error {
 	ev := eventPool.Get().(*event)
 	ev.buf = buf
 	ev.fmtIdx = fmtIdx
+	ev.gen = ch.gen.Add(1)
 	ev.start = time.Now()
 	ev.refs.Store(1) // the publisher's reference, held across fan-out
 
 	ch.metrics.published.Inc()
-	for _, s := range *ch.subs.Load() {
-		ev.refs.Add(1)
-		if !s.offer(ev) {
-			ev.refs.Add(-1) // cannot reach zero: the publisher ref is live
-		}
-	}
+	ch.enqueueShards(ev)
 
 	if children := *ch.children.Load(); len(children) > 0 && f != nil {
 		ch.fanToChildren(children, f, ev)
@@ -308,6 +355,22 @@ func (ch *Channel) publishFrame(f *meta.Format, buf *pbio.Buffer) error {
 
 	ev.release()
 	return nil
+}
+
+// enqueueShards hands the event to every shard that has subscribers.  Each
+// shard takes its own reference; a shard refusing the event (channel
+// closing) hands it back.  Shards with no subscribers cost nothing — an
+// atomic pointer load each.
+func (ch *Channel) enqueueShards(ev *event) {
+	for _, sh := range ch.shards {
+		if len(*sh.subs.Load()) == 0 {
+			continue
+		}
+		ev.refs.Add(1)
+		if !sh.enqueue(ev) {
+			ev.refs.Add(-1) // cannot reach zero: the caller's ref is live
+		}
+	}
 }
 
 // fanToChildren routes an event to derived channels whose filters match.
@@ -333,12 +396,7 @@ func (ch *Channel) fanToChildren(children []*Channel, f *meta.Format, ev *event)
 			continue
 		}
 		child.metrics.published.Inc()
-		for _, s := range *child.subs.Load() {
-			ev.refs.Add(1)
-			if !s.offer(ev) {
-				ev.refs.Add(-1)
-			}
-		}
+		child.enqueueShards(ev)
 	}
 }
 
@@ -355,11 +413,14 @@ func SubQueue(n int) SubOption {
 }
 
 // Subscribe attaches a sink to the channel under the given backpressure
-// policy.  Frames are written to w by a dedicated goroutine: format
-// announcements the sink hasn't seen (for in-band channels), each followed
-// by data frames — so a subscriber joining mid-stream always receives the
-// formats its first event needs before that event's data frame.  w's Write
-// must be safe for use from one goroutine (a net.Conn or os.File is fine).
+// policy.  The subscription is placed on the least-loaded shard (rebalancing
+// the partition as subscribers come and go) and stays there for its
+// lifetime, which is what preserves per-subscriber FIFO ordering.  Frames
+// are written to w by a dedicated goroutine: format announcements the sink
+// hasn't seen (for in-band channels), each followed by data frames — so a
+// subscriber joining mid-stream always receives the formats its first event
+// needs before that event's data frame.  w's Write must be safe for use
+// from one goroutine (a net.Conn or os.File is fine).
 func (ch *Channel) Subscribe(w io.Writer, policy Policy, opts ...SubOption) (*Subscription, error) {
 	if ch.closed.Load() {
 		return nil, ErrChannelClosed
@@ -380,45 +441,42 @@ func (ch *Channel) Subscribe(w io.Writer, policy Policy, opts ...SubOption) (*Su
 		ch.mu.Unlock()
 		return nil, ErrChannelClosed
 	}
-	old := *ch.subs.Load()
-	next := make([]*Subscription, len(old)+1)
-	copy(next, old)
-	next[len(old)] = s
-	ch.subs.Store(&next)
+	target := ch.shards[0]
+	for _, sh := range ch.shards[1:] {
+		if len(*sh.subs.Load()) < len(*target.subs.Load()) {
+			target = sh
+		}
+	}
+	s.shard = target
+	s.afterGen = ch.gen.Load()
+	target.addSub(s)
 	ch.mu.Unlock()
 	ch.metrics.subscribers.Add(1)
 	go s.run()
 	return s, nil
 }
 
-// removeSub detaches s from the channel's fan-out list (idempotent).
+// removeSub detaches s from its shard's fan-out list (idempotent).
 func (ch *Channel) removeSub(s *Subscription) {
 	ch.mu.Lock()
-	old := *ch.subs.Load()
-	next := make([]*Subscription, 0, len(old))
-	found := false
-	for _, o := range old {
-		if o == s {
-			found = true
-			continue
-		}
-		next = append(next, o)
-	}
-	if found {
-		ch.subs.Store(&next)
-	}
+	found := s.shard.removeSub(s)
 	ch.mu.Unlock()
 	if found {
 		ch.metrics.subscribers.Add(-1)
 	}
 }
 
-// Sync blocks until every queue on the channel (and its derived channels)
-// has drained and no delivery is in flight — a barrier for tests and
-// graceful shutdown.
+// Sync blocks until every shard ring and every queue on the channel (and
+// its derived channels) has drained and no delivery is in flight — a
+// barrier for tests and graceful shutdown.
 func (ch *Channel) Sync() {
-	for _, s := range *ch.subs.Load() {
-		s.Sync()
+	for _, sh := range ch.shards {
+		sh.sync()
+	}
+	for _, sh := range ch.shards {
+		for _, s := range *sh.subs.Load() {
+			s.Sync()
+		}
 	}
 	for _, c := range *ch.children.Load() {
 		c.Sync()
@@ -426,9 +484,9 @@ func (ch *Channel) Sync() {
 }
 
 // Close marks the channel closed (publishes fail with ErrChannelClosed) and
-// aborts every subscription: queued events are discarded and sinks that
-// implement io.Closer are closed, so shutdown never waits on a stuck
-// consumer.  Use Sync before Close for a drain-then-stop sequence.
+// aborts every subscription: shard rings and queued events are discarded
+// and sinks that implement io.Closer are closed, so shutdown never waits on
+// a stuck consumer.  Use Sync before Close for a drain-then-stop sequence.
 func (ch *Channel) Close() error {
 	if ch.closed.Swap(true) {
 		return nil
@@ -436,8 +494,19 @@ func (ch *Channel) Close() error {
 	for _, c := range *ch.children.Load() {
 		c.Close()
 	}
-	for _, s := range *ch.subs.Load() {
-		s.abort()
+	// Wake the shard workers (and any publisher blocked on a full ring)
+	// first, then abort subscriptions so a worker blocked in a Block-policy
+	// offer is released, then wait for the workers to drain and exit.
+	for _, sh := range ch.shards {
+		sh.close()
+	}
+	for _, sh := range ch.shards {
+		for _, s := range *sh.subs.Load() {
+			s.abort()
+		}
+	}
+	for _, sh := range ch.shards {
+		<-sh.done
 	}
 	return nil
 }
@@ -451,6 +520,8 @@ type ChannelStats struct {
 	BlockWaits    int64
 	Subscribers   int64
 	Depth         int64
+	Shards        int64
+	ShardDepth    int64 // events sitting in (or being fanned out from) shard rings
 }
 
 // Stats snapshots the channel's counters (the same values exported through
@@ -464,15 +535,20 @@ func (ch *Channel) Stats() ChannelStats {
 		BlockWaits:    ch.metrics.blockWaits.Value(),
 		Subscribers:   ch.metrics.subscribers.Value(),
 		Depth:         ch.metrics.depth.Value(),
+		Shards:        ch.metrics.shards.Value(),
+		ShardDepth:    ch.metrics.shardDepth.Value(),
 	}
 }
 
 // Subscription is one sink's attachment to a channel: a bounded ring of
-// pending events drained by a dedicated writer goroutine.
+// pending events drained by a dedicated writer goroutine.  It lives on
+// exactly one of the channel's shards, whose worker runs the offer loop.
 type Subscription struct {
-	ch     *Channel
-	w      io.Writer
-	policy Policy
+	ch       *Channel
+	shard    *shard
+	w        io.Writer
+	policy   Policy
+	afterGen uint64 // publish generation at Subscribe; earlier events are skipped
 
 	mu       sync.Mutex
 	cond     sync.Cond

@@ -33,6 +33,7 @@ package echan
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -96,10 +97,11 @@ var (
 
 // Broker owns a set of named channels.  It is safe for concurrent use.
 type Broker struct {
-	ctx          *pbio.Context
-	reg          *obs.Registry
-	registrar    func(*meta.Format) error
-	defaultQueue int
+	ctx           *pbio.Context
+	reg           *obs.Registry
+	registrar     func(*meta.Format) error
+	defaultQueue  int
+	defaultShards int
 
 	mu       sync.Mutex
 	channels map[string]*Channel
@@ -140,11 +142,24 @@ func WithDefaultQueue(n int) BrokerOption {
 	}
 }
 
+// WithDefaultShards sets the default fan-out shard count for channels
+// created without an explicit WithShards.  The default scales with the
+// hardware: runtime.GOMAXPROCS(0), so a channel's offer loops can occupy
+// every core.  Use 1 to reproduce the single-worker fan-out.
+func WithDefaultShards(n int) BrokerOption {
+	return func(b *Broker) {
+		if n > 0 {
+			b.defaultShards = n
+		}
+	}
+}
+
 // NewBroker creates an empty broker.
 func NewBroker(opts ...BrokerOption) *Broker {
 	b := &Broker{
-		channels:     make(map[string]*Channel),
-		defaultQueue: 64,
+		channels:      make(map[string]*Channel),
+		defaultQueue:  64,
+		defaultShards: runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
 		o(b)
@@ -267,6 +282,7 @@ func (b *Broker) Derive(name, parent string, f *Filter, opts ...ChannelOption) (
 	ch.parent = p
 	ch.filter = f
 	ch.formats = p.formats // share the parent's announcement table
+	ch.gen = p.gen         // and its publish generation (events carry parent gens)
 	ch.oob = p.oob
 	b.channels[name] = ch
 	p.addChild(ch)

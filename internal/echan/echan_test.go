@@ -207,11 +207,16 @@ func TestDropOldestPolicy(t *testing.T) {
 	conn, _ := subscriberConn(t, ch, pbio.NewContext(), DropOldest, SubQueue(2))
 
 	// Event 1 is popped and its write blocks on the unread pipe; events 2-3
-	// fill the queue; 4 evicts 2, 5 evicts 3.
+	// fill the queue; 4 evicts 2, 5 evicts 3.  "In flight" means the shard
+	// worker has offered it (ShardDepth 0) and the writer popped it
+	// (Depth 0) — only then is the queue's eviction arithmetic pinned.
 	if err := ch.Publish(bind, &Event{Seq: 1}); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, "event 1 in flight", func() bool { return ch.Stats().Depth == 0 })
+	waitFor(t, "event 1 in flight", func() bool {
+		st := ch.Stats()
+		return st.ShardDepth == 0 && st.Depth == 0
+	})
 	for i := 2; i <= 5; i++ {
 		if err := ch.Publish(bind, &Event{Seq: int32(i)}); err != nil {
 			t.Fatal(err)
@@ -260,15 +265,18 @@ func TestDropNewestPolicy(t *testing.T) {
 	if err := ch.Publish(bind, &Event{Seq: 1}); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, "event 1 in flight", func() bool { return ch.Stats().Depth == 0 })
+	waitFor(t, "event 1 in flight", func() bool {
+		st := ch.Stats()
+		return st.ShardDepth == 0 && st.Depth == 0
+	})
 	for i := 2; i <= 5; i++ {
 		if err := ch.Publish(bind, &Event{Seq: int32(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if st := ch.Stats(); st.DroppedNewest != 2 {
-		t.Fatalf("dropped %d, want 2 (stats %+v)", st.DroppedNewest, st)
-	}
+	// Publish hands events to the shard ring; the drops happen on the shard
+	// worker's offer loop, so wait for it to work through the burst.
+	waitFor(t, "two rejections", func() bool { return ch.Stats().DroppedNewest == 2 })
 
 	var got []int32
 	for i := 0; i < 3; i++ {
@@ -291,33 +299,36 @@ func TestBlockPolicy(t *testing.T) {
 	reg := obs.NewRegistry()
 	b := NewBroker(WithRegistry(reg))
 	defer b.Close()
-	ch, err := b.Create("lossless")
+	// A one-slot shard ring plus a one-slot subscriber queue pins the
+	// end-to-end pipeline capacity exactly: ev1 with the writer (its write
+	// blocked on the unread pipe), ev2 in the subscriber queue, ev3 held by
+	// the shard worker blocked in its Block-policy offer, ev4 in the shard
+	// ring.  Publish 5 must then block on the full ring until the reader
+	// drains — backpressure reaches the publisher transitively.
+	ch, err := b.Create("lossless", WithShardRing(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, bind := eventBinding(t, platform.X8664)
 	conn, _ := subscriberConn(t, ch, pbio.NewContext(), Block, SubQueue(1))
 
-	if err := ch.Publish(bind, &Event{Seq: 1}); err != nil {
-		t.Fatal(err)
+	for i := 1; i <= 4; i++ {
+		if err := ch.Publish(bind, &Event{Seq: int32(i)}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	waitFor(t, "event 1 in flight", func() bool { return ch.Stats().Depth == 0 })
-	if err := ch.Publish(bind, &Event{Seq: 2}); err != nil {
-		t.Fatal(err)
-	}
-	// The queue is now full; the next publish must block until the reader
-	// drains, not drop.
+	waitFor(t, "shard worker blocked in offer", func() bool { return ch.Stats().BlockWaits >= 1 })
 	pubDone := make(chan error, 1)
-	go func() { pubDone <- ch.Publish(bind, &Event{Seq: 3}) }()
-	waitFor(t, "publisher blocked", func() bool { return ch.Stats().BlockWaits >= 1 })
+	go func() { pubDone <- ch.Publish(bind, &Event{Seq: 5}) }()
+	time.Sleep(20 * time.Millisecond)
 	select {
 	case err := <-pubDone:
-		t.Fatalf("publish returned (%v) while the queue was full", err)
+		t.Fatalf("publish returned (%v) while the pipeline was full", err)
 	default:
 	}
 
 	var got []int32
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 5; i++ {
 		var out Event
 		if _, err := conn.Recv(&out); err != nil {
 			t.Fatal(err)
@@ -327,12 +338,14 @@ func TestBlockPolicy(t *testing.T) {
 	if err := <-pubDone; err != nil {
 		t.Fatal(err)
 	}
-	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
-		t.Errorf("received %v, want [1 2 3] (lossless)", got)
+	for i, want := range []int32{1, 2, 3, 4, 5} {
+		if got[i] != want {
+			t.Fatalf("received %v, want [1 2 3 4 5] (lossless, in order)", got)
+		}
 	}
 	ch.Sync()
 	st := ch.Stats()
-	if st.Delivered != 3 || st.DroppedOldest != 0 || st.DroppedNewest != 0 {
+	if st.Delivered != 5 || st.DroppedOldest != 0 || st.DroppedNewest != 0 {
 		t.Errorf("stats %+v", st)
 	}
 	if v, ok := reg.Value("echan_lossless_block_waits_total"); !ok || v < 1 {

@@ -1,0 +1,178 @@
+package echan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/open-metadata/xmit/internal/obs"
+)
+
+// shard owns one slice of a channel's subscriber set: a bounded ring of
+// published events drained by a dedicated worker goroutine that runs the
+// per-subscriber offer loop for its slice.  Sharding moves the O(subscribers)
+// fan-out work off the publisher's goroutine — publish costs O(shards) ring
+// enqueues — and lets the offer loops of a wide subscriber set run on every
+// core instead of one.
+//
+// Ordering: a subscriber belongs to exactly one shard for its lifetime, the
+// ring is FIFO, and the worker offers events to its subscribers in ring
+// order, so per-subscriber FIFO delivery is preserved.  Backpressure is
+// transitive: a Block-policy subscriber with a full queue blocks the shard
+// worker, the shard ring fills, and the publisher blocks on the next
+// enqueue — lossless end to end, with bounded memory.
+type shard struct {
+	ch  *Channel
+	idx int
+
+	// subs is the shard's slice of the channel's subscriber set, mutated
+	// copy-on-write under ch.mu and read lock-free by the worker.
+	subs atomic.Pointer[[]*Subscription]
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	ring   []*event
+	head   int
+	count  int
+	busy   bool // worker is between pop and offer-loop completion
+	closed bool
+	done   chan struct{}
+
+	events *obs.Counter // events this shard's worker has fanned out
+}
+
+func newShard(ch *Channel, idx, ring int, events *obs.Counter) *shard {
+	sh := &shard{
+		ch:     ch,
+		idx:    idx,
+		ring:   make([]*event, ring),
+		done:   make(chan struct{}),
+		events: events,
+	}
+	sh.cond.L = &sh.mu
+	empty := []*Subscription{}
+	sh.subs.Store(&empty)
+	go sh.run()
+	return sh
+}
+
+// enqueue hands one event reference to the shard, blocking while the ring is
+// full (the transitive Block backpressure path).  It reports false once the
+// shard is closed; the caller keeps the reference in that case.
+func (sh *shard) enqueue(ev *event) bool {
+	sh.mu.Lock()
+	for sh.count == len(sh.ring) && !sh.closed {
+		sh.cond.Wait()
+	}
+	if sh.closed {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.ring[(sh.head+sh.count)%len(sh.ring)] = ev
+	sh.count++
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	sh.ch.metrics.shardDepth.Add(1)
+	return true
+}
+
+// run is the shard's worker loop: pop an event, offer it to every
+// subscriber in the shard (in ring order, so per-subscriber FIFO holds),
+// release the shard's reference.  On close it drains the ring, releasing
+// undelivered events, and exits.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		sh.mu.Lock()
+		for sh.count == 0 && !sh.closed {
+			sh.cond.Wait()
+		}
+		if sh.count == 0 { // closed and drained
+			sh.mu.Unlock()
+			return
+		}
+		ev := sh.ring[sh.head]
+		sh.ring[sh.head] = nil
+		sh.head = (sh.head + 1) % len(sh.ring)
+		sh.count--
+		closed := sh.closed
+		sh.busy = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+
+		if !closed {
+			sh.fanOut(ev)
+		}
+		sh.ch.metrics.shardDepth.Add(-1)
+		ev.release()
+
+		sh.mu.Lock()
+		sh.busy = false
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+}
+
+// fanOut offers one event to every subscriber in the shard.  Subscribers
+// that attached after the event was published (ev.gen <= afterGen) are
+// skipped: a mid-stream joiner sees only events published after its
+// Subscribe returned, exactly as when the publisher ran the offer loop
+// inline.
+func (sh *shard) fanOut(ev *event) {
+	for _, s := range *sh.subs.Load() {
+		if ev.gen <= s.afterGen {
+			continue
+		}
+		ev.refs.Add(1)
+		if !s.offer(ev) {
+			ev.refs.Add(-1) // cannot reach zero: the shard's ref is live
+		}
+	}
+	sh.events.Inc()
+}
+
+// sync blocks until the ring is empty and no offer loop is in flight.
+func (sh *shard) sync() {
+	sh.mu.Lock()
+	for sh.count > 0 || sh.busy {
+		sh.cond.Wait()
+	}
+	sh.mu.Unlock()
+}
+
+// close marks the shard closed and wakes the worker (and any blocked
+// publisher).  The worker drains the ring and exits; wait on sh.done for
+// that.
+func (sh *shard) close() {
+	sh.mu.Lock()
+	sh.closed = true
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// addSub appends s to the shard's subscriber slice.  Callers hold ch.mu.
+func (sh *shard) addSub(s *Subscription) {
+	old := *sh.subs.Load()
+	next := make([]*Subscription, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	sh.subs.Store(&next)
+}
+
+// removeSub detaches s from the shard's subscriber slice, reporting whether
+// it was present.  Callers hold ch.mu.
+func (sh *shard) removeSub(s *Subscription) bool {
+	old := *sh.subs.Load()
+	next := make([]*Subscription, 0, len(old))
+	found := false
+	for _, o := range old {
+		if o == s {
+			found = true
+			continue
+		}
+		next = append(next, o)
+	}
+	if found {
+		sh.subs.Store(&next)
+	}
+	return found
+}

@@ -1,0 +1,130 @@
+package pbio
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/open-metadata/xmit/internal/obs"
+)
+
+// EncodePool is a fixed set of worker goroutines that marshal independent
+// messages concurrently into pooled Buffers.  It is the producer-side dual
+// of the broker's fan-out shards: where sharding parallelises delivery of
+// one encoded frame to many subscribers, the encode pool parallelises the
+// marshaling of many frames destined for one connection.  A sender that
+// has k independent messages queues all k, the workers encode them on as
+// many cores as are free, and the sender collects the buffers in submit
+// order — so the serialised part of a send shrinks to the final Write.
+//
+// Bindings are safe to share across workers: a Binding's encode program is
+// immutable after compilation, and each job encodes into its own pooled
+// buffer.  Steady-state operation allocates nothing — jobs and buffers are
+// both recycled through pools.
+type EncodePool struct {
+	reqs    chan *EncodeJob
+	workers int
+	wg      sync.WaitGroup
+
+	closeOnce sync.Once
+	jobPool   sync.Pool
+
+	msgs []*obs.Counter // per-worker encode counts
+}
+
+// encodeWorkers tracks the number of live encode-pool workers process-wide,
+// mirroring how the buffer-pool counters are exported.
+var encodeWorkers = obs.Default().Gauge("pbio_encode_workers")
+
+// EncodeJob is one queued encode: Wait blocks until a worker has marshaled
+// the value, then yields the encoded buffer.  Jobs are single-use tokens
+// owned by the pool; they recycle themselves when Wait returns.
+type EncodeJob struct {
+	pool    *EncodePool
+	binding *Binding
+	v       any
+	reserve int
+
+	buf  *Buffer
+	err  error
+	done chan struct{} // 1-buffered completion token, reused across jobs
+}
+
+// NewEncodePool starts an encode pool with the given number of workers
+// (minimum 1).  Close must be called to stop the workers.
+func NewEncodePool(workers int) *EncodePool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &EncodePool{
+		reqs:    make(chan *EncodeJob, workers),
+		workers: workers,
+		msgs:    make([]*obs.Counter, workers),
+	}
+	p.jobPool.New = func() any {
+		return &EncodeJob{pool: p, done: make(chan struct{}, 1)}
+	}
+	for i := 0; i < workers; i++ {
+		p.msgs[i] = obs.Default().Counter(fmt.Sprintf("pbio_encode_worker%d_msgs_total", i))
+		p.wg.Add(1)
+		go p.run(i)
+	}
+	encodeWorkers.Add(int64(workers))
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *EncodePool) Workers() int { return p.workers }
+
+// Encode queues one message for marshaling and returns the job to wait on.
+// The encoded buffer starts with reserve undefined bytes — space for the
+// caller to stamp a frame header in place — followed by the PBIO message
+// (header + body) for v under b.  Encode panics if the pool is closed.
+func (p *EncodePool) Encode(b *Binding, v any, reserve int) *EncodeJob {
+	j := p.jobPool.Get().(*EncodeJob)
+	j.binding, j.v, j.reserve = b, v, reserve
+	p.reqs <- j
+	return j
+}
+
+// Wait blocks until the job's worker finishes and returns the encoded
+// buffer.  Ownership of the buffer transfers to the caller, who must
+// Release it; the job itself is recycled and must not be reused.
+func (j *EncodeJob) Wait() (*Buffer, error) {
+	<-j.done
+	buf, err := j.buf, j.err
+	j.binding, j.v, j.buf, j.err = nil, nil, nil, nil
+	j.pool.jobPool.Put(j)
+	return buf, err
+}
+
+func (p *EncodePool) run(idx int) {
+	defer p.wg.Done()
+	for j := range p.reqs {
+		buf := GetBuffer()
+		if cap(buf.B) < j.reserve {
+			buf.B = make([]byte, j.reserve, j.reserve+4096)
+		} else {
+			buf.B = buf.B[:j.reserve]
+		}
+		out, err := j.binding.AppendEncode(buf.B, j.v)
+		if err != nil {
+			buf.Release()
+			j.buf, j.err = nil, err
+		} else {
+			buf.B = out
+			j.buf, j.err = buf, nil
+		}
+		p.msgs[idx].Inc()
+		j.done <- struct{}{}
+	}
+}
+
+// Close stops the workers after the queue drains.  Jobs queued before
+// Close complete normally; Encode after Close panics.
+func (p *EncodePool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.reqs)
+		p.wg.Wait()
+		encodeWorkers.Add(-int64(p.workers))
+	})
+}

@@ -1,0 +1,142 @@
+package pbio
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/obs"
+)
+
+func parallelBinding(t testing.TB) *Binding {
+	t.Helper()
+	c := NewContext()
+	f, err := c.RegisterFields("SimpleData", simpleDataFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Bind(f, &SimpleData{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEncodePoolMatchesSerial checks that pool-encoded buffers are
+// byte-identical to serial AppendEncode output, including the reserved
+// header prefix.
+func TestEncodePoolMatchesSerial(t *testing.T) {
+	b := parallelBinding(t)
+	p := NewEncodePool(4)
+	defer p.Close()
+
+	const reserve = 5
+	vals := make([]*SimpleData, 64)
+	jobs := make([]*EncodeJob, len(vals))
+	for i := range vals {
+		vals[i] = &SimpleData{Timestep: int32(i), Size: 3, Data: []float32{1, 2, float32(i)}}
+		jobs[i] = p.Encode(b, vals[i], reserve)
+	}
+	for i, j := range jobs {
+		buf, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		want, err := b.AppendEncode(nil, vals[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf.B) < reserve || !bytes.Equal(buf.B[reserve:], want) {
+			t.Fatalf("job %d: pool encoding differs from serial (%d vs %d+%d bytes)",
+				i, len(buf.B), reserve, len(want))
+		}
+		buf.Release()
+	}
+}
+
+// TestEncodePoolError propagates a marshal failure through Wait and does
+// not leak the pooled buffer.
+func TestEncodePoolError(t *testing.T) {
+	b := parallelBinding(t)
+	p := NewEncodePool(2)
+	defer p.Close()
+
+	j := p.Encode(b, &struct{ Wrong int }{}, 0)
+	if buf, err := j.Wait(); err == nil {
+		t.Fatalf("expected type-mismatch error, got buffer of %d bytes", len(buf.B))
+	}
+	puts, _ := obs.Default().Value("pbio_pool_put_total")
+	gets, _ := obs.Default().Value("pbio_pool_get_total")
+	if puts > gets {
+		t.Fatalf("pool invariant violated: %v puts > %v gets", puts, gets)
+	}
+}
+
+// TestEncodePoolConcurrent hammers one pool from many submitters under
+// -race; every job must come back with a decodable payload.
+func TestEncodePoolConcurrent(t *testing.T) {
+	b := parallelBinding(t)
+	p := NewEncodePool(4)
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := &SimpleData{Timestep: int32(g), Size: 2, Data: []float32{4, 5}}
+			for i := 0; i < 200; i++ {
+				buf, err := p.Encode(b, v, 0).Wait()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				buf.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestEncodePoolWorkersGauge pins the gauge lifecycle: +workers at
+// construction, -workers at Close, idempotent Close.
+func TestEncodePoolWorkersGauge(t *testing.T) {
+	before, _ := obs.Default().Value("pbio_encode_workers")
+	p := NewEncodePool(3)
+	if v, _ := obs.Default().Value("pbio_encode_workers"); v != before+3 {
+		t.Fatalf("gauge = %v after start, want %v", v, before+3)
+	}
+	p.Close()
+	p.Close()
+	if v, _ := obs.Default().Value("pbio_encode_workers"); v != before {
+		t.Fatalf("gauge = %v after close, want %v", v, before)
+	}
+}
+
+// TestEncodePoolSteadyStateAllocs gates the recycle contract: after
+// warmup, an encode round trip (submit, wait, release) allocates nothing.
+func TestEncodePoolSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector; the gate would measure that")
+	}
+	b := parallelBinding(t)
+	p := NewEncodePool(2)
+	defer p.Close()
+	v := &SimpleData{Timestep: 1, Size: 2, Data: []float32{6, 7}}
+	for i := 0; i < 100; i++ {
+		buf, err := p.Encode(b, v, 5).Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Release()
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf, err := p.Encode(b, v, 5).Wait()
+		if err != nil {
+			t.Error(err)
+		}
+		buf.Release()
+	}); n != 0 {
+		t.Errorf("encode-pool round trip: %v allocs/op, want 0", n)
+	}
+}

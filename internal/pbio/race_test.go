@@ -1,0 +1,10 @@
+//go:build race
+
+package pbio
+
+// raceEnabled reports whether the race detector is compiled in.  Under the
+// detector sync.Pool deliberately drops a quarter of Puts (to widen the
+// synchronization schedules it can observe), so pool-backed paths allocate
+// on the resulting misses and AllocsPerRun gates measure the detector, not
+// the code.  Those gates skip themselves when this is true.
+const raceEnabled = true

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestSendParallelWireIdentical pins SendParallel's core contract: the
+// byte stream it produces is identical to a serial Send loop — same
+// announce-once metadata frame, same data frames, same order.
+func TestSendParallelWireIdentical(t *testing.T) {
+	mkMsgs := func() []*SimpleData {
+		msgs := make([]*SimpleData, 16)
+		for i := range msgs {
+			msgs[i] = &SimpleData{Timestep: int32(i), Data: []float32{float32(i), 1, 2}}
+		}
+		return msgs
+	}
+
+	serial := &captureRWC{}
+	sctx, b := senderContext(t, platform.X8664)
+	cs := NewConn(serial, sctx)
+	for _, m := range mkMsgs() {
+		if err := cs.Send(b, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	par := &captureRWC{}
+	pctx, pb := senderContext(t, platform.X8664)
+	cp := NewConn(par, pctx, WithParallelEncode(4))
+	defer cp.Close()
+	msgs := mkMsgs()
+	vs := make([]any, len(msgs))
+	for i, m := range msgs {
+		vs[i] = m
+	}
+	if err := cp.SendParallel(pb, vs...); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(serial.buf.Bytes(), par.buf.Bytes()) {
+		t.Fatalf("parallel wire output differs from serial: %d vs %d bytes",
+			par.buf.Len(), serial.buf.Len())
+	}
+	if st := cp.Stats(); st.MessagesSent != 16 || st.FormatsAnnounced != 1 {
+		t.Errorf("stats after parallel send: %+v", st)
+	}
+}
+
+// TestSendParallelRoundTrip sends batches concurrently from several
+// goroutines over a pipe and checks every message decodes intact.
+func TestSendParallelRoundTrip(t *testing.T) {
+	sctx, b := senderContext(t, platform.Sparc32)
+	rctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	cs, cr := Pipe(sctx, rctx, WithParallelEncode(4))
+	defer cr.Close()
+
+	const senders, perBatch, batches = 4, 8, 5
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < batches; n++ {
+				vs := make([]any, perBatch)
+				for i := range vs {
+					vs[i] = &SimpleData{Timestep: int32(g), Data: []float32{float32(i)}}
+				}
+				if err := cs.SendParallel(b, vs...); err != nil {
+					t.Errorf("sender %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	go func() {
+		wg.Wait()
+		cs.Close()
+	}()
+
+	seen := make(map[int32]int)
+	for {
+		var out SimpleData
+		if _, err := cr.Recv(&out); err != nil {
+			if err != io.EOF && !errors.Is(err, io.ErrClosedPipe) {
+				t.Fatal(err)
+			}
+			break
+		}
+		seen[out.Timestep]++
+	}
+	for g := int32(0); g < senders; g++ {
+		if seen[g] != perBatch*batches {
+			t.Errorf("sender %d: received %d messages, want %d", g, seen[g], perBatch*batches)
+		}
+	}
+}
+
+// TestSendParallelBatching checks the pool path composes with frame
+// batching: one SendParallel of 8 messages over a batchMax-8 connection
+// lands in a single coalesced Write.
+func TestSendParallelBatching(t *testing.T) {
+	sink := &captureRWC{}
+	sctx, b := senderContext(t, platform.X8664)
+	c := NewConn(sink, sctx, WithParallelEncode(2), WithBatching(9, time.Second))
+	defer c.Close()
+
+	vs := make([]any, 8)
+	for i := range vs {
+		vs[i] = &SimpleData{Timestep: int32(i), Data: []float32{1}}
+	}
+	if err := c.SendParallel(b, vs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.writes != 1 {
+		t.Errorf("writes = %d, want 1 (announce + 8 messages in one batch)", sink.writes)
+	}
+	if st := c.Stats(); st.BatchMessages != 8 || st.BatchFlushes != 1 {
+		t.Errorf("batch stats: %+v", st)
+	}
+}
+
+// TestSendParallelError: an oversized message in the middle of a batch
+// returns ErrFrameTooLarge, earlier messages stay written, later ones are
+// discarded, and the connection remains usable.
+func TestSendParallelError(t *testing.T) {
+	sink := &captureRWC{}
+	sctx, b := senderContext(t, platform.X8664)
+	c := NewConn(sink, sctx, WithParallelEncode(2), WithMaxFrame(200))
+	defer c.Close()
+
+	small := &SimpleData{Timestep: 1, Data: []float32{1}}
+	big := &SimpleData{Timestep: 2, Data: make([]float32, 64)}
+	err := c.SendParallel(b, small, big, small)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if st := c.Stats(); st.MessagesSent != 1 {
+		t.Errorf("messages sent = %d, want 1 (the pre-error message)", st.MessagesSent)
+	}
+	if err := c.SendParallel(b, small, small); err != nil {
+		t.Fatalf("connection unusable after frame-cap error: %v", err)
+	}
+}
+
+// TestSendParallelSerialFallback: without WithParallelEncode the call is a
+// plain Send loop and starts no workers.
+func TestSendParallelSerialFallback(t *testing.T) {
+	before, _ := obs.Default().Value("pbio_encode_workers")
+	sink := &captureRWC{}
+	sctx, b := senderContext(t, platform.X8664)
+	c := NewConn(sink, sctx)
+	defer c.Close()
+	if err := c.SendParallel(b, &SimpleData{Timestep: 9, Data: []float32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.MessagesSent != 1 {
+		t.Errorf("messages sent = %d", st.MessagesSent)
+	}
+	if after, _ := obs.Default().Value("pbio_encode_workers"); after != before {
+		t.Errorf("serial fallback started workers: gauge %v -> %v", before, after)
+	}
+}
+
+// TestSendParallelSteadyStateAllocs gates the parallel send path at zero
+// allocations per batch in steady state (reused job slice, pooled buffers).
+func TestSendParallelSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector; the gate would measure that")
+	}
+	sink := &captureRWC{}
+	sctx, b := senderContext(t, platform.X8664)
+	c := NewConn(sink, sctx, WithParallelEncode(2))
+	defer c.Close()
+
+	vs := make([]any, 8)
+	for i := range vs {
+		vs[i] = &SimpleData{Timestep: int32(i), Data: []float32{1, 2}}
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.SendParallel(b, vs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := c.SendParallel(b, vs...); err != nil {
+			t.Error(err)
+		}
+	}); n != 0 {
+		t.Errorf("SendParallel steady state: %v allocs/op, want 0", n)
+	}
+}
+
+// captureRWC is an in-memory sink that records writes.
+type captureRWC struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	writes int
+}
+
+func (c *captureRWC) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes++
+	return c.buf.Write(p)
+}
+
+func (c *captureRWC) Read(p []byte) (int, error) { return 0, io.EOF }
+func (c *captureRWC) Close() error               { return nil }

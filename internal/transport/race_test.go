@@ -1,0 +1,9 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector is compiled in.  Under the
+// detector sync.Pool deliberately drops a quarter of Puts, so pool-backed
+// paths allocate on the resulting misses and AllocsPerRun gates measure the
+// detector, not the code.  Those gates skip themselves when this is true.
+const raceEnabled = true

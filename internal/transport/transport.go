@@ -87,6 +87,13 @@ type Conn struct {
 	flushTimer *time.Timer
 	flushErr   error // write error from a timer-driven flush
 
+	// Parallel-encode state (see parallel.go): workers is set by
+	// WithParallelEncode, the pool is started lazily by SendParallel, and
+	// encJobs is the reused per-batch job slice (guarded by sendMu).
+	encodeWorkers int
+	encPool       *pbio.EncodePool
+	encJobs       []*pbio.EncodeJob
+
 	recvBuf []byte
 
 	stats connStats
@@ -203,9 +210,16 @@ func NewConn(rwc io.ReadWriteCloser, ctx *pbio.Context, opts ...ConnOption) *Con
 // Context returns the PBIO context the connection uses.
 func (c *Conn) Context() *pbio.Context { return c.ctx }
 
-// Close flushes any batched frames and closes the underlying stream.
+// Close flushes any batched frames, stops the encode pool if one was
+// started, and closes the underlying stream.
 func (c *Conn) Close() error {
 	flushErr := c.Flush()
+	c.sendMu.Lock()
+	if c.encPool != nil {
+		c.encPool.Close()
+		c.encPool = nil
+	}
+	c.sendMu.Unlock()
 	if err := c.rwc.Close(); err != nil {
 		return err
 	}
