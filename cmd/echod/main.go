@@ -9,9 +9,17 @@
 // are registered with a format server, and unknown format IDs arriving
 // from out-of-band publishers are resolved from it.
 //
+// With -peer, the broker federates: it joins a mesh of echod processes
+// where each channel is homed on one broker and other brokers mirror it
+// over inter-broker links, so a subscriber anywhere sees a channel
+// published anywhere.  Peers are given as broker addresses or as http(s)
+// URLs of another broker's well-known mesh document; -mesh-listen serves
+// this broker's own document for others to bootstrap from.
+//
 // Usage:
 //
 //	echod -addr 127.0.0.1:8801 -metrics 127.0.0.1:8802 [-fmtserver 127.0.0.1:8701] [-queue 64] [-shards N]
+//	      [-peer host2:8801,http://host3:8803] [-mesh-listen 127.0.0.1:8803] [-advertise host1:8801] [-retain N]
 package main
 
 import (
@@ -21,7 +29,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 
+	"github.com/open-metadata/xmit/internal/discovery"
 	"github.com/open-metadata/xmit/internal/echan"
 	"github.com/open-metadata/xmit/internal/fmtserver"
 	"github.com/open-metadata/xmit/internal/meta"
@@ -35,7 +45,20 @@ func main() {
 	fmtsrvAddr := flag.String("fmtserver", "", "format server address for out-of-band metadata (empty: in-band only)")
 	queue := flag.Int("queue", 64, "default per-subscriber queue length")
 	shards := flag.Int("shards", 0, "default fan-out shards per channel (0: GOMAXPROCS; 1: single-worker fan-out)")
+	peers := flag.String("peer", "", "comma-separated peer brokers: host:port, or http(s) URL of a peer's mesh document")
+	meshListen := flag.String("mesh-listen", "", "serve this broker's mesh document on this HTTP address (enables federation)")
+	advertise := flag.String("advertise", "", "mesh address peers dial this broker on (default: the bound -addr)")
+	retain := flag.Int("retain", -1, "events retained per channel for link resume (-1: 1024 when federated, else 0)")
 	flag.Parse()
+
+	federated := *peers != "" || *meshListen != "" || *advertise != ""
+	if *retain < 0 {
+		if federated {
+			*retain = 1024
+		} else {
+			*retain = 0
+		}
+	}
 
 	metrics := obs.Default()
 	obs.PublishExpvar("echod", metrics)
@@ -46,6 +69,9 @@ func main() {
 	}
 	if *shards > 0 {
 		opts = append(opts, echan.WithDefaultShards(*shards))
+	}
+	if *retain > 0 {
+		opts = append(opts, echan.WithDefaultRetain(*retain))
 	}
 	if *fmtsrvAddr != "" {
 		fc := fmtserver.NewClient(*fmtsrvAddr)
@@ -70,6 +96,46 @@ func main() {
 		fmt.Printf("echod: registering formats with %s\n", *fmtsrvAddr)
 	}
 
+	var mesh *echan.Mesh
+	if federated {
+		self := *advertise
+		if self == "" {
+			self = bound
+		}
+		mesh = echan.NewMesh(broker, self)
+		repo := discovery.NewRepository()
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if strings.HasPrefix(p, "http://") || strings.HasPrefix(p, "https://") {
+				doc, err := repo.FetchMesh(p)
+				if err != nil {
+					log.Fatalf("echod: bootstrapping mesh from %s: %v", p, err)
+				}
+				mesh.AddPeer(doc.Self)
+				for _, a := range doc.Peers {
+					mesh.AddPeer(a)
+				}
+				continue
+			}
+			mesh.AddPeer(p)
+		}
+		srv.AttachMesh(mesh)
+		mesh.Start()
+		fmt.Printf("echod: federated as %s (%d peers, retain %d)\n", self, len(mesh.Peers()), *retain)
+		if *meshListen != "" {
+			handler := discovery.MeshHandler(func() discovery.MeshDoc {
+				return discovery.MeshDoc{Self: mesh.Self(), Peers: mesh.Peers()}
+			})
+			go func() {
+				fmt.Printf("echod: mesh document on http://%s%s\n", *meshListen, discovery.WellKnownMeshPath)
+				log.Fatal(http.ListenAndServe(*meshListen, handler))
+			}()
+		}
+	}
+
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
@@ -83,6 +149,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("echod: shutting down")
+	if mesh != nil {
+		mesh.Close()
+	}
 	srv.Close()
 	broker.Close()
 }

@@ -1,0 +1,178 @@
+// Command meshsoak drives an exactly-once delivery check across a running
+// broker mesh: it publishes a numbered event stream into one broker and
+// verifies that steady subscribers attached through *other* brokers receive
+// every event exactly once and in order, even while inter-broker links are
+// being faulted.  The CI federation job boots three echod daemons, tears
+// one link, and fails the build if meshsoak exits nonzero.
+//
+// Usage:
+//
+//	meshsoak -home 127.0.0.1:8801 -via 127.0.0.1:8811,127.0.0.1:8821 -n 5000 -subs 2
+//
+// Every subscriber must observe the contiguous sequence 0..n-1: a gap is
+// lost delivery, a repeat or regression is duplicated delivery, and either
+// is a mesh correctness failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/echan"
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+type event struct {
+	Seq int32
+	Val float64
+}
+
+type subResult struct {
+	broker string
+	idx    int
+	count  int
+	err    error
+}
+
+func main() {
+	home := flag.String("home", "127.0.0.1:8801", "broker the channel is homed on (publish target)")
+	via := flag.String("via", "", "comma-separated brokers to subscribe through (default: home only)")
+	channel := flag.String("channel", "meshsoak", "channel name")
+	n := flag.Int("n", 5000, "events to publish")
+	subs := flag.Int("subs", 2, "subscribers per broker")
+	queue := flag.Int("queue", 256, "subscriber queue length")
+	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
+	flag.Parse()
+
+	brokers := []string{*home}
+	for _, a := range strings.Split(*via, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			brokers = append(brokers, a)
+		}
+	}
+
+	ctl, err := echan.DialControl(*home)
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	if err := ctl.Create(*channel); err != nil {
+		log.Fatalf("meshsoak: creating %s on %s: %v", *channel, *home, err)
+	}
+
+	// Attach every subscriber before the first publish: a steady subscriber
+	// under the Block policy must then see the complete stream.  Dialing
+	// through a remote broker returns only once that broker's link to the
+	// home has attached, so there is no startup race to paper over.
+	results := make(chan subResult, len(brokers)**subs)
+	var wg sync.WaitGroup
+	for _, addr := range brokers {
+		for i := 0; i < *subs; i++ {
+			sc, err := echan.DialSubscriber(addr, *channel, echan.Block, *queue, pbio.NewContext())
+			if err != nil {
+				log.Fatalf("meshsoak: subscribing via %s: %v", addr, err)
+			}
+			wg.Add(1)
+			go func(addr string, idx int) {
+				defer wg.Done()
+				results <- receive(sc, addr, idx, *n)
+			}(addr, i)
+		}
+	}
+
+	pub, err := echan.DialPublisher(*home, *channel, pbio.NewContext())
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	bind, err := pub.Context().Bind(mustFormat(pub.Context()), &event{})
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		if err := pub.Send(bind, &event{Seq: int32(i), Val: float64(i)}); err != nil {
+			log.Fatalf("meshsoak: publish %d: %v", i, err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		log.Fatalf("meshsoak: flush: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(*timeout):
+		log.Fatalf("meshsoak: timed out after %v waiting for subscribers", *timeout)
+	}
+	close(results)
+
+	failed := false
+	for r := range results {
+		status := "ok"
+		if r.err != nil {
+			status = r.err.Error()
+			failed = true
+		}
+		fmt.Printf("meshsoak: sub %s#%d received %d/%d: %s\n", r.broker, r.idx, r.count, *n, status)
+	}
+	for _, addr := range brokers {
+		c, err := echan.DialControl(addr)
+		if err != nil {
+			continue
+		}
+		if line, err := c.MeshLine(); err == nil {
+			fmt.Printf("meshsoak: %s: %s\n", addr, line)
+		}
+		c.Close()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("meshsoak: %d events to %d subscribers on %d brokers in %v (%.0f events/s)\n",
+		*n, len(brokers)**subs, len(brokers), elapsed.Round(time.Millisecond),
+		float64(*n)/elapsed.Seconds())
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// receive drains one subscriber until it has seen n events, checking the
+// sequence is exactly 0..n-1 — no gap, no repeat.
+func receive(sc *echan.SubscriberConn, broker string, idx, n int) subResult {
+	res := subResult{broker: broker, idx: idx}
+	defer sc.Close()
+	want := int32(0)
+	for res.count < n {
+		var ev event
+		if _, err := sc.Recv(&ev); err != nil {
+			res.err = fmt.Errorf("after %d events: %v", res.count, err)
+			return res
+		}
+		if ev.Seq != want {
+			if ev.Seq < want {
+				res.err = fmt.Errorf("duplicate delivery: seq %d after %d", ev.Seq, want-1)
+			} else {
+				res.err = fmt.Errorf("lost delivery: seq jumped %d -> %d", want-1, ev.Seq)
+			}
+			return res
+		}
+		want++
+		res.count++
+	}
+	return res
+}
+
+func mustFormat(ctx *pbio.Context) *meta.Format {
+	f, err := ctx.RegisterFields("MeshSoakEvent", []pbio.IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "val", Type: "double"},
+	})
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	return f
+}

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", or "all"`)
+	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", or "all"`)
 	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
 	metricsAddr := flag.String("metrics", "", "serve the process obs registry at /metrics on this HTTP address while running (empty: disabled)")
 	stats := flag.Bool("stats", false, "dump the process obs registry as JSON to stderr after the run")
@@ -212,6 +212,16 @@ func run(figs string, opts bench.Options) ([]bench.JSONRecord, error) {
 		bench.PrintScale(out, rows)
 		fmt.Fprintln(out)
 		records = append(records, bench.ScaleRecords(rows)...)
+	}
+	if want("mesh") {
+		ran = true
+		rows, err := bench.Mesh(opts)
+		if err != nil {
+			return nil, err
+		}
+		bench.PrintMesh(out, rows)
+		fmt.Fprintln(out)
+		records = append(records, bench.MeshRecords(rows)...)
 	}
 	if !ran {
 		return nil, fmt.Errorf("unknown figure %q", figs)

@@ -10,7 +10,7 @@ import (
 )
 
 // JSONRecord is one benchmark data point in the machine-readable output
-// (the BENCH_5.json schema).  Figure/Config/Metric triple identifies the
+// (the BENCH_6.json schema).  Figure/Config/Metric triple identifies the
 // point across runs; GoVersion and GoMaxProcs record the environment so a
 // regression gate can refuse to compare numbers from different worlds.
 type JSONRecord struct {
@@ -102,6 +102,19 @@ func ScaleRecords(rows []ScaleRow) []JSONRecord {
 			recs[i].GoMaxProcs = r.Procs
 		}
 		out = append(out, recs...)
+	}
+	return out
+}
+
+// MeshRecords flattens the broker-federation figure.
+func MeshRecords(rows []MeshRow) []JSONRecord {
+	var out []JSONRecord
+	for _, r := range rows {
+		cfg := fmt.Sprintf("%dbrokers_%dsubs", r.Brokers, r.Subscribers)
+		out = append(out,
+			record("mesh", cfg, "events", r.EventsPerSec, "events/s"),
+			record("mesh", cfg, "cpu_per_event", r.CPUPerEventNs, "ns/event"),
+		)
 	}
 	return out
 }

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/echan"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+// Mesh experiment axes: how many federated brokers share the fan-out, and
+// how many subscribers the published stream must reach in total.
+var (
+	MeshBrokers     = []int{1, 2, 3}
+	MeshSubscribers = []int{16, 64}
+)
+
+// MeshRow measures federated fan-out: one publisher on a channel's home
+// broker, the subscriber population spread evenly over N brokers joined in
+// a mesh (real TCP between them).  With one broker this degenerates to the
+// plain fan-out experiment; with more, remote subscribers ride inter-broker
+// links, so each event crosses the wire once per extra broker and the
+// remote broker re-publishes it locally.  Per-event CPU covers the whole
+// process — every broker runs in it — so the column is the total mesh cost
+// of delivering one event everywhere.
+type MeshRow struct {
+	Brokers     int
+	Subscribers int // total, spread across the brokers
+
+	PerEventNs    float64 // publisher wall time per event, steady state
+	EventsPerSec  float64
+	CPUPerEventNs float64 // process CPU (user+sys) per event, all brokers
+}
+
+// meshCell is one running topology: the home channel to publish into and a
+// sync that waits until every broker has delivered everything published.
+type meshCell struct {
+	home    *echan.Channel
+	proxies []*echan.Channel
+	meshes  []*echan.Mesh // remote meshes, one link each
+	close   func()
+}
+
+// buildMeshCell boots n federated brokers over loopback TCP, homes one
+// channel on the first, and spreads subs discard subscribers evenly across
+// all of them (remote subscribers attach through mesh links).
+func buildMeshCell(n, subs int) (*meshCell, error) {
+	cell := &meshCell{}
+	var closers []func()
+	cell.close = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+
+	type node struct {
+		broker *echan.Broker
+		mesh   *echan.Mesh
+		addr   string
+	}
+	nodes := make([]node, n)
+	for i := range nodes {
+		b := echan.NewBroker(echan.WithRegistry(obs.NewRegistry()), echan.WithDefaultQueue(256))
+		srv := echan.NewServer(b)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			cell.close()
+			return nil, err
+		}
+		m := echan.NewMesh(b, addr)
+		srv.AttachMesh(m)
+		nodes[i] = node{broker: b, mesh: m, addr: addr}
+		closers = append(closers, func() { m.Close(); srv.Close(); b.Close() })
+	}
+	for _, nd := range nodes[1:] {
+		nd.mesh.AddPeer(nodes[0].addr)
+	}
+
+	home, err := nodes[0].broker.Create("mesh")
+	if err != nil {
+		cell.close()
+		return nil, err
+	}
+	cell.home = home
+
+	chans := make([]*echan.Channel, n)
+	chans[0] = home
+	for i, nd := range nodes[1:] {
+		proxy, err := nd.mesh.SubscriberChannel("mesh")
+		if err != nil {
+			cell.close()
+			return nil, err
+		}
+		chans[i+1] = proxy
+		cell.proxies = append(cell.proxies, proxy)
+		cell.meshes = append(cell.meshes, nd.mesh)
+	}
+	for i := 0; i < subs; i++ {
+		if _, err := chans[i%n].Subscribe(io.Discard, echan.Block); err != nil {
+			cell.close()
+			return nil, err
+		}
+	}
+	return cell, nil
+}
+
+// sync drains the whole topology: the home channel first, then each link
+// until it has re-published everything up to the home head, then each
+// proxy's local fan-out.
+func (c *meshCell) sync() {
+	c.home.Sync()
+	head := c.home.Stats().Head
+	deadline := time.Now().Add(30 * time.Second)
+	for i, m := range c.meshes {
+		for {
+			links := m.Links()
+			if len(links) > 0 && links[0].LastGen >= head {
+				break
+			}
+			if time.Now().After(deadline) {
+				return // the measurement will show the stall; don't hang
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+		c.proxies[i].Sync()
+	}
+}
+
+// Mesh runs the federation experiment over the default axes.
+func Mesh(o Options) ([]MeshRow, error) {
+	return MeshGrid(o, MeshBrokers, MeshSubscribers)
+}
+
+// MeshGrid is Mesh with caller-chosen broker and subscriber counts.
+func MeshGrid(o Options, brokers, subscribers []int) ([]MeshRow, error) {
+	ctx := pbio.NewContext(pbio.WithPlatform(Paper))
+	f, err := ctx.RegisterFields("Payload", PayloadFields())
+	if err != nil {
+		return nil, err
+	}
+	msg, err := NewPayload(100)
+	if err != nil {
+		return nil, err
+	}
+	bind, err := ctx.Bind(f, msg)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []MeshRow
+	for _, nb := range brokers {
+		for _, ns := range subscribers {
+			cell, err := buildMeshCell(nb, ns)
+			if err != nil {
+				return nil, err
+			}
+			row := MeshRow{Brokers: nb, Subscribers: ns}
+			row.PerEventNs, row.CPUPerEventNs, err = measureFanout(o, func() error {
+				return cell.home.Publish(bind, msg)
+			}, cell.sync)
+			cell.close()
+			if err != nil {
+				return nil, err
+			}
+			row.EventsPerSec = 1e9 / row.PerEventNs
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintMesh renders the federation table.
+func PrintMesh(w io.Writer, rows []MeshRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Mesh: one publisher, subscribers spread over federated brokers (loopback TCP links, Block policy)")
+	fmt.Fprintf(w, "%8s %6s %14s %16s\n", "brokers", "subs", "events/s", "CPU us/event")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %6d %14.0f %16.2f\n",
+			r.Brokers, r.Subscribers, r.EventsPerSec, r.CPUPerEventNs/1e3)
+	}
+}

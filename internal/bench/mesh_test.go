@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeshQuick(t *testing.T) {
+	rows, err := MeshGrid(QuickOptions(), []int{1, 2}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerEventNs <= 0 || r.EventsPerSec <= 0 {
+			t.Errorf("brokers=%d subs=%d: non-positive timings %+v", r.Brokers, r.Subscribers, r)
+		}
+	}
+
+	recs := MeshRecords(rows)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	rates := 0
+	for _, rec := range recs {
+		if rec.Figure != "mesh" {
+			t.Errorf("record figure = %q, want mesh", rec.Figure)
+		}
+		if rec.isRate() {
+			rates++
+		}
+	}
+	if rates != 2 {
+		t.Errorf("rate records = %d, want 2 (one per row, gated by CompareJSON)", rates)
+	}
+
+	var sb strings.Builder
+	PrintMesh(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Mesh", "brokers", "events/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintMesh output missing %q:\n%s", want, out)
+		}
+	}
+}

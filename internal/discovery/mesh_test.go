@@ -1,0 +1,66 @@
+package discovery
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+func TestMeshDocRoundTrip(t *testing.T) {
+	in := MeshDoc{Self: "host1:7070", Peers: []string{"host3:7070", "host2:7070"}}
+	out, err := ParseMeshDoc(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MeshDoc{Self: "host1:7070", Peers: []string{"host2:7070", "host3:7070"}}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("round trip = %+v, want %+v", out, want)
+	}
+}
+
+func TestParseMeshDocRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"<peers/>",
+		"<mesh><peer addr='x'/></mesh>", // no self
+	} {
+		if _, err := ParseMeshDoc([]byte(bad)); err == nil {
+			t.Errorf("ParseMeshDoc(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestMeshHandlerFetch serves a live mesh view over HTTP and fetches it
+// back through the Repository — the bootstrap path a joining broker runs.
+func TestMeshHandlerFetch(t *testing.T) {
+	view := MeshDoc{Self: "a:1", Peers: []string{"b:2"}}
+	srv := httptest.NewServer(MeshHandler(func() MeshDoc { return view }))
+	defer srv.Close()
+
+	repo := NewRepository()
+	doc, err := repo.FetchMesh(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Self != "a:1" || len(doc.Peers) != 1 || doc.Peers[0] != "b:2" {
+		t.Errorf("fetched %+v", doc)
+	}
+	// The explicit well-known URL works too.
+	if _, err := repo.FetchMesh(srv.URL + WellKnownMeshPath); err != nil {
+		t.Errorf("explicit well-known URL: %v", err)
+	}
+}
+
+func TestMeshURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://h:1":                     "http://h:1" + WellKnownMeshPath,
+		"http://h:1/":                    "http://h:1" + WellKnownMeshPath,
+		"http://h:1" + WellKnownMeshPath: "http://h:1" + WellKnownMeshPath,
+		"https://h" + WellKnownMeshPath:  "https://h" + WellKnownMeshPath,
+		"http://h:1/custom/path":         "http://h:1/custom/path",
+	} {
+		if got := MeshURL(in); got != want {
+			t.Errorf("MeshURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -50,16 +50,20 @@ func (t *formatTable) append(a announcement) int {
 }
 
 // event is one published message: a pooled buffer holding a complete
-// transport data frame, reference-counted by the number of subscriber queues
-// and shard rings it sits in (plus the publisher while fanning out).
-// fmtIdx snapshots the format table length at publish time, so each
-// subscriber's writer can emit exactly the announcements this event depends
-// on before its data frame — announcements themselves are never queued,
-// which keeps them safe from the drop policies.  gen is the channel's
-// publish sequence number; shard workers use it to skip subscribers that
-// attached after the event was published.
+// transport data frame, reference-counted by the number of subscriber
+// queues, shard rings, and retention slots it sits in (plus the publisher
+// while fanning out).  fmtIdx snapshots the format table length at publish
+// time, so each subscriber's writer can emit exactly the announcements this
+// event depends on before its data frame — announcements themselves are
+// never queued, which keeps them safe from the drop policies.  f is the
+// event's own format (nil for opaque payloads), carried so derived-channel
+// sinks can decode for filtering off the publisher's goroutine.  gen is the
+// channel's publish sequence number; shard workers use it to skip
+// subscribers that attached after the event was published, and mesh links
+// use it to deduplicate replays after a reconnect.
 type event struct {
 	buf    *pbio.Buffer
+	f      *meta.Format
 	fmtIdx int
 	gen    uint64
 	start  time.Time
@@ -74,6 +78,7 @@ func (ev *event) release() {
 	if ev.refs.Add(-1) == 0 {
 		ev.buf.Release()
 		ev.buf = nil
+		ev.f = nil
 		eventPool.Put(ev)
 	}
 }
@@ -117,6 +122,7 @@ type Channel struct {
 	qlen    int
 	nshards int
 	ringLen int
+	retainN int
 	oob     bool
 	parent  *Channel
 	filter  *Filter
@@ -128,6 +134,23 @@ type Channel struct {
 	shards    []*shard
 	children  atomic.Pointer[[]*Channel]
 	closed    atomic.Bool
+
+	// feed is the channel's attachment to its parent when derived: the
+	// delivery sink registered on one of the parent's shards.  Set under
+	// the broker mutex at Derive, cleared at Close.
+	feed      *derivedSink
+	feedShard *shard
+
+	// Retention: the retainN most recent events, each holding one
+	// reference, so a resuming subscriber (SubAfter — chiefly a mesh link
+	// reconnecting) can be replayed the events it missed.  retMu also
+	// serialises publishes when retention is on, making gen assignment,
+	// retention append, and shard enqueue one atomic step — the log-append
+	// ordering resume correctness depends on.
+	retMu    sync.Mutex
+	ret      []*event
+	retHead  int
+	retCount int
 
 	metrics channelMetrics
 }
@@ -169,6 +192,19 @@ func WithShardRing(n int) ChannelOption {
 	}
 }
 
+// WithRetain keeps the n most recent events published on the channel, so a
+// subscriber that detached (a mesh link whose connection dropped, chiefly)
+// can resume with SubAfter and be replayed exactly the events it missed.
+// Retention holds one reference per retained event — bounded memory of n
+// frames — and serialises publishes on one mutex, so it is off by default.
+func WithRetain(n int) ChannelOption {
+	return func(ch *Channel) {
+		if n > 0 {
+			ch.retainN = n
+		}
+	}
+}
+
 // WithOutOfBand makes the channel distribute metadata out-of-band: no format
 // announcement frames are written to subscribers, who must resolve format
 // IDs through their own resolver (the fmtserver/discovery path).  Pair it
@@ -184,6 +220,7 @@ func newChannel(b *Broker, name string, opts ...ChannelOption) *Channel {
 		name:    name,
 		qlen:    b.defaultQueue,
 		nshards: b.defaultShards,
+		retainN: b.defaultRetain,
 		formats: newFormatTable(),
 		gen:     new(atomic.Uint64),
 	}
@@ -195,6 +232,9 @@ func newChannel(b *Broker, name string, opts ...ChannelOption) *Channel {
 	}
 	if ch.ringLen <= 0 {
 		ch.ringLen = ch.qlen
+	}
+	if ch.retainN > 0 {
+		ch.ret = make([]*event, ch.retainN)
 	}
 	ch.announced.Store(&map[*meta.Format]int{})
 	emptyKids := []*Channel{}
@@ -341,62 +381,68 @@ func (ch *Channel) publishFrame(f *meta.Format, buf *pbio.Buffer) error {
 
 	ev := eventPool.Get().(*event)
 	ev.buf = buf
+	ev.f = f
 	ev.fmtIdx = fmtIdx
-	ev.gen = ch.gen.Add(1)
 	ev.start = time.Now()
 	ev.refs.Store(1) // the publisher's reference, held across fan-out
 
-	ch.metrics.published.Inc()
-	ch.enqueueShards(ev)
-
-	if children := *ch.children.Load(); len(children) > 0 && f != nil {
-		ch.fanToChildren(children, f, ev)
+	if ch.retainN > 0 {
+		// With retention on, generation assignment, the retention append,
+		// and the shard handoff form one critical section: the retained
+		// ring then holds a gen-contiguous suffix of the stream, which is
+		// what lets SubAfter decide "replayable or gap" by arithmetic.
+		ch.retMu.Lock()
+		ev.gen = ch.gen.Add(1)
+		ch.retain(ev)
+		ch.enqueueShards(ev)
+		ch.retMu.Unlock()
+	} else {
+		ev.gen = ch.gen.Add(1)
+		ch.enqueueShards(ev)
 	}
+	ch.metrics.published.Inc()
 
 	ev.release()
 	return nil
 }
 
-// enqueueShards hands the event to every shard that has subscribers.  Each
-// shard takes its own reference; a shard refusing the event (channel
-// closing) hands it back.  Shards with no subscribers cost nothing — an
-// atomic pointer load each.
-func (ch *Channel) enqueueShards(ev *event) {
-	for _, sh := range ch.shards {
-		if len(*sh.subs.Load()) == 0 {
-			continue
-		}
-		ev.refs.Add(1)
-		if !sh.enqueue(ev) {
-			ev.refs.Add(-1) // cannot reach zero: the caller's ref is live
-		}
+// retain appends ev to the retention ring, evicting the oldest retained
+// event when full.  Callers hold retMu.
+func (ch *Channel) retain(ev *event) {
+	if ch.retCount == ch.retainN {
+		old := ch.ret[ch.retHead]
+		ch.ret[ch.retHead] = nil
+		ch.retHead = (ch.retHead + 1) % ch.retainN
+		ch.retCount--
+		old.release()
 	}
+	ev.refs.Add(1)
+	ch.ret[(ch.retHead+ch.retCount)%ch.retainN] = ev
+	ch.retCount++
 }
 
-// fanToChildren routes an event to derived channels whose filters match.
-// The record is decoded at most once per event regardless of how many
-// derived channels exist; this path allocates (it materialises a Record) and
-// is deliberately kept off the plain fan-out hot path.
-func (ch *Channel) fanToChildren(children []*Channel, f *meta.Format, ev *event) {
-	body := ev.buf.B[transport.FrameHeaderSize+pbio.HeaderSize:]
-	var rec *pbio.Record
-	decoded := false
-	for _, child := range children {
-		if child.closed.Load() {
+// dropRetained releases every retained event (channel close).
+func (ch *Channel) dropRetained() {
+	ch.retMu.Lock()
+	for ch.retCount > 0 {
+		ev := ch.ret[ch.retHead]
+		ch.ret[ch.retHead] = nil
+		ch.retHead = (ch.retHead + 1) % ch.retainN
+		ch.retCount--
+		ev.release()
+	}
+	ch.retMu.Unlock()
+}
+
+// enqueueShards hands the event to every shard that has sinks attached; the
+// shard takes its own reference on acceptance.  Shards with no sinks cost
+// nothing — an atomic pointer load each.
+func (ch *Channel) enqueueShards(ev *event) {
+	for _, sh := range ch.shards {
+		if len(*sh.sinks.Load()) == 0 {
 			continue
 		}
-		if !decoded {
-			decoded = true
-			var err error
-			if rec, err = ch.broker.ctx.DecodeRecordBody(f, body); err != nil {
-				return // undecodable for filtering; derived channels see nothing
-			}
-		}
-		if !child.filter.Match(rec) {
-			continue
-		}
-		child.metrics.published.Inc()
-		child.enqueueShards(ev)
+		sh.enqueue(ev)
 	}
 }
 
@@ -412,22 +458,43 @@ func SubQueue(n int) SubOption {
 	}
 }
 
-// Subscribe attaches a sink to the channel under the given backpressure
-// policy.  The subscription is placed on the least-loaded shard (rebalancing
-// the partition as subscribers come and go) and stays there for its
-// lifetime, which is what preserves per-subscriber FIFO ordering.  Frames
-// are written to w by a dedicated goroutine: format announcements the sink
-// hasn't seen (for in-band channels), each followed by data frames — so a
-// subscriber joining mid-stream always receives the formats its first event
-// needs before that event's data frame.  w's Write must be safe for use
-// from one goroutine (a net.Conn or os.File is fine).
+// SubAfter resumes a subscription from a known position: events with
+// publish generation at or before gen are skipped, events after it are
+// replayed from the channel's retention ring (see WithRetain) before live
+// delivery begins.  If retention no longer reaches back to gen the
+// subscribe fails with ErrResumeGap — the caller must re-attach fresh and
+// treat the gap as loss.  This is the reconnect path of inter-broker mesh
+// links.
+func SubAfter(gen uint64) SubOption {
+	return func(s *Subscription) {
+		s.resume = true
+		s.resumeAfter = gen
+	}
+}
+
+// Subscribe attaches an io.Writer to the channel under the given
+// backpressure policy; frames reach w byte-for-byte (the classic subscriber
+// wire).  w's Write must be safe for use from one goroutine (a net.Conn or
+// os.File is fine).  See SubscribeSink for the delivery semantics.
 func (ch *Channel) Subscribe(w io.Writer, policy Policy, opts ...SubOption) (*Subscription, error) {
+	return ch.SubscribeSink(writerSink{w: w}, policy, opts...)
+}
+
+// SubscribeSink attaches a Sink to the channel under the given backpressure
+// policy.  The subscription is placed on the least-loaded shard
+// (rebalancing the partition as subscribers come and go) and stays there
+// for its lifetime, which is what preserves per-subscriber FIFO ordering.
+// Frames are delivered by a dedicated writer goroutine: format
+// announcements the sink hasn't seen (for in-band channels), each followed
+// by data frames — so a subscriber joining mid-stream always receives the
+// formats its first event needs before that event's data frame.
+func (ch *Channel) SubscribeSink(snk Sink, policy Policy, opts ...SubOption) (*Subscription, error) {
 	if ch.closed.Load() {
 		return nil, ErrChannelClosed
 	}
 	s := &Subscription{
 		ch:     ch,
-		w:      w,
+		sink:   snk,
 		policy: policy,
 		ring:   make([]*event, ch.qlen),
 		done:   make(chan struct{}),
@@ -443,27 +510,82 @@ func (ch *Channel) Subscribe(w io.Writer, policy Policy, opts ...SubOption) (*Su
 	}
 	target := ch.shards[0]
 	for _, sh := range ch.shards[1:] {
-		if len(*sh.subs.Load()) < len(*target.subs.Load()) {
+		if len(*sh.sinks.Load()) < len(*target.sinks.Load()) {
 			target = sh
 		}
 	}
 	s.shard = target
-	s.afterGen = ch.gen.Load()
-	target.addSub(s)
+	if s.resume {
+		if err := ch.attachResumed(s, target); err != nil {
+			ch.mu.Unlock()
+			return nil, err
+		}
+	} else {
+		s.afterGen = ch.gen.Load()
+		target.addSink(s)
+		go s.run()
+	}
 	ch.mu.Unlock()
 	ch.metrics.subscribers.Add(1)
-	go s.run()
 	return s, nil
+}
+
+// attachResumed splices a resuming subscription into the stream without a
+// seam: under retMu (so no publish can interleave) it checks that retention
+// reaches back to the resume point, replays the missed suffix into the
+// subscription's own queue, and attaches the subscription at the current
+// head.  The queue is grown to cover the whole missed span first, so the
+// replay offers can never block — the writer goroutine draining them may
+// itself be stalled behind a slow or gated sink, and attachResumed holds
+// locks a blocked offer would deadlock against.  Callers hold ch.mu.
+func (ch *Channel) attachResumed(s *Subscription, target *shard) error {
+	ch.retMu.Lock()
+	head := ch.gen.Load()
+	if s.resumeAfter > head {
+		ch.retMu.Unlock()
+		return fmt.Errorf("echan: resume after gen %d beyond head %d: %w",
+			s.resumeAfter, head, ErrResumeGap)
+	}
+	// Retention holds a gen-contiguous suffix ending at head, so the resume
+	// point is covered exactly when the missed span fits what is retained.
+	missed := head - s.resumeAfter
+	if missed > uint64(ch.retCount) {
+		ch.retMu.Unlock()
+		return fmt.Errorf("echan: resume after gen %d: %d events missed, %d retained: %w",
+			s.resumeAfter, missed, ch.retCount, ErrResumeGap)
+	}
+	if missed > uint64(len(s.ring)) {
+		s.ring = make([]*event, missed)
+	}
+	s.afterGen = head
+	go s.run()
+	for i := 0; i < ch.retCount; i++ {
+		ev := ch.ret[(ch.retHead+i)%ch.retainN]
+		if ev.gen > s.resumeAfter {
+			s.offer(ev)
+		}
+	}
+	target.addSink(s)
+	ch.retMu.Unlock()
+	return nil
 }
 
 // removeSub detaches s from its shard's fan-out list (idempotent).
 func (ch *Channel) removeSub(s *Subscription) {
 	ch.mu.Lock()
-	found := s.shard.removeSub(s)
+	found := s.shard.removeSink(s)
 	ch.mu.Unlock()
 	if found {
 		ch.metrics.subscribers.Add(-1)
 	}
+}
+
+// detachFeed removes a derived channel's delivery sink from the parent
+// shard it was attached to.
+func (ch *Channel) detachFeed(sh *shard, d *derivedSink) {
+	ch.mu.Lock()
+	sh.removeSink(d)
+	ch.mu.Unlock()
 }
 
 // Sync blocks until every shard ring and every queue on the channel (and
@@ -474,22 +596,32 @@ func (ch *Channel) Sync() {
 		sh.sync()
 	}
 	for _, sh := range ch.shards {
-		for _, s := range *sh.subs.Load() {
-			s.Sync()
+		for _, snk := range *sh.sinks.Load() {
+			if s, ok := snk.(*Subscription); ok {
+				s.Sync()
+			}
 		}
 	}
+	// Derived channels drain after the parent's shards: once sh.sync
+	// returns, every offer into a child's shards has happened.
 	for _, c := range *ch.children.Load() {
 		c.Sync()
 	}
 }
 
 // Close marks the channel closed (publishes fail with ErrChannelClosed) and
-// aborts every subscription: shard rings and queued events are discarded
-// and sinks that implement io.Closer are closed, so shutdown never waits on
-// a stuck consumer.  Use Sync before Close for a drain-then-stop sequence.
+// aborts every subscription: shard rings, queued events, and retained
+// events are discarded and sinks that implement io.Closer are closed, so
+// shutdown never waits on a stuck consumer.  Use Sync before Close for a
+// drain-then-stop sequence.
 func (ch *Channel) Close() error {
 	if ch.closed.Swap(true) {
 		return nil
+	}
+	// A derived channel detaches from its parent first, so no new events
+	// flow in while it tears down.
+	if ch.parent != nil && ch.feed != nil {
+		ch.parent.detachFeed(ch.feedShard, ch.feed)
 	}
 	for _, c := range *ch.children.Load() {
 		c.Close()
@@ -501,12 +633,17 @@ func (ch *Channel) Close() error {
 		sh.close()
 	}
 	for _, sh := range ch.shards {
-		for _, s := range *sh.subs.Load() {
-			s.abort()
+		for _, snk := range *sh.sinks.Load() {
+			if s, ok := snk.(*Subscription); ok {
+				s.abort()
+			}
 		}
 	}
 	for _, sh := range ch.shards {
 		<-sh.done
+	}
+	if ch.retainN > 0 {
+		ch.dropRetained()
 	}
 	return nil
 }
@@ -521,13 +658,15 @@ type ChannelStats struct {
 	Subscribers   int64
 	Depth         int64
 	Shards        int64
-	ShardDepth    int64 // events sitting in (or being fanned out from) shard rings
+	ShardDepth    int64  // events sitting in (or being fanned out from) shard rings
+	Head          uint64 // current publish generation (mesh links compare heads across brokers)
 }
 
 // Stats snapshots the channel's counters (the same values exported through
 // the obs registry).
 func (ch *Channel) Stats() ChannelStats {
 	return ChannelStats{
+		Head:          ch.gen.Load(),
 		Published:     ch.metrics.published.Value(),
 		Delivered:     ch.metrics.delivered.Value(),
 		DroppedOldest: ch.metrics.droppedOldest.Value(),
@@ -546,9 +685,12 @@ func (ch *Channel) Stats() ChannelStats {
 type Subscription struct {
 	ch       *Channel
 	shard    *shard
-	w        io.Writer
+	sink     Sink
 	policy   Policy
-	afterGen uint64 // publish generation at Subscribe; earlier events are skipped
+	afterGen uint64 // publish generation at attach; earlier events are skipped
+
+	resume      bool   // SubAfter given: replay retained events first
+	resumeAfter uint64 // last generation the resuming consumer already has
 
 	mu       sync.Mutex
 	cond     sync.Cond
@@ -566,6 +708,12 @@ type Subscription struct {
 // Policy returns the subscription's backpressure policy.
 func (s *Subscription) Policy() Policy { return s.policy }
 
+// AttachGen returns the channel publish generation the subscription
+// attached at: the first event it can receive is gen AttachGen()+1 (for a
+// resumed subscription, replayed events land earlier than that but after
+// its SubAfter position).
+func (s *Subscription) AttachGen() uint64 { return s.afterGen }
+
 // Err returns the write error that terminated the subscription, if any.
 func (s *Subscription) Err() error {
 	s.mu.Lock()
@@ -573,8 +721,12 @@ func (s *Subscription) Err() error {
 	return s.failed
 }
 
-// offer enqueues one event reference under the subscription's policy,
-// reporting whether the reference was accepted.
+// attachGen is the deliverySink seam: events at or before it are skipped.
+func (s *Subscription) attachGen() uint64 { return s.afterGen }
+
+// offer enqueues one event under the subscription's policy, reporting
+// whether it was accepted.  Per the deliverySink contract, the caller's
+// reference is borrowed; acceptance takes the subscription's own reference.
 func (s *Subscription) offer(ev *event) bool {
 	s.mu.Lock()
 	if s.closed || s.failed != nil {
@@ -606,6 +758,7 @@ func (s *Subscription) offer(ev *event) bool {
 			}
 		}
 	}
+	ev.refs.Add(1)
 	s.ring[(s.head+s.count)%len(s.ring)] = ev
 	s.count++
 	s.ch.metrics.depth.Add(1)
@@ -664,13 +817,13 @@ func (s *Subscription) deliver(ev *event) error {
 	if !s.ch.oob && s.sent < ev.fmtIdx {
 		table := s.ch.formats.load()
 		for s.sent < ev.fmtIdx {
-			if _, err := s.w.Write(table[s.sent].frame); err != nil {
+			if err := s.sink.WriteFormat(table[s.sent].frame); err != nil {
 				return err
 			}
 			s.sent++
 		}
 	}
-	if _, err := s.w.Write(ev.buf.B); err != nil {
+	if err := s.sink.WriteEvent(ev.gen, s.ch.gen.Load(), ev.buf.B); err != nil {
 		return err
 	}
 	s.ch.metrics.delivered.Inc()
@@ -715,7 +868,7 @@ func (s *Subscription) abort() {
 	}
 	s.mu.Unlock()
 	s.discardQueue()
-	if c, ok := s.w.(io.Closer); ok {
+	if c, ok := s.sink.(io.Closer); ok {
 		c.Close()
 	}
 	<-s.done

@@ -128,9 +128,38 @@ func (c *Client) Stats(name string) (ChannelStats, error) {
 			st.Subscribers = n
 		case "depth":
 			st.Depth = n
+		case "head":
+			st.Head = uint64(n)
 		}
 	}
 	return st, nil
+}
+
+// Hello introduces a broker (addr: its advertised mesh address) to this
+// one and returns the receiving broker's own mesh identity.  Federated
+// brokers exchange it; a plain broker answers ERR.
+func (c *Client) Hello(addr string) (string, error) {
+	return c.Do("HELLO " + addr)
+}
+
+// Home returns the address of the broker a channel lives on.
+func (c *Client) Home(name string) (string, error) {
+	return c.Do("HOME " + name)
+}
+
+// Peers returns the broker's known mesh peers.
+func (c *Client) Peers() ([]string, error) {
+	resp, err := c.Do("PEERS")
+	if err != nil {
+		return nil, err
+	}
+	return strings.Fields(resp), nil
+}
+
+// MeshLine returns the broker's raw MESH stats line (self, peer count, and
+// per-link delivery counters).
+func (c *Client) MeshLine() (string, error) {
+	return c.Do("MESH")
 }
 
 // Close tears down the control connection.

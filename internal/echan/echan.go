@@ -93,6 +93,10 @@ var (
 	ErrChannelClosed   = errors.New("echan: channel closed")
 	ErrDerivedChannel  = errors.New("echan: derived channels cannot be published to directly")
 	ErrDeriveOfDerived = errors.New("echan: cannot derive from a derived channel")
+	// ErrResumeGap reports that a SubAfter resume point is no longer
+	// covered by the channel's retention ring; the subscriber must
+	// re-attach fresh and account the gap as loss.
+	ErrResumeGap = errors.New("echan: resume position no longer retained")
 )
 
 // Broker owns a set of named channels.  It is safe for concurrent use.
@@ -102,6 +106,7 @@ type Broker struct {
 	registrar     func(*meta.Format) error
 	defaultQueue  int
 	defaultShards int
+	defaultRetain int
 
 	mu       sync.Mutex
 	channels map[string]*Channel
@@ -150,6 +155,18 @@ func WithDefaultShards(n int) BrokerOption {
 	return func(b *Broker) {
 		if n > 0 {
 			b.defaultShards = n
+		}
+	}
+}
+
+// WithDefaultRetain sets the default retention depth (see WithRetain) for
+// channels created without an explicit one.  A federated broker needs
+// retention on every channel a mesh link may attach to, so cmd/echod sets
+// this when peering is configured; the default is 0 (no retention).
+func WithDefaultRetain(n int) BrokerOption {
+	return func(b *Broker) {
+		if n > 0 {
+			b.defaultRetain = n
 		}
 	}
 }
@@ -286,6 +303,21 @@ func (b *Broker) Derive(name, parent string, f *Filter, opts ...ChannelOption) (
 	ch.oob = p.oob
 	b.channels[name] = ch
 	p.addChild(ch)
+	// The child consumes the parent's stream through the same delivery-sink
+	// contract as any subscriber: a derivedSink on one of the parent's
+	// shards, running the filter on the shard worker's goroutine.
+	d := &derivedSink{child: ch, gen: p.gen.Load()}
+	ch.feed = d
+	p.mu.Lock()
+	target := p.shards[0]
+	for _, sh := range p.shards[1:] {
+		if len(*sh.sinks.Load()) < len(*target.sinks.Load()) {
+			target = sh
+		}
+	}
+	ch.feedShard = target
+	target.addSink(d)
+	p.mu.Unlock()
 	return ch, nil
 }
 

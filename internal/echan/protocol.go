@@ -13,10 +13,15 @@ import (
 //	CREATE <channel> [oob]            create a channel (oob: out-of-band metadata)
 //	DERIVE <channel> <parent> <expr>  create a filtered derived channel
 //	PUB <channel>                     become a publisher; transport frames follow
-//	SUB <channel> [policy] [queue]    become a subscriber; frames flow to the client
+//	SUB <channel> [policy] [queue] [link] [after=<gen>]
+//	                                  become a subscriber; frames flow to the client
 //	UNSUB                             (subscriber only) drain and detach
 //	STATS <channel>                   one line of counters
 //	LIST                              channel names
+//	HELLO <addr>                      peer introduction (federated brokers)
+//	HOME <channel>                    which broker the channel lives on
+//	PEERS                             the broker's known mesh peers
+//	MESH                              one line of mesh and per-link stats
 //
 // Responses are a single line: "OK ..." or "ERR <reason>".  After "OK" to
 // PUB the client sends transport frames (format announcements and data
@@ -24,6 +29,14 @@ import (
 // still send "UNSUB" as a text line — the server acknowledges by draining
 // the queue and closing the stream, so the text never interleaves with
 // frame bytes in either direction.
+//
+// The SUB extensions belong to the federation layer: "link" marks the
+// subscription as an inter-broker mesh link, whose data frames carry
+// publish generations (transport.FrameDataSeq) so the downstream broker
+// can deduplicate; "after=<gen>" resumes delivery from the channel's
+// retention ring, failing with an ERR mentioning ErrResumeGap when
+// retention no longer reaches back that far.  The "OK subscribed" response
+// reports the exact attach generation as "gen=<n>".
 //
 // maxCommandLine bounds a control line; longer input is a protocol error.
 const maxCommandLine = 4096
@@ -39,17 +52,25 @@ const (
 	VerbUnsub
 	VerbStats
 	VerbList
+	VerbHello
+	VerbHome
+	VerbPeers
+	VerbMesh
 )
 
 // Command is one parsed control line.
 type Command struct {
-	Verb   Verb
-	Name   string
-	Parent string // DERIVE only
-	Filter string // DERIVE only, validated by ParseFilter
-	Policy Policy // SUB only (default Block)
-	Queue  int    // SUB only (0: channel default)
-	OOB    bool   // CREATE only
+	Verb     Verb
+	Name     string
+	Parent   string // DERIVE only
+	Filter   string // DERIVE only, validated by ParseFilter
+	Policy   Policy // SUB only (default Block)
+	Queue    int    // SUB only (0: channel default)
+	OOB      bool   // CREATE only
+	Link     bool   // SUB only: inter-broker link subscription
+	After    uint64 // SUB only: resume after this generation
+	HasAfter bool   // SUB only: After was given (0 is a valid position)
+	Addr     string // HELLO only: the caller's advertised broker address
 }
 
 // ParseCommand parses one control line.  It validates channel names, policy
@@ -111,26 +132,46 @@ func ParseCommand(line string) (Command, error) {
 		cmd := Command{Verb: VerbPub, Name: args[0]}
 		return cmd, checkName(cmd.Name)
 	case "SUB":
-		if len(args) < 1 || len(args) > 3 {
-			return Command{}, fmt.Errorf("echan: usage: SUB <channel> [policy] [queue]")
+		if len(args) < 1 || len(args) > 5 {
+			return Command{}, fmt.Errorf("echan: usage: SUB <channel> [policy] [queue] [link] [after=<gen>]")
 		}
 		cmd := Command{Verb: VerbSub, Name: args[0], Policy: Block}
 		if err := checkName(cmd.Name); err != nil {
 			return Command{}, err
 		}
-		if len(args) >= 2 {
-			p, err := ParsePolicy(args[1])
+		// The positional policy and queue come first; the federation
+		// extensions ("link", "after=<gen>") may follow in any order.
+		rest := args[1:]
+		if len(rest) > 0 && !isSubExtension(rest[0]) {
+			p, err := ParsePolicy(rest[0])
 			if err != nil {
 				return Command{}, err
 			}
 			cmd.Policy = p
+			rest = rest[1:]
 		}
-		if len(args) == 3 {
-			n, err := strconv.Atoi(args[2])
+		if len(rest) > 0 && !isSubExtension(rest[0]) {
+			n, err := strconv.Atoi(rest[0])
 			if err != nil || n < 1 || n > 1<<20 {
-				return Command{}, fmt.Errorf("echan: bad queue length %q", args[2])
+				return Command{}, fmt.Errorf("echan: bad queue length %q", rest[0])
 			}
 			cmd.Queue = n
+			rest = rest[1:]
+		}
+		for _, tok := range rest {
+			switch {
+			case strings.EqualFold(tok, "link"):
+				cmd.Link = true
+			case hasFoldPrefix(tok, "after="):
+				g, err := strconv.ParseUint(tok[len("after="):], 10, 64)
+				if err != nil {
+					return Command{}, fmt.Errorf("echan: bad resume position %q", tok)
+				}
+				cmd.After = g
+				cmd.HasAfter = true
+			default:
+				return Command{}, fmt.Errorf("echan: unknown SUB option %q", tok)
+			}
 		}
 		return cmd, nil
 	case "UNSUB":
@@ -149,13 +190,61 @@ func ParseCommand(line string) (Command, error) {
 			return Command{}, fmt.Errorf("echan: LIST takes no arguments")
 		}
 		return Command{Verb: VerbList}, nil
+	case "HELLO":
+		if len(args) != 1 {
+			return Command{}, fmt.Errorf("echan: usage: HELLO <addr>")
+		}
+		cmd := Command{Verb: VerbHello, Addr: args[0]}
+		return cmd, checkAddr(cmd.Addr)
+	case "HOME":
+		if len(args) != 1 {
+			return Command{}, fmt.Errorf("echan: usage: HOME <channel>")
+		}
+		cmd := Command{Verb: VerbHome, Name: args[0]}
+		return cmd, checkName(cmd.Name)
+	case "PEERS":
+		if len(args) != 0 {
+			return Command{}, fmt.Errorf("echan: PEERS takes no arguments")
+		}
+		return Command{Verb: VerbPeers}, nil
+	case "MESH":
+		if len(args) != 0 {
+			return Command{}, fmt.Errorf("echan: MESH takes no arguments")
+		}
+		return Command{Verb: VerbMesh}, nil
 	}
 	return Command{}, fmt.Errorf("echan: unknown command %q", fields[0])
+}
+
+// isSubExtension reports whether a SUB token is one of the federation
+// extensions rather than a positional policy/queue argument.
+func isSubExtension(tok string) bool {
+	return strings.EqualFold(tok, "link") || hasFoldPrefix(tok, "after=")
+}
+
+func hasFoldPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
 }
 
 func checkName(name string) error {
 	if !validName(name) {
 		return fmt.Errorf("echan: invalid channel name %q", name)
+	}
+	return nil
+}
+
+// checkAddr validates a peer broker address: a non-empty printable token
+// with no whitespace or control bytes, at most 256 bytes.  The broker dials
+// it, so host:port shape is ultimately checked by the dialer; the grammar
+// here only has to keep the line protocol unambiguous.
+func checkAddr(addr string) error {
+	if addr == "" || len(addr) > 256 {
+		return fmt.Errorf("echan: invalid peer address %q", addr)
+	}
+	for i := 0; i < len(addr); i++ {
+		if addr[i] <= ' ' || addr[i] == 0x7f {
+			return fmt.Errorf("echan: invalid peer address %q", addr)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,165 @@
+package echan
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// publishSeq pushes events Seq=from..to-1 into ch.
+func publishSeq(t *testing.T, ch *Channel, from, to int) {
+	t.Helper()
+	_, bind := eventBinding(t, platform.Sparc32)
+	for i := from; i < to; i++ {
+		if err := ch.Publish(bind, &Event{Seq: int32(i), Temp: float64(i)}); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+}
+
+// TestRetainReplay subscribes mid-stream with a resume position inside the
+// retention window and must see the missed span replayed in order before
+// live events, with no gap and no repeat.
+func TestRetainReplay(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBroker(WithRegistry(reg))
+	defer b.Close()
+	ch, err := b.Create("ret", WithRetain(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	publishSeq(t, ch, 0, 10)
+
+	// Resume after generation 4: replay must cover events 4..9 (Seq values,
+	// generations 5..10), then continue with live publishes.
+	conn, sub := subscriberConn(t, ch, pbio.NewContext(), Block, SubAfter(4))
+	if got, want := sub.AttachGen(), uint64(10); got != want {
+		t.Errorf("AttachGen() = %d, want %d", got, want)
+	}
+
+	publishSeq(t, ch, 10, 14)
+
+	want := int32(4)
+	for want < 14 {
+		var ev Event
+		if _, err := conn.Recv(&ev); err != nil {
+			t.Fatalf("recv (want seq %d): %v", want, err)
+		}
+		if ev.Seq != want {
+			t.Fatalf("seq = %d, want %d", ev.Seq, want)
+		}
+		want++
+	}
+	sub.Close()
+	ch.Close()
+	b.Close()
+
+	if gets, puts := regValue(reg, "pbio_pool_get_total"), regValue(reg, "pbio_pool_put_total"); puts > gets {
+		t.Errorf("pool puts %v exceed gets %v (double release)", puts, gets)
+	}
+}
+
+func regValue(reg *obs.Registry, name string) float64 {
+	v, _ := reg.Value(name)
+	return v
+}
+
+// TestRetainReplayFromZero resumes from generation 0 on a channel whose
+// whole history is still retained: the full stream replays.
+func TestRetainReplayFromZero(t *testing.T) {
+	b := NewBroker(WithRegistry(obs.NewRegistry()))
+	defer b.Close()
+	ch, err := b.Create("ret", WithRetain(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishSeq(t, ch, 0, 8)
+
+	conn, _ := subscriberConn(t, ch, pbio.NewContext(), Block, SubAfter(0))
+	for want := int32(0); want < 8; want++ {
+		var ev Event
+		if _, err := conn.Recv(&ev); err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if ev.Seq != want {
+			t.Fatalf("seq = %d, want %d", ev.Seq, want)
+		}
+	}
+}
+
+// TestResumeGap asks for a resume position the retention ring no longer
+// covers, and one past the head; both must fail with ErrResumeGap rather
+// than delivering a silently incomplete stream.
+func TestResumeGap(t *testing.T) {
+	b := NewBroker(WithRegistry(obs.NewRegistry()))
+	defer b.Close()
+	ch, err := b.Create("ret", WithRetain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishSeq(t, ch, 0, 10) // head=10, ring holds gens 7..10
+
+	for _, after := range []uint64{0, 5} {
+		if _, err := ch.Subscribe(nopWriter{}, Block, SubAfter(after)); !errors.Is(err, ErrResumeGap) {
+			t.Errorf("SubAfter(%d) err = %v, want ErrResumeGap", after, err)
+		}
+	}
+	if _, err := ch.Subscribe(nopWriter{}, Block, SubAfter(11)); !errors.Is(err, ErrResumeGap) {
+		t.Errorf("SubAfter(11) err = %v, want ErrResumeGap", err)
+	}
+	// The boundary position: head-retCount is the oldest coverable resume.
+	conn, _ := subscriberConn(t, ch, pbio.NewContext(), Block, SubAfter(6))
+	var ev Event
+	if _, err := conn.Recv(&ev); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if ev.Seq != 6 {
+		t.Errorf("first replayed seq = %d, want 6", ev.Seq)
+	}
+}
+
+// TestResumeWithoutRetention: SubAfter on a channel with no retention ring
+// can only attach at the head.
+func TestResumeWithoutRetention(t *testing.T) {
+	b := NewBroker(WithRegistry(obs.NewRegistry()))
+	defer b.Close()
+	ch, err := b.Create("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishSeq(t, ch, 0, 3)
+	if _, err := ch.Subscribe(nopWriter{}, Block, SubAfter(1)); !errors.Is(err, ErrResumeGap) {
+		t.Errorf("SubAfter(1) err = %v, want ErrResumeGap", err)
+	}
+	if _, err := ch.Subscribe(nopWriter{}, Block, SubAfter(3)); err != nil {
+		t.Errorf("SubAfter(head) err = %v, want nil", err)
+	}
+}
+
+// TestRetainEviction publishes far past the ring size and checks the
+// channel neither leaks nor double-frees pooled buffers when it closes.
+func TestRetainEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBroker(WithRegistry(reg))
+	ch, err := b.Create("ret", WithRetain(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishSeq(t, ch, 0, 200)
+	if got, want := ch.Stats().Head, uint64(200); got != want {
+		t.Errorf("Head = %d, want %d", got, want)
+	}
+	b.Close()
+	gets, puts := regValue(reg, "pbio_pool_get_total"), regValue(reg, "pbio_pool_put_total")
+	if puts != gets {
+		t.Errorf("pool gets %v != puts %v after close (leak or double release)", gets, puts)
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

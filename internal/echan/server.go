@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/pbio"
@@ -16,10 +17,12 @@ import (
 
 // Server serves a Broker over TCP using the control protocol described in
 // protocol.go: each connection starts in text mode and either stays a
-// control connection (CREATE/DERIVE/STATS/LIST) or commits to a publisher
-// or subscriber role and switches to transport frames.
+// control connection (CREATE/DERIVE/STATS/LIST and the mesh verbs) or
+// commits to a publisher or subscriber role and switches to transport
+// frames.
 type Server struct {
 	broker *Broker
+	mesh   atomic.Pointer[Mesh]
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -38,6 +41,16 @@ func NewServer(b *Broker) *Server {
 
 // Broker returns the broker the server fronts.
 func (s *Server) Broker() *Broker { return s.broker }
+
+// AttachMesh federates the server: HELLO/HOME/PEERS/MESH answer, SUB
+// resolves channel homes across the mesh, and PUB of a remote-homed channel
+// forwards to its home.  Attach before peers or clients connect; the mesh
+// is usually created after Listen (its identity is the bound address),
+// which is why it is not a constructor option.
+func (s *Server) AttachMesh(m *Mesh) { s.mesh.Store(m) }
+
+// Mesh returns the attached mesh, or nil.
+func (s *Server) Mesh() *Mesh { return s.mesh.Load() }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address.
@@ -169,14 +182,65 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			st := ch.Stats()
 			line := fmt.Sprintf(
-				"OK published=%d delivered=%d dropped_oldest=%d dropped_newest=%d block_waits=%d subscribers=%d depth=%d",
+				"OK published=%d delivered=%d dropped_oldest=%d dropped_newest=%d block_waits=%d subscribers=%d depth=%d head=%d",
 				st.Published, st.Delivered, st.DroppedOldest, st.DroppedNewest,
-				st.BlockWaits, st.Subscribers, st.Depth)
+				st.BlockWaits, st.Subscribers, st.Depth, st.Head)
 			if writeLine(conn, line) != nil {
 				return
 			}
 		case VerbList:
 			if writeLine(conn, "OK "+strings.Join(s.broker.Channels(), " ")) != nil {
+				return
+			}
+		case VerbHello:
+			m := s.mesh.Load()
+			if m == nil {
+				if writeLine(conn, "ERR not federated") != nil {
+					return
+				}
+				continue
+			}
+			if writeLine(conn, "OK "+m.HandleHello(cmd.Addr)) != nil {
+				return
+			}
+		case VerbHome:
+			m := s.mesh.Load()
+			if m == nil {
+				if writeLine(conn, "ERR not federated") != nil {
+					return
+				}
+				continue
+			}
+			home, ok := m.Home(cmd.Name)
+			if !ok {
+				if writeLine(conn, "ERR "+ErrNoChannel.Error()+": "+cmd.Name) != nil {
+					return
+				}
+				continue
+			}
+			if writeLine(conn, "OK "+home) != nil {
+				return
+			}
+		case VerbPeers:
+			m := s.mesh.Load()
+			if m == nil {
+				if writeLine(conn, "ERR not federated") != nil {
+					return
+				}
+				continue
+			}
+			if writeLine(conn, "OK "+strings.Join(m.Peers(), " ")) != nil {
+				return
+			}
+		case VerbMesh:
+			m := s.mesh.Load()
+			if m == nil {
+				if writeLine(conn, "ERR not federated") != nil {
+					return
+				}
+				continue
+			}
+			if writeLine(conn, "OK "+m.StatsLine()) != nil {
 				return
 			}
 		case VerbUnsub:
@@ -197,8 +261,16 @@ func (s *Server) serveConn(conn net.Conn) {
 // channel.  Format frames register metadata with the broker's context; data
 // frames are looked up by format ID and republished.  An out-of-band
 // publisher sends no format frames — the broker context's resolver (if any)
-// supplies the metadata instead.
+// supplies the metadata instead.  On a federated broker a channel homed
+// elsewhere is forwarded: the publisher's bytes relay to the home broker,
+// which owns ordering and retention for the channel.
 func (s *Server) servePublisher(conn net.Conn, rd *bufio.Reader, cmd Command) {
+	if m := s.mesh.Load(); m != nil {
+		if home := m.ResolveHome(cmd.Name); home != m.Self() {
+			s.forwardPublisher(conn, rd, home, cmd.Name)
+			return
+		}
+	}
 	ch, err := s.broker.GetOrCreate(cmd.Name)
 	if err != nil {
 		writeLine(conn, "ERR "+err.Error())
@@ -246,28 +318,78 @@ func (s *Server) servePublisher(conn net.Conn, rd *bufio.Reader, cmd Command) {
 	}
 }
 
-// serveSubscriber attaches the connection to a channel and then watches the
-// text side for UNSUB (drain and detach) until the client disconnects.
-func (s *Server) serveSubscriber(conn net.Conn, rd *bufio.Reader, cmd Command) {
-	ch, err := s.broker.GetOrCreate(cmd.Name)
+// forwardPublisher relays a publisher whose channel is homed on another
+// broker: a dumb byte pipe to the home's own PUB stream, so the home keeps
+// sole ownership of ordering, retention, and generation numbering.  A
+// forwarding failure surfaces to the publisher as a dropped connection —
+// at-least-once from the publisher's perspective, exactly like publishing
+// to the home directly.
+func (s *Server) forwardPublisher(conn net.Conn, rd *bufio.Reader, home, name string) {
+	m := s.mesh.Load()
+	up, err := m.dial(home)
 	if err != nil {
-		writeLine(conn, "ERR "+err.Error())
+		writeLine(conn, "ERR forwarding to "+home+": "+err.Error())
 		return
 	}
-	// The OK must be on the wire before the first frame can be, so the
-	// client reads a clean line and then switches to frame mode.
-	if err := writeLine(conn, "OK subscribed "+cmd.Name); err != nil {
+	defer up.Close()
+	resp, err := meshRequest(up, "PUB "+name)
+	if err != nil {
+		writeLine(conn, "ERR forwarding to "+home+": "+err.Error())
+		return
+	}
+	if err := writeLine(conn, "OK "+resp+" via "+m.Self()); err != nil {
+		return
+	}
+	// Upstream-to-client carries only terminal ERR lines; it exits when
+	// either side closes, and the deferred up.Close unblocks it when the
+	// publisher side finishes first.
+	go io.Copy(conn, up)
+	io.Copy(up, rd)
+}
+
+// serveSubscriber attaches the connection to a channel and then watches the
+// text side for UNSUB (drain and detach) until the client disconnects.  On
+// a federated broker the channel resolves across the mesh: a remote-homed
+// channel is served from the local proxy fed by its inter-broker link.
+func (s *Server) serveSubscriber(conn net.Conn, rd *bufio.Reader, cmd Command) {
+	var ch *Channel
+	var err error
+	if m := s.mesh.Load(); m != nil {
+		ch, err = m.SubscriberChannel(cmd.Name)
+	} else {
+		ch, err = s.broker.GetOrCreate(cmd.Name)
+	}
+	if err != nil {
+		writeLine(conn, "ERR "+err.Error())
 		return
 	}
 	var opts []SubOption
 	if cmd.Queue > 0 {
 		opts = append(opts, SubQueue(cmd.Queue))
 	}
-	sub, err := ch.Subscribe(conn, cmd.Policy, opts...)
+	if cmd.HasAfter {
+		opts = append(opts, SubAfter(cmd.After))
+	}
+	var base Sink = writerSink{w: conn}
+	if cmd.Link {
+		base = &linkSink{w: conn}
+	}
+	// The subscription is created gated so the response line — which
+	// carries the exact attach generation — is on the wire before the
+	// writer goroutine can emit the first frame byte.
+	ready := make(chan struct{})
+	sub, err := ch.SubscribeSink(gatedSink{Sink: base, ready: ready}, cmd.Policy, opts...)
 	if err != nil {
+		close(ready)
 		writeLine(conn, "ERR "+err.Error())
 		return
 	}
+	if err := writeLine(conn, fmt.Sprintf("OK subscribed %s gen=%d", cmd.Name, sub.AttachGen())); err != nil {
+		close(ready)
+		sub.abort()
+		return
+	}
+	close(ready)
 	for {
 		line, err := readCommandLine(rd)
 		if err != nil {

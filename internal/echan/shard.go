@@ -7,26 +7,28 @@ import (
 	"github.com/open-metadata/xmit/internal/obs"
 )
 
-// shard owns one slice of a channel's subscriber set: a bounded ring of
+// shard owns one slice of a channel's delivery-sink set: a bounded ring of
 // published events drained by a dedicated worker goroutine that runs the
-// per-subscriber offer loop for its slice.  Sharding moves the O(subscribers)
-// fan-out work off the publisher's goroutine — publish costs O(shards) ring
+// per-sink offer loop for its slice.  Sharding moves the O(sinks) fan-out
+// work off the publisher's goroutine — publish costs O(shards) ring
 // enqueues — and lets the offer loops of a wide subscriber set run on every
-// core instead of one.
+// core instead of one.  Everything a channel feeds — local subscriptions,
+// derived channels, mesh link subscribers — attaches here through the one
+// deliverySink contract.
 //
-// Ordering: a subscriber belongs to exactly one shard for its lifetime, the
-// ring is FIFO, and the worker offers events to its subscribers in ring
-// order, so per-subscriber FIFO delivery is preserved.  Backpressure is
-// transitive: a Block-policy subscriber with a full queue blocks the shard
-// worker, the shard ring fills, and the publisher blocks on the next
-// enqueue — lossless end to end, with bounded memory.
+// Ordering: a sink belongs to exactly one shard for its lifetime, the ring
+// is FIFO, and the worker offers events to its sinks in ring order, so
+// per-sink FIFO delivery is preserved.  Backpressure is transitive: a
+// Block-policy subscriber with a full queue blocks the shard worker, the
+// shard ring fills, and the publisher blocks on the next enqueue — lossless
+// end to end, with bounded memory.
 type shard struct {
 	ch  *Channel
 	idx int
 
-	// subs is the shard's slice of the channel's subscriber set, mutated
-	// copy-on-write under ch.mu and read lock-free by the worker.
-	subs atomic.Pointer[[]*Subscription]
+	// sinks is the shard's slice of the channel's delivery-sink set,
+	// mutated copy-on-write under ch.mu and read lock-free by the worker.
+	sinks atomic.Pointer[[]deliverySink]
 
 	mu     sync.Mutex
 	cond   sync.Cond
@@ -49,15 +51,16 @@ func newShard(ch *Channel, idx, ring int, events *obs.Counter) *shard {
 		events: events,
 	}
 	sh.cond.L = &sh.mu
-	empty := []*Subscription{}
-	sh.subs.Store(&empty)
+	empty := []deliverySink{}
+	sh.sinks.Store(&empty)
 	go sh.run()
 	return sh
 }
 
-// enqueue hands one event reference to the shard, blocking while the ring is
-// full (the transitive Block backpressure path).  It reports false once the
-// shard is closed; the caller keeps the reference in that case.
+// enqueue hands one event to the shard, blocking while the ring is full
+// (the transitive Block backpressure path).  The caller's reference is
+// borrowed; the shard takes its own on acceptance and reports false once it
+// is closed.
 func (sh *shard) enqueue(ev *event) bool {
 	sh.mu.Lock()
 	for sh.count == len(sh.ring) && !sh.closed {
@@ -67,6 +70,7 @@ func (sh *shard) enqueue(ev *event) bool {
 		sh.mu.Unlock()
 		return false
 	}
+	ev.refs.Add(1)
 	sh.ring[(sh.head+sh.count)%len(sh.ring)] = ev
 	sh.count++
 	sh.cond.Broadcast()
@@ -75,10 +79,10 @@ func (sh *shard) enqueue(ev *event) bool {
 	return true
 }
 
-// run is the shard's worker loop: pop an event, offer it to every
-// subscriber in the shard (in ring order, so per-subscriber FIFO holds),
-// release the shard's reference.  On close it drains the ring, releasing
-// undelivered events, and exits.
+// run is the shard's worker loop: pop an event, offer it to every sink in
+// the shard (in ring order, so per-sink FIFO holds), release the shard's
+// reference.  On close it drains the ring, releasing undelivered events,
+// and exits.
 func (sh *shard) run() {
 	defer close(sh.done)
 	for {
@@ -112,20 +116,17 @@ func (sh *shard) run() {
 	}
 }
 
-// fanOut offers one event to every subscriber in the shard.  Subscribers
-// that attached after the event was published (ev.gen <= afterGen) are
-// skipped: a mid-stream joiner sees only events published after its
-// Subscribe returned, exactly as when the publisher ran the offer loop
-// inline.
+// fanOut offers one event to every sink in the shard.  Sinks that attached
+// after the event was published (ev.gen <= attachGen) are skipped: a
+// mid-stream joiner sees only events published after its attach.  The
+// shard's reference is live for each offer; sinks that retain the event
+// take their own (the deliverySink contract).
 func (sh *shard) fanOut(ev *event) {
-	for _, s := range *sh.subs.Load() {
-		if ev.gen <= s.afterGen {
+	for _, snk := range *sh.sinks.Load() {
+		if ev.gen <= snk.attachGen() {
 			continue
 		}
-		ev.refs.Add(1)
-		if !s.offer(ev) {
-			ev.refs.Add(-1) // cannot reach zero: the shard's ref is live
-		}
+		snk.offer(ev)
 	}
 	sh.events.Inc()
 }
@@ -149,30 +150,30 @@ func (sh *shard) close() {
 	sh.mu.Unlock()
 }
 
-// addSub appends s to the shard's subscriber slice.  Callers hold ch.mu.
-func (sh *shard) addSub(s *Subscription) {
-	old := *sh.subs.Load()
-	next := make([]*Subscription, len(old)+1)
+// addSink appends a sink to the shard's fan-out slice.  Callers hold ch.mu.
+func (sh *shard) addSink(snk deliverySink) {
+	old := *sh.sinks.Load()
+	next := make([]deliverySink, len(old)+1)
 	copy(next, old)
-	next[len(old)] = s
-	sh.subs.Store(&next)
+	next[len(old)] = snk
+	sh.sinks.Store(&next)
 }
 
-// removeSub detaches s from the shard's subscriber slice, reporting whether
-// it was present.  Callers hold ch.mu.
-func (sh *shard) removeSub(s *Subscription) bool {
-	old := *sh.subs.Load()
-	next := make([]*Subscription, 0, len(old))
+// removeSink detaches a sink from the shard's fan-out slice, reporting
+// whether it was present.  Callers hold ch.mu.
+func (sh *shard) removeSink(snk deliverySink) bool {
+	old := *sh.sinks.Load()
+	next := make([]deliverySink, 0, len(old))
 	found := false
 	for _, o := range old {
-		if o == s {
+		if o == snk {
 			found = true
 			continue
 		}
 		next = append(next, o)
 	}
 	if found {
-		sh.subs.Store(&next)
+		sh.sinks.Store(&next)
 	}
 	return found
 }

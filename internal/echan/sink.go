@@ -1,0 +1,131 @@
+package echan
+
+import (
+	"io"
+
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+// Delivery sinks: the single contract every consumer of a channel's events
+// satisfies.  Two seams make up the contract:
+//
+//   - deliverySink is the offer-level seam.  A shard worker offers each
+//     event to every sink attached to it — local subscriptions and derived
+//     channels alike — so FIFO order, backpressure policy, and refcount
+//     discipline are identical no matter what is consuming the stream.
+//   - Sink is the frame-level seam inside a Subscription.  It is where the
+//     byte stream diverges: a plain subscriber gets raw transport frames, a
+//     mesh link subscriber gets generation-stamped frames so the remote
+//     broker can resume without duplicates.
+//
+// Reference discipline at the offer seam: the caller's reference is live
+// for the duration of offer; a sink that retains the event past the call
+// takes its own references before returning.  This replaces the older
+// add-then-revert pattern and is what lets one contract cover sinks that
+// retain (subscription rings, shard rings) and sinks that only inspect
+// (derived-channel filters that reject).
+type deliverySink interface {
+	// offer hands the sink one event.  It reports whether the event was
+	// accepted; refusal is the sink's own policy (queue full under a drop
+	// policy, filter mismatch, sink closed) and costs the caller nothing.
+	offer(ev *event) bool
+	// attachGen is the channel publish generation the sink attached at;
+	// events with gen at or before it are never offered (a mid-stream
+	// joiner sees only events published after it attached).
+	attachGen() uint64
+}
+
+// Sink consumes one subscription's ordered frame stream.  WriteFormat
+// receives complete format-announcement frames (in-band channels only, each
+// exactly once, always before the first data frame that needs it);
+// WriteEvent receives complete data frames together with the event's
+// publish generation and the channel head at delivery time.  A Sink that
+// also implements io.Closer is closed when the subscription aborts, which
+// is how a stuck consumer is detached without blocking shutdown.
+//
+// All calls come from the subscription's single writer goroutine.
+type Sink interface {
+	WriteFormat(frame []byte) error
+	WriteEvent(gen, head uint64, frame []byte) error
+}
+
+// writerSink adapts a plain io.Writer (a net.Conn, an os.File, io.Discard)
+// to the Sink contract: sequencing is dropped and frames pass through
+// byte-for-byte, which is the classic subscriber wire format.
+type writerSink struct {
+	w io.Writer
+}
+
+func (ws writerSink) WriteFormat(frame []byte) error {
+	_, err := ws.w.Write(frame)
+	return err
+}
+
+func (ws writerSink) WriteEvent(_, _ uint64, frame []byte) error {
+	_, err := ws.w.Write(frame)
+	return err
+}
+
+func (ws writerSink) Close() error {
+	if c, ok := ws.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// linkSink is the mesh link subscriber's sink: format frames pass through
+// unchanged, data frames are re-framed as FrameDataSeq carrying the publish
+// generation and channel head, so the downstream broker can deduplicate on
+// reconnect and measure its lag.  Each event is assembled into a pooled
+// buffer and handed to the writer as one contiguous frame.
+type linkSink struct {
+	w io.Writer
+}
+
+func (ls *linkSink) WriteFormat(frame []byte) error {
+	_, err := ls.w.Write(frame)
+	return err
+}
+
+func (ls *linkSink) WriteEvent(gen, head uint64, frame []byte) error {
+	buf := pbio.GetBuffer()
+	buf.B = transport.AppendSeqFrame(buf.B[:0], gen, head, frame[transport.FrameHeaderSize:])
+	_, err := ls.w.Write(buf.B)
+	buf.Release()
+	return err
+}
+
+func (ls *linkSink) Close() error {
+	if c, ok := ls.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// gatedSink holds the subscription's first frame back until ready closes.
+// The broker daemon uses it to order its "OK subscribed" response line
+// before any frame bytes: the subscription (and its writer goroutine) can
+// be created first — so the response can carry the exact attach generation —
+// without the writer racing the response onto the wire.
+type gatedSink struct {
+	Sink
+	ready <-chan struct{}
+}
+
+func (g gatedSink) WriteFormat(frame []byte) error {
+	<-g.ready
+	return g.Sink.WriteFormat(frame)
+}
+
+func (g gatedSink) WriteEvent(gen, head uint64, frame []byte) error {
+	<-g.ready
+	return g.Sink.WriteEvent(gen, head, frame)
+}
+
+func (g gatedSink) Close() error {
+	if c, ok := g.Sink.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

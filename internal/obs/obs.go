@@ -141,6 +141,19 @@ func (r *Registry) RegisterFunc(name string, fn Func) {
 	r.metrics[name] = fn
 }
 
+// Unregister removes a metric, reporting whether it was registered.  It
+// exists for dynamic metric owners — a mesh link that is torn down when its
+// peer leaves, say — so a long-lived registry doesn't accumulate dead
+// entries.  Callers holding a pointer to the removed metric may keep using
+// it; it simply no longer exports.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.metrics[name]
+	delete(r.metrics, name)
+	return ok
+}
+
 // Names returns the registered metric names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()

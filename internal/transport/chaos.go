@@ -39,12 +39,14 @@ type Chaos struct {
 	rng     *rand.Rand
 	written int64
 
-	pPartial float64
-	pShort   float64
-	pDelay   float64
-	maxDelay time.Duration
-	pCorrupt float64
-	resetAt  int64 // total-bytes-written threshold; 0 disables
+	pPartial    float64
+	pShort      float64
+	pDelay      float64
+	maxDelay    time.Duration
+	pCorrupt    float64
+	resetAt     int64 // total-bytes-written threshold; 0 disables
+	readResetAt int64 // total-bytes-read threshold; 0 disables
+	read        int64 // guarded by mu
 
 	reset  atomic.Bool
 	closed atomic.Bool
@@ -112,6 +114,15 @@ func WithCorruption(p float64) ChaosOption {
 // disables the reset.
 func WithReset(afterBytes int64) ChaosOption {
 	return func(c *Chaos) { c.resetAt = afterBytes }
+}
+
+// WithReadReset is WithReset for the receive direction: the connection
+// resets once afterBytes total bytes have been read, truncating the
+// tripping Read at the threshold.  It models the far end of a link dying
+// mid-stream — the fault a mostly-reading consumer (an inter-broker mesh
+// link) actually sees.  afterBytes <= 0 disables the reset.
+func WithReadReset(afterBytes int64) ChaosOption {
+	return func(c *Chaos) { c.readResetAt = afterBytes }
 }
 
 func clamp01(p float64) float64 {
@@ -267,14 +278,35 @@ func (c *Chaos) Read(p []byte) (int, error) {
 		return 0, ErrChaosReset
 	}
 	c.maybeDelay()
-	if len(p) > 1 && c.roll(c.pShort) {
+	limit := len(p)
+	if limit > 1 && c.roll(c.pShort) {
 		c.mu.Lock()
-		limit := 1 + c.rng.Intn(len(p)-1)
+		limit = 1 + c.rng.Intn(limit-1)
 		c.mu.Unlock()
 		c.stats.shortReads.Add(1)
-		return c.rwc.Read(p[:limit])
 	}
-	return c.rwc.Read(p)
+	// An armed read reset truncates the tripping Read at the threshold and
+	// kills the stream: the caller gets the prefix, then ErrChaosReset.
+	if c.readResetAt > 0 {
+		c.mu.Lock()
+		remain := c.readResetAt - c.read
+		c.mu.Unlock()
+		if remain <= 0 {
+			if !c.reset.Swap(true) {
+				c.stats.resets.Add(1)
+				c.rwc.Close()
+			}
+			return 0, ErrChaosReset
+		}
+		if remain < int64(limit) {
+			limit = int(remain)
+		}
+	}
+	n, err := c.rwc.Read(p[:limit])
+	c.mu.Lock()
+	c.read += int64(n)
+	c.mu.Unlock()
+	return n, err
 }
 
 // Close closes the underlying stream (idempotent across an injected

@@ -1,0 +1,52 @@
+// Sequenced data frames: the wire extension inter-broker mesh links speak.
+//
+// A plain subscriber stream (FrameData) carries no delivery-plane state —
+// the broker's per-subscriber FIFO makes ordering implicit.  A link between
+// two brokers additionally needs the publish generation of each event, so
+// the downstream broker can resume after a reconnect without re-delivering
+// events it already re-published (exactly-once across the mesh), and the
+// channel head at delivery time, so it can report how far it lags.  Both
+// ride in a 16-byte prefix inside the frame payload; everything after the
+// prefix is the same complete PBIO message a FrameData payload holds.
+
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FrameDataSeq frames a data message prefixed by its publish generation and
+// the channel head at delivery time (8 bytes big-endian each).  Only mesh
+// link subscriptions receive this kind (see internal/echan); ordinary
+// subscriber streams carry FrameData.
+const FrameDataSeq = 3
+
+// SeqPrefixSize is the length of the generation+head prefix inside a
+// FrameDataSeq payload.
+const SeqPrefixSize = 16
+
+// AppendSeqFrame appends a complete FrameDataSeq frame — header, sequencing
+// prefix, data — to dst and returns the extended slice.
+func AppendSeqFrame(dst []byte, gen, head uint64, data []byte) []byte {
+	var hdr [FrameHeaderSize + SeqPrefixSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(data)+SeqPrefixSize+1))
+	hdr[4] = FrameDataSeq
+	binary.BigEndian.PutUint64(hdr[5:13], gen)
+	binary.BigEndian.PutUint64(hdr[13:21], head)
+	dst = append(dst, hdr[:]...)
+	return append(dst, data...)
+}
+
+// ParseSeqPayload splits a FrameDataSeq payload into the event's publish
+// generation, the channel head at delivery time, and the PBIO message.  The
+// returned data aliases payload.
+func ParseSeqPayload(payload []byte) (gen, head uint64, data []byte, err error) {
+	if len(payload) < SeqPrefixSize {
+		return 0, 0, nil, fmt.Errorf("transport: sequenced frame payload of %d bytes, need at least %d",
+			len(payload), SeqPrefixSize)
+	}
+	gen = binary.BigEndian.Uint64(payload[:8])
+	head = binary.BigEndian.Uint64(payload[8:16])
+	return gen, head, payload[SeqPrefixSize:], nil
+}
