@@ -16,9 +16,15 @@
 // URLs of another broker's well-known mesh document; -mesh-listen serves
 // this broker's own document for others to bootstrap from.
 //
+// With -unix, the broker also listens on a unix-domain socket — the
+// same-host fast lane: local subscribers dialing the socket path receive
+// the broker's vectored writes without the TCP stack in between.  Clients
+// select the lane by address form alone (a path instead of host:port).
+//
 // Usage:
 //
 //	echod -addr 127.0.0.1:8801 -metrics 127.0.0.1:8802 [-fmtserver 127.0.0.1:8701] [-queue 64] [-shards N]
+//	      [-unix /run/echod.sock]
 //	      [-peer host2:8801,http://host3:8803] [-mesh-listen 127.0.0.1:8803] [-advertise host1:8801] [-retain N]
 package main
 
@@ -41,6 +47,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8801", "listen address")
+	unixPath := flag.String("unix", "", "also listen on this unix socket path (same-host fast lane)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics on this HTTP address (empty: disabled)")
 	fmtsrvAddr := flag.String("fmtserver", "", "format server address for out-of-band metadata (empty: in-band only)")
 	queue := flag.Int("queue", 64, "default per-subscriber queue length")
@@ -92,6 +99,12 @@ func main() {
 		log.Fatalf("echod: %v", err)
 	}
 	fmt.Printf("echod: listening on %s\n", bound)
+	if *unixPath != "" {
+		if _, err := srv.ListenUnix(*unixPath); err != nil {
+			log.Fatalf("echod: %v", err)
+		}
+		fmt.Printf("echod: unix fast lane on %s\n", *unixPath)
+	}
 	if *fmtsrvAddr != "" {
 		fmt.Printf("echod: registering formats with %s\n", *fmtsrvAddr)
 	}

@@ -9,6 +9,7 @@
 //	xmitbench -quick               # fast, low-precision pass
 //	xmitbench -json out.json       # also write machine-readable records
 //	xmitbench -baseline BENCH.json # fail on >tolerance throughput regression
+//	xmitbench -require-figs        # fail if a requested figure yields no records
 package main
 
 import (
@@ -23,13 +24,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", or "all"`)
+	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", "writev", or "all"`)
 	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
 	metricsAddr := flag.String("metrics", "", "serve the process obs registry at /metrics on this HTTP address while running (empty: disabled)")
 	stats := flag.Bool("stats", false, "dump the process obs registry as JSON to stderr after the run")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark records to this file (figures 8, fanout, send, and scale)")
 	baseline := flag.String("baseline", "", "compare this run's throughput records against a baseline JSON file; exit nonzero on regression")
 	tolerance := flag.Float64("tolerance", 0.35, "allowed fractional throughput drop vs the baseline before failing")
+	requireFigs := flag.Bool("require-figs", false, "fail if a requested record-producing figure contributed no records (guards the gate against vacuous passes)")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -60,6 +62,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "xmitbench: wrote %d records to %s\n", len(records), *jsonOut)
+	}
+	if *requireFigs {
+		missing := bench.RequireFigures(strings.Split(*fig, ","), records)
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "xmitbench: %d requested figure(s) yielded no records:\n", len(missing))
+			for _, m := range missing {
+				fmt.Fprintln(os.Stderr, "  "+m)
+			}
+			os.Exit(3)
+		}
 	}
 	if *baseline != "" {
 		base, err := bench.ReadJSONFile(*baseline)
@@ -222,6 +234,16 @@ func run(figs string, opts bench.Options) ([]bench.JSONRecord, error) {
 		bench.PrintMesh(out, rows)
 		fmt.Fprintln(out)
 		records = append(records, bench.MeshRecords(rows)...)
+	}
+	if want("writev") {
+		ran = true
+		rows, err := bench.Writev(opts)
+		if err != nil {
+			return nil, err
+		}
+		bench.PrintWritev(out, rows)
+		fmt.Fprintln(out)
+		records = append(records, bench.WritevRecords(rows)...)
 	}
 	if !ran {
 		return nil, fmt.Errorf("unknown figure %q", figs)

@@ -10,7 +10,7 @@ import (
 )
 
 // JSONRecord is one benchmark data point in the machine-readable output
-// (the BENCH_6.json schema).  Figure/Config/Metric triple identifies the
+// (the BENCH_7.json schema).  Figure/Config/Metric triple identifies the
 // point across runs; GoVersion and GoMaxProcs record the environment so a
 // regression gate can refuse to compare numbers from different worlds.
 type JSONRecord struct {
@@ -150,6 +150,47 @@ func ReadJSONFile(path string) ([]JSONRecord, error) {
 		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
 	}
 	return recs, nil
+}
+
+// RecordFigures names every figure that contributes JSON records — the
+// expansion of "all" for RequireFigures.
+var RecordFigures = []string{"8", "fanout", "send", "scale", "mesh", "writev"}
+
+// RequireFigures closes the vacuous-pass hole in the regression gate:
+// CompareJSON deliberately ignores baseline entries the fresh run didn't
+// produce (so a full baseline can gate a partial rerun), which also means a
+// requested figure that silently emits zero records passes every gate.  It
+// returns one message per requested figure name that contributed no fresh
+// records.  Names that never produce records (figure 1, "expansion", ...)
+// are not required; "all" expands to RecordFigures.
+func RequireFigures(figs []string, fresh []JSONRecord) []string {
+	have := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		have[r.Figure] = true
+	}
+	produces := make(map[string]bool, len(RecordFigures))
+	for _, f := range RecordFigures {
+		produces[f] = true
+	}
+	var missing []string
+	seen := make(map[string]bool)
+	check := func(f string) {
+		if produces[f] && !have[f] && !seen[f] {
+			seen[f] = true
+			missing = append(missing, fmt.Sprintf("figure %q produced no records", f))
+		}
+	}
+	for _, f := range figs {
+		f = strings.TrimSpace(f)
+		if f == "all" {
+			for _, rf := range RecordFigures {
+				check(rf)
+			}
+			continue
+		}
+		check(f)
+	}
+	return missing
 }
 
 // CompareJSON checks fresh throughput numbers against a baseline and

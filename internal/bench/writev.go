@@ -1,0 +1,187 @@
+// The writev figure: what vectored delivery buys on real sockets.
+//
+// The fanout and scale figures drive io.Discard subscribers, so they see
+// the broker's queueing mechanics but not the syscall bill.  This figure
+// puts every subscriber on a real unix-domain socket (the same-host fast
+// lane echod's -unix serves) and compares the batched drain — each
+// subscriber's ready run coalesced into one writev — against the
+// one-Write-per-event path (WithWriteBatch(1)).  Alongside events/s it
+// reports sink writes per delivered event from the broker's own counters:
+// 1.0 unbatched, and however far below that the drain batching reaches
+// under load, which is the syscalls-per-event reduction.
+
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/open-metadata/xmit/internal/echan"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+)
+
+// WritevSubscribers is the x-axis of the vectored-delivery experiment.
+var WritevSubscribers = []int{64, 256}
+
+// WritevRow compares one fan-out width with and without write batching,
+// every subscriber on a unix-domain socket.
+type WritevRow struct {
+	Subscribers int
+
+	BatchedEventsPerSec   float64
+	BatchedWritesPerEvent float64 // sink writes / delivered events, batched drain
+
+	SingleEventsPerSec   float64
+	SingleWritesPerEvent float64 // 1.0 by construction: one Write per event
+}
+
+// Writev runs the vectored-delivery experiment at the standard widths.
+func Writev(o Options) ([]WritevRow, error) {
+	return WritevWidths(o, WritevSubscribers)
+}
+
+// WritevWidths is Writev with a caller-chosen set of subscriber counts.
+func WritevWidths(o Options, widths []int) ([]WritevRow, error) {
+	// Syscall-bound batches need more wall time than the in-process figures
+	// to settle; scale the budget rather than burdening every other figure.
+	o = o.normalize()
+	o.BatchTime *= 8
+
+	var rows []WritevRow
+	for _, n := range widths {
+		row := WritevRow{Subscribers: n}
+		var err error
+		row.BatchedEventsPerSec, row.BatchedWritesPerEvent, err = writevRun(o, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		row.SingleEventsPerSec, row.SingleWritesPerEvent, err = writevRun(o, n, 1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// writevRun measures one configuration: n unix-socket subscribers under the
+// Block policy, writeBatch 0 for the channel default (drain everything
+// ready) or 1 for the per-event baseline.  Returns events/s and sink writes
+// per delivered event.
+func writevRun(o Options, subs, writeBatch int) (eventsPerSec, writesPerEvent float64, err error) {
+	dir, err := os.MkdirTemp("", "xmit-writev")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	ln, err := net.Listen("unix", filepath.Join(dir, "b.sock"))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ln.Close()
+
+	// Teardown order (deferred, so reversed): close the broker first — that
+	// aborts the subscriptions and closes the server-side conns — then wait
+	// for the drain goroutines to see EOF and exit.
+	var drains sync.WaitGroup
+	defer drains.Wait()
+	reg := obs.NewRegistry()
+	broker := echan.NewBroker(echan.WithRegistry(reg))
+	defer broker.Close()
+	chOpts := []echan.ChannelOption{echan.WithQueue(256)}
+	if writeBatch > 0 {
+		chOpts = append(chOpts, echan.WithWriteBatch(writeBatch))
+	}
+	ch, err := broker.Create("writev", chOpts...)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	for i := 0; i < subs; i++ {
+		client, err := net.Dial("unix", ln.Addr().String())
+		if err != nil {
+			return 0, 0, err
+		}
+		server, err := ln.Accept()
+		if err != nil {
+			client.Close()
+			return 0, 0, err
+		}
+		drains.Add(1)
+		go func(c net.Conn) {
+			defer drains.Done()
+			io.Copy(io.Discard, c)
+			c.Close()
+		}(client)
+		if _, err := ch.Subscribe(server, echan.Block); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	ctx := pbio.NewContext(pbio.WithPlatform(Paper))
+	f, err := ctx.RegisterFields("Payload", PayloadFields())
+	if err != nil {
+		return 0, 0, err
+	}
+	msg, err := NewPayload(100)
+	if err != nil {
+		return 0, 0, err
+	}
+	bind, err := ctx.Bind(f, msg)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	perEventNs, _, err := measureFanout(o, func() error {
+		return ch.Publish(bind, msg)
+	}, ch.Sync)
+	if err != nil {
+		return 0, 0, err
+	}
+	writes, _ := reg.Value("echan_writev_sink_writes_total")
+	delivered, _ := reg.Value("echan_writev_delivered_total")
+	if delivered > 0 {
+		writesPerEvent = writes / delivered
+	}
+	// broker.Close (deferred) aborts the subscriptions, closing the server
+	// ends; the drain goroutines then see EOF and exit.
+	return 1e9 / perEventNs, writesPerEvent, nil
+}
+
+// WritevRecords flattens the figure for the JSON gate.  The writes/event
+// columns are ratios, not rates, so the regression gate ignores them; both
+// events/s columns gate.
+func WritevRecords(rows []WritevRow) []JSONRecord {
+	var out []JSONRecord
+	for _, r := range rows {
+		cfg := fmt.Sprintf("%dsubs", r.Subscribers)
+		out = append(out,
+			record("writev", cfg, "batched_events", r.BatchedEventsPerSec, "events/s"),
+			record("writev", cfg, "batched_writes_per_event", r.BatchedWritesPerEvent, "writes/event"),
+			record("writev", cfg, "single_events", r.SingleEventsPerSec, "events/s"),
+			record("writev", cfg, "single_writes_per_event", r.SingleWritesPerEvent, "writes/event"),
+		)
+	}
+	return out
+}
+
+// PrintWritev renders the vectored-delivery table.
+func PrintWritev(w io.Writer, rows []WritevRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Vectored delivery: unix-socket subscribers, Block policy, batched drain (writev) vs one Write per event")
+	fmt.Fprintf(w, "%6s %16s %12s %16s %12s %10s\n",
+		"subs", "batched ev/s", "writes/ev", "single ev/s", "writes/ev", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %16.0f %12.3f %16.0f %12.3f %10.2f\n",
+			r.Subscribers, r.BatchedEventsPerSec, r.BatchedWritesPerEvent,
+			r.SingleEventsPerSec, r.SingleWritesPerEvent,
+			r.BatchedEventsPerSec/r.SingleEventsPerSec)
+	}
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritevQuick(t *testing.T) {
+	rows, err := WritevWidths(QuickOptions(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.BatchedEventsPerSec <= 0 || r.SingleEventsPerSec <= 0 {
+		t.Errorf("non-positive rates: %+v", r)
+	}
+	// The per-event baseline does one sink write per delivery by
+	// construction; the batched drain must not exceed it.
+	if r.SingleWritesPerEvent < 0.99 || r.SingleWritesPerEvent > 1.01 {
+		t.Errorf("single-write baseline: %v writes/event, want 1.0", r.SingleWritesPerEvent)
+	}
+	if r.BatchedWritesPerEvent <= 0 || r.BatchedWritesPerEvent > r.SingleWritesPerEvent*1.01 {
+		t.Errorf("batched drain: %v writes/event vs baseline %v",
+			r.BatchedWritesPerEvent, r.SingleWritesPerEvent)
+	}
+
+	recs := WritevRecords(rows)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for _, rec := range recs {
+		// Only the events/s columns may gate: the writes/event ratios
+		// would invert the comparison (lower is better).
+		if strings.Contains(rec.Metric, "writes_per_event") == rec.isRate() {
+			t.Errorf("record %s/%s: unit %q gates=%v", rec.Metric, rec.Config, rec.Unit, rec.isRate())
+		}
+	}
+
+	var sb strings.Builder
+	PrintWritev(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Vectored delivery", "batched ev/s", "writes/ev", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintWritev output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRequireFigures pins the strict gate that closes the vacuous-pass
+// hole: a requested record-producing figure with no fresh records is
+// reported, figures that never produce records are not, and "all" expands
+// to every record-producing figure.
+func TestRequireFigures(t *testing.T) {
+	recs := []JSONRecord{
+		record("writev", "64subs", "batched_events", 1000, "events/s"),
+		record("8", "100B", "pbio_encode_rate", 5e6, "msg/s"),
+	}
+	if missing := RequireFigures([]string{"writev", "8"}, recs); len(missing) != 0 {
+		t.Errorf("figures with records reported missing: %v", missing)
+	}
+	if missing := RequireFigures([]string{"writev", "mesh"}, recs); len(missing) != 1 ||
+		!strings.Contains(missing[0], `"mesh"`) {
+		t.Errorf("mesh without records: %v", missing)
+	}
+	// fanout, send, scale, mesh have no records here; 8 and writev do.
+	if missing := RequireFigures([]string{"all"}, recs); len(missing) != 4 {
+		t.Errorf("all-expansion: %d missing, want 4: %v", len(missing), missing)
+	}
+	// Figures that never produce records are not required, and duplicates
+	// are reported once.
+	if missing := RequireFigures([]string{"expansion", "allocs", "1"}, nil); len(missing) != 0 {
+		t.Errorf("non-record figures required: %v", missing)
+	}
+	if missing := RequireFigures([]string{"mesh", "mesh", " mesh "}, nil); len(missing) != 1 {
+		t.Errorf("duplicate figure reported %d times", len(missing))
+	}
+}

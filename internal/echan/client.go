@@ -10,6 +10,35 @@ import (
 	"github.com/open-metadata/xmit/internal/transport"
 )
 
+// isSocketPath reports whether a broker address names a unix-domain socket
+// rather than a TCP host:port: anything with a path separator (or an
+// abstract-socket "@" prefix, or an explicit "unix:" scheme).  Channel
+// names can't contain "/", and a host:port never does either, so the two
+// address families never collide.
+func isSocketPath(addr string) bool {
+	return strings.HasPrefix(addr, "unix:") ||
+		strings.HasPrefix(addr, "@") ||
+		strings.ContainsRune(addr, '/')
+}
+
+// dialBroker connects to a broker daemon, picking the same-host unix-socket
+// fast lane transparently when addr is a socket path (see Server.ListenUnix)
+// and TCP otherwise.
+func dialBroker(addr string) (net.Conn, error) {
+	if isSocketPath(addr) {
+		conn, err := net.Dial("unix", strings.TrimPrefix(addr, "unix:"))
+		if err != nil {
+			return nil, fmt.Errorf("echan: connecting to %s: %w", addr, err)
+		}
+		return conn, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("echan: connecting to %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
 // readResponseLine reads one "OK ..."/"ERR ..." line byte-by-byte, so no
 // bytes beyond the newline are consumed — the next byte on the stream may
 // already belong to a transport frame.
@@ -48,11 +77,12 @@ type Client struct {
 	conn net.Conn
 }
 
-// DialControl opens a control connection to the broker at addr.
+// DialControl opens a control connection to the broker at addr (host:port,
+// or a unix socket path for a broker with a -unix lane).
 func DialControl(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialBroker(addr)
 	if err != nil {
-		return nil, fmt.Errorf("echan: connecting to %s: %w", addr, err)
+		return nil, err
 	}
 	return &Client{conn: conn}, nil
 }
@@ -171,9 +201,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 // determines the wire formats; the connection announces them in-band to the
 // broker, which re-announces to subscribers as needed.
 func DialPublisher(addr, channel string, ctx *pbio.Context, opts ...transport.ConnOption) (*transport.Conn, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialBroker(addr)
 	if err != nil {
-		return nil, fmt.Errorf("echan: connecting to %s: %w", addr, err)
+		return nil, err
 	}
 	if err := writeLine(conn, "PUB "+channel); err != nil {
 		conn.Close()
@@ -199,11 +229,14 @@ type SubscriberConn struct {
 
 // DialSubscriber connects to the broker and subscribes to a channel under
 // the given policy (queue <= 0 uses the channel default).  Received events
-// decode through ctx; for out-of-band channels give ctx a resolver.
+// decode through ctx; for out-of-band channels give ctx a resolver.  When
+// addr is a unix socket path (a broker started with -unix) the same-host
+// fast lane is selected transparently: the broker's vectored writes land on
+// the socketpair directly, with no TCP framing overhead.
 func DialSubscriber(addr, channel string, policy Policy, queue int, ctx *pbio.Context, opts ...transport.ConnOption) (*SubscriberConn, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialBroker(addr)
 	if err != nil {
-		return nil, fmt.Errorf("echan: connecting to %s: %w", addr, err)
+		return nil, err
 	}
 	cmd := "SUB " + channel + " " + policy.String()
 	if queue > 0 {

@@ -107,10 +107,14 @@ type Broker struct {
 	defaultQueue  int
 	defaultShards int
 	defaultRetain int
+	encodeWorkers int
 
 	mu       sync.Mutex
 	channels map[string]*Channel
 	closed   bool
+
+	encMu   sync.Mutex
+	encPool *pbio.EncodePool
 }
 
 // BrokerOption configures a Broker.
@@ -159,6 +163,17 @@ func WithDefaultShards(n int) BrokerOption {
 	}
 }
 
+// WithParallelEncode gives the broker an encode pool of the given worker
+// count, used by Channel.PublishBatch to marshal independent events
+// concurrently — the publisher-side dual of the fan-out shards, finally
+// wired into the channel path (transport.WithParallelEncode covers the
+// remote-publisher connection; this covers in-process publishers).  The
+// pool starts on first use and stops at Broker.Close.  workers <= 1 leaves
+// PublishBatch on the serial path.
+func WithParallelEncode(workers int) BrokerOption {
+	return func(b *Broker) { b.encodeWorkers = workers }
+}
+
 // WithDefaultRetain sets the default retention depth (see WithRetain) for
 // channels created without an explicit one.  A federated broker needs
 // retention on every channel a mesh link may attach to, so cmd/echod sets
@@ -192,6 +207,20 @@ func NewBroker(opts ...BrokerOption) *Broker {
 
 // Context returns the broker's PBIO context.
 func (b *Broker) Context() *pbio.Context { return b.ctx }
+
+// encodePool returns the broker's shared encode pool, starting it on first
+// use, or nil when parallel encoding is not configured.
+func (b *Broker) encodePool() *pbio.EncodePool {
+	if b.encodeWorkers <= 1 {
+		return nil
+	}
+	b.encMu.Lock()
+	defer b.encMu.Unlock()
+	if b.encPool == nil {
+		b.encPool = pbio.NewEncodePool(b.encodeWorkers)
+	}
+	return b.encPool
+}
 
 // validName reports whether a channel name is acceptable: non-empty, at
 // most 128 bytes, drawn from [A-Za-z0-9_.-].
@@ -345,6 +374,12 @@ func (b *Broker) Close() error {
 	for _, ch := range chans {
 		ch.Close()
 	}
+	b.encMu.Lock()
+	if b.encPool != nil {
+		b.encPool.Close()
+		b.encPool = nil
+	}
+	b.encMu.Unlock()
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,11 +25,11 @@ type Server struct {
 	broker *Broker
 	mesh   atomic.Pointer[Mesh]
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]bool
-	wg       sync.WaitGroup
-	closed   bool
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]bool
+	wg        sync.WaitGroup
+	closed    bool
 }
 
 // NewServer creates a server over a (possibly shared) broker.
@@ -59,8 +60,46 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.serve(ln)
+}
+
+// ListenUnix starts accepting the same protocol on a unix-domain socket at
+// path — the same-host fast lane.  Local subscribers reach the broker's
+// refcounted frames through the vectored write path without the TCP stack
+// in between; DialSubscriber and friends pick this lane automatically when
+// given a socket path instead of host:port.  A stale socket file left by a
+// dead broker is reclaimed, but only after a connect probe fails — a
+// socket another live broker is serving is never unlinked.  The live
+// socket is unlinked again on Close.
+func (s *Server) ListenUnix(path string) (string, error) {
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		fi, statErr := os.Lstat(path)
+		if statErr != nil || fi.Mode()&os.ModeSocket == 0 {
+			return "", err
+		}
+		if probe, dialErr := net.Dial("unix", path); dialErr == nil {
+			probe.Close()
+			return "", fmt.Errorf("echan: %s: socket in use by a live server", path)
+		}
+		os.Remove(path)
+		if ln, err = net.Listen("unix", path); err != nil {
+			return "", err
+		}
+	}
+	return s.serve(ln)
+}
+
+// serve registers a listener and starts its accept loop, returning the
+// bound address.
+func (s *Server) serve(ln net.Listener) (string, error) {
 	s.mu.Lock()
-	s.listener = ln
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrChannelClosed
+	}
+	s.listeners = append(s.listeners, ln)
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
@@ -93,18 +132,19 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener and tears down live connections.  The broker and
-// its channels are left to their owner.
+// Close stops every listener and tears down live connections.  The broker
+// and its channels are left to their owner.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
-	ln := s.listener
+	lns := s.listeners
+	s.listeners = nil
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
-	if ln != nil {
-		ln.Close()
+	for _, ln := range lns {
+		ln.Close() // a *net.UnixListener also unlinks its socket file
 	}
 	s.wg.Wait()
 	return nil
@@ -370,7 +410,7 @@ func (s *Server) serveSubscriber(conn net.Conn, rd *bufio.Reader, cmd Command) {
 	if cmd.HasAfter {
 		opts = append(opts, SubAfter(cmd.After))
 	}
-	var base Sink = writerSink{w: conn}
+	var base Sink = newWriterSink(conn)
 	if cmd.Link {
 		base = &linkSink{w: conn}
 	}

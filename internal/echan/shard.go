@@ -39,6 +39,8 @@ type shard struct {
 	closed bool
 	done   chan struct{}
 
+	batch []*event // worker scratch: the ring slice popped per drain
+
 	events *obs.Counter // events this shard's worker has fanned out
 }
 
@@ -47,6 +49,7 @@ func newShard(ch *Channel, idx, ring int, events *obs.Counter) *shard {
 		ch:     ch,
 		idx:    idx,
 		ring:   make([]*event, ring),
+		batch:  make([]*event, 0, ring),
 		done:   make(chan struct{}),
 		events: events,
 	}
@@ -79,10 +82,13 @@ func (sh *shard) enqueue(ev *event) bool {
 	return true
 }
 
-// run is the shard's worker loop: pop an event, offer it to every sink in
-// the shard (in ring order, so per-sink FIFO holds), release the shard's
-// reference.  On close it drains the ring, releasing undelivered events,
-// and exits.
+// run is the shard's worker loop: pop every ready event, offer the whole
+// run to each sink in turn (ring order per sink, so per-sink FIFO holds),
+// release the shard's references.  Draining in batches is what feeds the
+// vectored write path — a subscription offered N events back to back has N
+// frames queued when its writer wakes, and coalesces them into one writev.
+// On close the worker drains the ring, releasing undelivered events, and
+// exits.
 func (sh *shard) run() {
 	defer close(sh.done)
 	for {
@@ -94,20 +100,27 @@ func (sh *shard) run() {
 			sh.mu.Unlock()
 			return
 		}
-		ev := sh.ring[sh.head]
-		sh.ring[sh.head] = nil
-		sh.head = (sh.head + 1) % len(sh.ring)
-		sh.count--
+		n := sh.count
+		batch := sh.batch[:0]
+		for i := 0; i < n; i++ {
+			batch = append(batch, sh.ring[sh.head])
+			sh.ring[sh.head] = nil
+			sh.head = (sh.head + 1) % len(sh.ring)
+		}
+		sh.count = 0
 		closed := sh.closed
 		sh.busy = true
 		sh.cond.Broadcast()
 		sh.mu.Unlock()
 
 		if !closed {
-			sh.fanOut(ev)
+			sh.fanOut(batch)
 		}
-		sh.ch.metrics.shardDepth.Add(-1)
-		ev.release()
+		sh.ch.metrics.shardDepth.Add(-int64(n))
+		for i, ev := range batch {
+			ev.release()
+			batch[i] = nil
+		}
 
 		sh.mu.Lock()
 		sh.busy = false
@@ -116,19 +129,26 @@ func (sh *shard) run() {
 	}
 }
 
-// fanOut offers one event to every sink in the shard.  Sinks that attached
-// after the event was published (ev.gen <= attachGen) are skipped: a
-// mid-stream joiner sees only events published after its attach.  The
-// shard's reference is live for each offer; sinks that retain the event
-// take their own (the deliverySink contract).
-func (sh *shard) fanOut(ev *event) {
+// fanOut offers a run of events to every sink in the shard, one sink at a
+// time so each sink's queue fills back to back (the batched-drain shape the
+// subscription writer coalesces).  Per-sink delivery order is the ring
+// order, exactly as the one-event-at-a-time loop produced; cross-sink
+// interleaving was never part of the contract.  Sinks that attached after
+// an event was published (gen <= attachGen) skip it: a mid-stream joiner
+// sees only events published after its attach.  The shard's references are
+// live for each offer; sinks that retain an event take their own (the
+// deliverySink contract).
+func (sh *shard) fanOut(evs []*event) {
 	for _, snk := range *sh.sinks.Load() {
-		if ev.gen <= snk.attachGen() {
-			continue
+		ag := snk.attachGen()
+		for _, ev := range evs {
+			if ev.gen <= ag {
+				continue
+			}
+			snk.offer(ev)
 		}
-		snk.offer(ev)
 	}
-	sh.events.Inc()
+	sh.events.Add(int64(len(evs)))
 }
 
 // sync blocks until the ring is empty and no offer loop is in flight.

@@ -2,6 +2,7 @@ package echan
 
 import (
 	"io"
+	"net"
 
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/transport"
@@ -40,21 +41,39 @@ type deliverySink interface {
 // receives complete format-announcement frames (in-band channels only, each
 // exactly once, always before the first data frame that needs it);
 // WriteEvent receives complete data frames together with the event's
-// publish generation and the channel head at delivery time.  A Sink that
-// also implements io.Closer is closed when the subscription aborts, which
-// is how a stuck consumer is detached without blocking shutdown.
+// publish generation and the channel head at delivery time.  WriteEvents is
+// the batched form: frames[i] is a complete data frame carrying generation
+// gens[i], in delivery order, and an implementation may coalesce the whole
+// run into one vectored write.  The frames slice (not the frame bytes,
+// which are shared refcounted buffers and must never be modified or
+// retained past the call) is the sink's to consume.  A Sink that also
+// implements io.Closer is closed when the subscription aborts, which is how
+// a stuck consumer is detached without blocking shutdown.
 //
 // All calls come from the subscription's single writer goroutine.
 type Sink interface {
 	WriteFormat(frame []byte) error
 	WriteEvent(gen, head uint64, frame []byte) error
+	WriteEvents(gens []uint64, head uint64, frames [][]byte) error
 }
 
 // writerSink adapts a plain io.Writer (a net.Conn, an os.File, io.Discard)
 // to the Sink contract: sequencing is dropped and frames pass through
 // byte-for-byte, which is the classic subscriber wire format.
+//
+// vec is the reusable iovec header for the batched path.  WriteBuffers
+// consumes the batch through a pointer that escapes into the runtime's
+// writev plumbing, so the header lives on the heap — allocated once here,
+// at sink creation, instead of once per drain (which would break the
+// zero-allocation fan-out gate).
 type writerSink struct {
-	w io.Writer
+	w   io.Writer
+	vec *net.Buffers
+}
+
+// newWriterSink builds the sink for a plain byte-stream subscriber.
+func newWriterSink(w io.Writer) writerSink {
+	return writerSink{w: w, vec: new(net.Buffers)}
 }
 
 func (ws writerSink) WriteFormat(frame []byte) error {
@@ -64,6 +83,17 @@ func (ws writerSink) WriteFormat(frame []byte) error {
 
 func (ws writerSink) WriteEvent(_, _ uint64, frame []byte) error {
 	_, err := ws.w.Write(frame)
+	return err
+}
+
+// WriteEvents coalesces a run of data frames into one vectored write: on a
+// socket, N queued events cost one writev instead of N write syscalls.
+// The frames all point into refcounted event buffers, so no bytes are
+// copied — the iovec array is the whole cost of the batch.
+func (ws writerSink) WriteEvents(_ []uint64, _ uint64, frames [][]byte) error {
+	*ws.vec = frames
+	err := transport.WriteBuffers(ws.w, ws.vec)
+	*ws.vec = nil // do not retain frame references past the call
 	return err
 }
 
@@ -96,6 +126,22 @@ func (ls *linkSink) WriteEvent(gen, head uint64, frame []byte) error {
 	return err
 }
 
+// WriteEvents re-frames a run of data frames as FrameDataSeq into one
+// pooled buffer and hands it to the writer as a single contiguous write —
+// the link keeps its sequencing prefix per event, and the batch still
+// costs one syscall.
+func (ls *linkSink) WriteEvents(gens []uint64, head uint64, frames [][]byte) error {
+	buf := pbio.GetBuffer()
+	b := buf.B[:0]
+	for i, frame := range frames {
+		b = transport.AppendSeqFrame(b, gens[i], head, frame[transport.FrameHeaderSize:])
+	}
+	buf.B = b
+	_, err := ls.w.Write(buf.B)
+	buf.Release()
+	return err
+}
+
 func (ls *linkSink) Close() error {
 	if c, ok := ls.w.(io.Closer); ok {
 		return c.Close()
@@ -121,6 +167,14 @@ func (g gatedSink) WriteFormat(frame []byte) error {
 func (g gatedSink) WriteEvent(gen, head uint64, frame []byte) error {
 	<-g.ready
 	return g.Sink.WriteEvent(gen, head, frame)
+}
+
+// WriteEvents must gate explicitly: the embedded Sink would otherwise
+// satisfy the interface and let a batched first write race the response
+// line onto the wire.
+func (g gatedSink) WriteEvents(gens []uint64, head uint64, frames [][]byte) error {
+	<-g.ready
+	return g.Sink.WriteEvents(gens, head, frames)
 }
 
 func (g gatedSink) Close() error {

@@ -14,6 +14,76 @@ func WithParallelEncode(workers int) ConnOption {
 	return func(c *Conn) { c.encodeWorkers = workers }
 }
 
+// Msg pairs one value with the binding that marshals it: the unit of a
+// mixed-binding SendParallelBatch.
+type Msg struct {
+	Binding *pbio.Binding
+	Value   any
+}
+
+// SendParallelBatch is SendParallel for a mixed-binding batch: each message
+// carries its own binding, and the encode pool marshals them concurrently
+// regardless of format.  Announce-once bookkeeping happens at write time,
+// not submit time — each job already carries its binding through the pool,
+// and writeEncoded checks the announced set as every data frame is written
+// — so each format's announcement frame lands exactly once, immediately
+// before its first data frame, and the wire bytes are byte-identical to
+// calling Send in a loop.  (Doing the bookkeeping at submit time is the
+// order that breaks: jobs complete out of order, and a format marked
+// announced before its frame is written lets a data frame overtake its
+// metadata.)
+//
+// On a connection without an encode pool this is exactly a Send loop.  The
+// first error is returned; messages already written stay written, later
+// messages in the batch are discarded.
+func (c *Conn) SendParallelBatch(msgs ...Msg) error {
+	if c.encodeWorkers <= 1 || len(msgs) == 1 {
+		for _, m := range msgs {
+			if err := c.Send(m.Binding, m.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.takeFlushErr(); err != nil {
+		return err
+	}
+	if c.encPool == nil {
+		c.encPool = pbio.NewEncodePool(c.encodeWorkers)
+	}
+
+	jobs := c.encJobs[:0]
+	for _, m := range msgs {
+		jobs = append(jobs, c.encPool.Encode(m.Binding, m.Value, FrameHeaderSize))
+	}
+	c.encJobs = jobs[:0] // keep the backing array for the next batch
+
+	var firstErr error
+	for i, j := range jobs {
+		buf, err := j.Wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if firstErr != nil {
+			buf.Release()
+			continue
+		}
+		// The job clears its binding when Wait returns, so the binding is
+		// indexed from the caller's batch, in submit order.
+		if err := c.writeEncoded(msgs[i].Binding, buf); err != nil {
+			firstErr = err
+		}
+		buf.Release()
+	}
+	return firstErr
+}
+
 // SendParallel transmits a batch of independent messages sharing one
 // binding.  With WithParallelEncode configured, the messages are marshaled
 // concurrently by the pool's workers — each into its own pooled buffer with
@@ -25,7 +95,8 @@ func WithParallelEncode(workers int) ConnOption {
 //
 // On a connection without an encode pool this is exactly a Send loop.  The
 // first error is returned; messages already written stay written, later
-// messages in the batch are discarded.
+// messages in the batch are discarded.  For batches mixing formats, use
+// SendParallelBatch.
 func (c *Conn) SendParallel(b *pbio.Binding, vs ...any) error {
 	if c.encodeWorkers <= 1 || len(vs) == 1 {
 		for _, v := range vs {

@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// Reading is the second wire format for mixed-binding batches.
+type Reading struct {
+	Seq  int32
+	Temp float64
+}
+
+// readingBinding registers a second, unrelated format in an existing
+// sender context, so one connection can interleave two bindings.
+func readingBinding(t testing.TB, ctx *pbio.Context) *pbio.Binding {
+	t.Helper()
+	f, err := ctx.RegisterFields("Reading", []pbio.IOField{
+		{Name: "seq", Type: "integer"},
+		{Name: "temp", Type: "double"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Bind(f, &Reading{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// mixedMsgs builds an interleaved two-format batch whose first frames of
+// each format land mid-batch, not up front — the shape that catches
+// announce-at-submit-time bookkeeping (a data frame overtaking its
+// metadata frame).
+func mixedMsgs(b1, b2 *pbio.Binding) []Msg {
+	var msgs []Msg
+	for i := 0; i < 12; i++ {
+		if i%3 == 2 {
+			msgs = append(msgs, Msg{Binding: b2, Value: &Reading{Seq: int32(i), Temp: float64(i) / 2}})
+		} else {
+			msgs = append(msgs, Msg{Binding: b1, Value: &SimpleData{Timestep: int32(i), Data: []float32{float32(i)}}})
+		}
+	}
+	return msgs
+}
+
+// TestSendParallelBatchWireIdentical pins the mixed-binding contract: the
+// byte stream is identical to a serial Send loop — each format announced
+// exactly once, immediately before its first data frame, data frames in
+// argument order.
+func TestSendParallelBatchWireIdentical(t *testing.T) {
+	serial := &captureRWC{}
+	sctx, sb1 := senderContext(t, platform.X8664)
+	sb2 := readingBinding(t, sctx)
+	cs := NewConn(serial, sctx)
+	for _, m := range mixedMsgs(sb1, sb2) {
+		if err := cs.Send(m.Binding, m.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	par := &captureRWC{}
+	pctx, pb1 := senderContext(t, platform.X8664)
+	pb2 := readingBinding(t, pctx)
+	cp := NewConn(par, pctx, WithParallelEncode(4))
+	defer cp.Close()
+	if err := cp.SendParallelBatch(mixedMsgs(pb1, pb2)...); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(serial.buf.Bytes(), par.buf.Bytes()) {
+		t.Fatalf("mixed-binding parallel wire output differs from serial: %d vs %d bytes",
+			par.buf.Len(), serial.buf.Len())
+	}
+	if st := cp.Stats(); st.MessagesSent != 12 || st.FormatsAnnounced != 2 {
+		t.Errorf("stats after mixed batch: %+v", st)
+	}
+}
+
+// TestSendParallelBatchRoundTrip decodes a mixed batch on the receiving
+// end: both formats arrive in-band and every message lands intact and in
+// order.
+func TestSendParallelBatchRoundTrip(t *testing.T) {
+	sctx, b1 := senderContext(t, platform.Sparc32)
+	b2 := readingBinding(t, sctx)
+	rctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	cs, cr := Pipe(sctx, rctx, WithParallelEncode(4))
+	defer cr.Close()
+
+	msgs := mixedMsgs(b1, b2)
+	go func() {
+		if err := cs.SendParallelBatch(msgs...); err != nil {
+			t.Errorf("send: %v", err)
+		}
+		cs.Close()
+	}()
+
+	for i, m := range msgs {
+		switch want := m.Value.(type) {
+		case *SimpleData:
+			var out SimpleData
+			if _, err := cr.Recv(&out); err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if out.Timestep != want.Timestep {
+				t.Fatalf("msg %d: timestep %d, want %d", i, out.Timestep, want.Timestep)
+			}
+		case *Reading:
+			var out Reading
+			if _, err := cr.Recv(&out); err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if out.Seq != want.Seq || out.Temp != want.Temp {
+				t.Fatalf("msg %d: got %+v, want %+v", i, out, want)
+			}
+		}
+	}
+}
+
+// TestSendParallelBatchSerialFallback: without an encode pool the call is
+// a plain Send loop and starts no workers.
+func TestSendParallelBatchSerialFallback(t *testing.T) {
+	before, _ := obs.Default().Value("pbio_encode_workers")
+	sink := &captureRWC{}
+	sctx, b1 := senderContext(t, platform.X8664)
+	b2 := readingBinding(t, sctx)
+	c := NewConn(sink, sctx)
+	defer c.Close()
+	if err := c.SendParallelBatch(mixedMsgs(b1, b2)...); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.MessagesSent != 12 || st.FormatsAnnounced != 2 {
+		t.Errorf("stats after fallback batch: %+v", st)
+	}
+	if after, _ := obs.Default().Value("pbio_encode_workers"); after != before {
+		t.Errorf("serial fallback started workers: gauge %v -> %v", before, after)
+	}
+}
+
+// TestSendParallelBatchError: an oversized message mid-batch fails the
+// batch at that point — earlier messages stay written, later ones are
+// discarded, the connection survives.
+func TestSendParallelBatchError(t *testing.T) {
+	sink := &captureRWC{}
+	sctx, b1 := senderContext(t, platform.X8664)
+	b2 := readingBinding(t, sctx)
+	c := NewConn(sink, sctx, WithParallelEncode(2), WithMaxFrame(200))
+	defer c.Close()
+
+	small := Msg{Binding: b2, Value: &Reading{Seq: 1, Temp: 2}}
+	big := Msg{Binding: b1, Value: &SimpleData{Timestep: 2, Data: make([]float32, 64)}}
+	err := c.SendParallelBatch(small, big, small)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if st := c.Stats(); st.MessagesSent != 1 {
+		t.Errorf("messages sent = %d, want 1 (the pre-error message)", st.MessagesSent)
+	}
+	if err := c.SendParallelBatch(small, small); err != nil {
+		t.Fatalf("connection unusable after frame-cap error: %v", err)
+	}
+}
+
+// TestSendParallelBatchSteadyStateAllocs gates the mixed-binding path at
+// zero allocations per batch in steady state.
+func TestSendParallelBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector; the gate would measure that")
+	}
+	sink := &captureRWC{}
+	sctx, b1 := senderContext(t, platform.X8664)
+	b2 := readingBinding(t, sctx)
+	c := NewConn(sink, sctx, WithParallelEncode(2))
+	defer c.Close()
+
+	msgs := mixedMsgs(b1, b2)
+	for i := 0; i < 50; i++ {
+		if err := c.SendParallelBatch(msgs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := c.SendParallelBatch(msgs...); err != nil {
+			t.Error(err)
+		}
+	}); n != 0 {
+		t.Errorf("SendParallelBatch steady state: %v allocs/op, want 0", n)
+	}
+}

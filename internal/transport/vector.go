@@ -1,0 +1,71 @@
+// Vectored writes: the delivery-side dual of encode-once fan-out.  A
+// subscriber with N events queued should pay one writev, not N write
+// syscalls — once receivers hold the metadata, moving bytes is the whole
+// per-event cost, so the syscall count is what is left to engineer away.
+//
+// The subtlety is partial writes.  A writev can return short (socket
+// buffer full, signal, chaos fault), and the resume point is mid-iovec:
+// somewhere inside buffer k of the batch.  Resuming anywhere else tears a
+// frame — the receiver sees a length header followed by another frame's
+// bytes — so WriteBuffers owns the resume arithmetic in one place instead
+// of trusting every io.Writer to honour the full-write contract.
+
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+)
+
+// ErrShortWriteCount reports a writer that returned an out-of-range byte
+// count (negative, or beyond the data given) — resuming from such a count
+// would tear or duplicate frame bytes, so the batch is abandoned instead.
+var ErrShortWriteCount = errors.New("transport: writer returned invalid byte count")
+
+// WriteBuffers writes every buffer in *bufs to w, in order, resuming
+// mid-buffer after short writes so the byte stream is never torn.  The
+// batch is consumed as it is written: on return, *bufs holds exactly the
+// unwritten tail (empty on success), and the underlying byte slices are
+// never modified — callers sharing refcounted buffers across subscribers
+// can hand the same bytes to many batches.
+//
+// Real sockets (*net.TCPConn, *net.UnixConn) take the whole batch as one
+// writev, with the kernel-level resume the runtime's poller provides.
+// Other writers get an explicit loop that tolerates even writers returning
+// short counts with a nil error (raw write(2) semantics, outside the
+// io.Writer contract) and reports io.ErrNoProgress rather than spinning on
+// a writer that accepts nothing.
+func WriteBuffers(w io.Writer, bufs *net.Buffers) error {
+	switch w.(type) {
+	case *net.TCPConn, *net.UnixConn:
+		// net.Buffers.WriteTo on a socket is writev: the poller retries
+		// EAGAIN internally and consumes *bufs as bytes land, so one call
+		// normally drains the batch and a loop costs nothing.
+		for len(*bufs) > 0 {
+			if _, err := bufs.WriteTo(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for len(*bufs) > 0 {
+		b := (*bufs)[0]
+		if len(b) == 0 {
+			*bufs = (*bufs)[1:]
+			continue
+		}
+		n, err := w.Write(b)
+		if n < 0 || n > len(b) {
+			return ErrShortWriteCount
+		}
+		(*bufs)[0] = b[n:]
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return io.ErrNoProgress
+		}
+	}
+	return nil
+}

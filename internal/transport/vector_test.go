@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// flatten concatenates a batch the way a correct WriteBuffers must emit it.
+func flatten(bufs [][]byte) []byte {
+	var out []byte
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func testBatch() [][]byte {
+	return [][]byte{
+		[]byte("alpha-frame"),
+		{}, // empty buffers are legal and must be skipped, not written
+		[]byte("b"),
+		bytes.Repeat([]byte{0xAB}, 300),
+		[]byte("tail"),
+	}
+}
+
+// shortCountWriter accepts at most max bytes per call and returns a nil
+// error with the short count — raw write(2) semantics, outside the
+// io.Writer contract, which WriteBuffers must tolerate without tearing.
+type shortCountWriter struct {
+	buf bytes.Buffer
+	max int
+}
+
+func (w *shortCountWriter) Write(p []byte) (int, error) {
+	if len(p) > w.max {
+		p = p[:w.max]
+	}
+	return w.buf.Write(p)
+}
+
+// TestWriteBuffersShortCountResume: a writer that keeps returning short
+// counts with nil errors still yields an untorn, byte-exact stream, with
+// the resume landing mid-iovec.
+func TestWriteBuffersShortCountResume(t *testing.T) {
+	for _, max := range []int{1, 3, 7, 64} {
+		batch := testBatch()
+		want := flatten(batch)
+		w := &shortCountWriter{max: max}
+		bufs := net.Buffers(batch)
+		if err := WriteBuffers(w, &bufs); err != nil {
+			t.Fatalf("max=%d: %v", max, err)
+		}
+		if len(bufs) != 0 {
+			t.Fatalf("max=%d: %d buffers left unconsumed", max, len(bufs))
+		}
+		if !bytes.Equal(w.buf.Bytes(), want) {
+			t.Fatalf("max=%d: stream torn: got %d bytes, want %d", max, w.buf.Len(), len(want))
+		}
+	}
+}
+
+// failAfterWriter delivers budget bytes (short-counting the crossing
+// write), then fails every call.
+type failAfterWriter struct {
+	buf    bytes.Buffer
+	budget int
+	err    error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, w.err
+	}
+	n := len(p)
+	if n > w.budget {
+		n = w.budget
+	}
+	w.budget -= n
+	w.buf.Write(p[:n])
+	if w.budget == 0 {
+		return n, w.err
+	}
+	return n, nil
+}
+
+// TestWriteBuffersErrorMidBatch: on a write error the batch holds exactly
+// the unwritten tail — retrying with a fresh writer completes the stream
+// with no torn or duplicated bytes.
+func TestWriteBuffersErrorMidBatch(t *testing.T) {
+	boom := errors.New("socket buffer gone")
+	for _, budget := range []int{0, 5, 11, 12, 200, 315} {
+		batch := testBatch()
+		want := flatten(batch)
+		w := &failAfterWriter{budget: budget, err: boom}
+		bufs := net.Buffers(batch)
+		err := WriteBuffers(w, &bufs)
+		if budget >= len(want) {
+			if err != nil {
+				t.Fatalf("budget=%d: unexpected error %v", budget, err)
+			}
+			continue
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("budget=%d: err = %v, want injected error", budget, err)
+		}
+		if w.buf.Len() != budget {
+			t.Fatalf("budget=%d: writer holds %d bytes", budget, w.buf.Len())
+		}
+		resumed := w.buf.Bytes()
+		resumed = append(resumed[:len(resumed):len(resumed)], flatten(bufs)...)
+		if !bytes.Equal(resumed, want) {
+			t.Fatalf("budget=%d: written prefix + remaining tail != original stream", budget)
+		}
+	}
+}
+
+type stuckWriter struct{}
+
+func (stuckWriter) Write(p []byte) (int, error) { return 0, nil }
+
+type overCountWriter struct{}
+
+func (overCountWriter) Write(p []byte) (int, error) { return len(p) + 1, nil }
+
+type negativeCountWriter struct{}
+
+func (negativeCountWriter) Write(p []byte) (int, error) { return -1, nil }
+
+// TestWriteBuffersDegenerateWriters: a writer accepting nothing surfaces
+// io.ErrNoProgress instead of spinning; out-of-range counts (which would
+// tear or duplicate frames on resume) surface ErrShortWriteCount.
+func TestWriteBuffersDegenerateWriters(t *testing.T) {
+	bufs := net.Buffers{[]byte("x")}
+	if err := WriteBuffers(stuckWriter{}, &bufs); !errors.Is(err, io.ErrNoProgress) {
+		t.Errorf("stuck writer: err = %v, want io.ErrNoProgress", err)
+	}
+	bufs = net.Buffers{[]byte("x")}
+	if err := WriteBuffers(overCountWriter{}, &bufs); !errors.Is(err, ErrShortWriteCount) {
+		t.Errorf("over-count writer: err = %v, want ErrShortWriteCount", err)
+	}
+	bufs = net.Buffers{[]byte("x")}
+	if err := WriteBuffers(negativeCountWriter{}, &bufs); !errors.Is(err, ErrShortWriteCount) {
+		t.Errorf("negative-count writer: err = %v, want ErrShortWriteCount", err)
+	}
+}
+
+// TestWriteBuffersUnixSocket drives the real writev path: a batch well
+// past any socket buffer, through a *net.UnixConn, read back byte-exact.
+// This is the lane the broker's vectored fan-out uses in production.
+func TestWriteBuffersUnixSocket(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("unix", dir+"/w.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err := net.Dial("unix", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	// 2048 buffers x 1 KiB: forces multiple kernel-level partial writevs
+	// and (on Linux) more iovecs than a single writev accepts.
+	batch := make([][]byte, 2048)
+	for i := range batch {
+		b := bytes.Repeat([]byte{byte(i)}, 1024)
+		batch[i] = b
+	}
+	want := flatten(batch)
+
+	var got bytes.Buffer
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(&got, server)
+		readDone <- err
+	}()
+
+	bufs := net.Buffers(batch)
+	if err := WriteBuffers(client, &bufs); err != nil {
+		t.Fatalf("WriteBuffers over unix socket: %v", err)
+	}
+	if len(bufs) != 0 {
+		t.Fatalf("%d buffers left unconsumed", len(bufs))
+	}
+	client.Close()
+	if err := <-readDone; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("unix stream differs: got %d bytes, want %d", got.Len(), len(want))
+	}
+}
