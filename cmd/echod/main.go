@@ -21,10 +21,19 @@
 // the broker's vectored writes without the TCP stack in between.  Clients
 // select the lane by address form alone (a path instead of host:port).
 //
+// With -policy, the broker attaches a schema registry: formats announced
+// on a channel form a versioned lineage, evolutions are checked against
+// the named default compatibility policy (none, backward, forward, full,
+// or a *_transitive variant) at publish time, and subscribers may pin a
+// lineage version at SUB time ("SUB ch version=N") to keep decoding that
+// view while publishers evolve the format.  The LINEAGE and POLICY control
+// verbs inspect and adjust lineages; with -metrics the lineage catalogue
+// is also served at /.well-known/xmit-lineages for discovery.
+//
 // Usage:
 //
 //	echod -addr 127.0.0.1:8801 -metrics 127.0.0.1:8802 [-fmtserver 127.0.0.1:8701] [-queue 64] [-shards N]
-//	      [-unix /run/echod.sock]
+//	      [-unix /run/echod.sock] [-policy backward]
 //	      [-peer host2:8801,http://host3:8803] [-mesh-listen 127.0.0.1:8803] [-advertise host1:8801] [-retain N]
 package main
 
@@ -43,6 +52,7 @@ import (
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/obs"
 	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/registry"
 )
 
 func main() {
@@ -56,6 +66,7 @@ func main() {
 	meshListen := flag.String("mesh-listen", "", "serve this broker's mesh document on this HTTP address (enables federation)")
 	advertise := flag.String("advertise", "", "mesh address peers dial this broker on (default: the bound -addr)")
 	retain := flag.Int("retain", -1, "events retained per channel for link resume (-1: 1024 when federated, else 0)")
+	policy := flag.String("policy", "", "attach a schema registry with this default compatibility policy (none, backward, forward, full, *_transitive; empty: no registry)")
 	flag.Parse()
 
 	federated := *peers != "" || *meshListen != "" || *advertise != ""
@@ -91,6 +102,15 @@ func main() {
 			}),
 		)
 	}
+	var schemaReg *registry.Registry
+	if *policy != "" {
+		p, err := registry.ParsePolicy(*policy)
+		if err != nil {
+			log.Fatalf("echod: %v", err)
+		}
+		schemaReg = registry.New(registry.WithDefaultPolicy(p))
+		opts = append(opts, echan.WithSchemaRegistry(schemaReg))
+	}
 	broker := echan.NewBroker(opts...)
 
 	srv := echan.NewServer(broker)
@@ -107,6 +127,9 @@ func main() {
 	}
 	if *fmtsrvAddr != "" {
 		fmt.Printf("echod: registering formats with %s\n", *fmtsrvAddr)
+	}
+	if schemaReg != nil {
+		fmt.Printf("echod: schema registry attached (default policy %s)\n", *policy)
 	}
 
 	var mesh *echan.Mesh
@@ -152,6 +175,12 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
+		if schemaReg != nil {
+			mux.Handle(discovery.WellKnownLineagePath, discovery.LineageHandler(func() []discovery.LineageDoc {
+				return discovery.SnapshotLineages(schemaReg)
+			}))
+			fmt.Printf("echod: lineages on http://%s%s\n", *metricsAddr, discovery.WellKnownLineagePath)
+		}
 		go func() {
 			fmt.Printf("echod: metrics on http://%s/metrics\n", *metricsAddr)
 			log.Fatal(http.ListenAndServe(*metricsAddr, mux))

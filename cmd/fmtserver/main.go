@@ -5,9 +5,14 @@
 // With -metrics, an HTTP endpoint serves the registry's registration and
 // resolution counters at /metrics (plain text, or JSON with ?format=json).
 //
+// With -policy, the server tracks format lineages: registrations of the
+// same format name form a versioned history checked against the named
+// default compatibility policy, queryable over the lineage wire ops, and
+// (with -metrics) served at /.well-known/xmit-lineages for discovery.
+//
 // Usage:
 //
-//	fmtserver -addr 127.0.0.1:8701 -metrics 127.0.0.1:8702
+//	fmtserver -addr 127.0.0.1:8701 -metrics 127.0.0.1:8702 [-policy backward]
 package main
 
 import (
@@ -18,19 +23,33 @@ import (
 	"os"
 	"os/signal"
 
+	"github.com/open-metadata/xmit/internal/discovery"
 	"github.com/open-metadata/xmit/internal/fmtserver"
 	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/registry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
 	metricsAddr := flag.String("metrics", "", "serve /metrics on this HTTP address (empty: disabled)")
+	policy := flag.String("policy", "", "track format lineages with this default compatibility policy (none, backward, forward, full, *_transitive; empty: no lineages)")
 	flag.Parse()
 
 	reg := fmtserver.NewRegistry()
 	metrics := obs.Default()
 	reg.PublishMetrics(metrics, "fmtserver")
 	obs.PublishExpvar("fmtserver", metrics)
+
+	var schemaReg *registry.Registry
+	if *policy != "" {
+		p, err := registry.ParsePolicy(*policy)
+		if err != nil {
+			log.Fatalf("fmtserver: %v", err)
+		}
+		schemaReg = registry.New(registry.WithDefaultPolicy(p))
+		reg.AttachLineages(schemaReg)
+		fmt.Printf("fmtserver: tracking lineages (default policy %s)\n", *policy)
+	}
 
 	srv := fmtserver.NewServer(reg)
 	bound, err := srv.Listen(*addr)
@@ -42,6 +61,12 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
+		if schemaReg != nil {
+			mux.Handle(discovery.WellKnownLineagePath, discovery.LineageHandler(func() []discovery.LineageDoc {
+				return discovery.SnapshotLineages(schemaReg)
+			}))
+			fmt.Printf("fmtserver: lineages on http://%s%s\n", *metricsAddr, discovery.WellKnownLineagePath)
+		}
 		go func() {
 			fmt.Printf("fmtserver: metrics on http://%s/metrics\n", *metricsAddr)
 			log.Fatal(http.ListenAndServe(*metricsAddr, mux))

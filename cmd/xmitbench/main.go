@@ -10,11 +10,13 @@
 //	xmitbench -json out.json       # also write machine-readable records
 //	xmitbench -baseline BENCH.json # fail on >tolerance throughput regression
 //	xmitbench -require-figs        # fail if a requested figure yields no records
+//	xmitbench -count 5             # repeat each figure; records carry mean and min/max
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -24,8 +26,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", "writev", or "all"`)
+	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", "writev", "evolve", or "all"`)
 	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
+	count := flag.Int("count", 1, "repetitions per figure; JSON records carry the mean plus min/max spread")
 	metricsAddr := flag.String("metrics", "", "serve the process obs registry at /metrics on this HTTP address while running (empty: disabled)")
 	stats := flag.Bool("stats", false, "dump the process obs registry as JSON to stderr after the run")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark records to this file (figures 8, fanout, send, and scale)")
@@ -48,7 +51,27 @@ func main() {
 	if *quick {
 		opts = bench.QuickOptions()
 	}
-	records, err := run(*fig, opts)
+	if *count < 1 {
+		*count = 1
+	}
+	var runs [][]bench.JSONRecord
+	var err error
+	for rep := 0; rep < *count; rep++ {
+		out := io.Writer(os.Stdout)
+		if rep > 0 {
+			out = io.Discard // tables print once; later reps only feed the records
+		}
+		var recs []bench.JSONRecord
+		recs, err = run(*fig, opts, out)
+		if err != nil {
+			break
+		}
+		runs = append(runs, recs)
+	}
+	var records []bench.JSONRecord
+	if len(runs) > 0 {
+		records = bench.MergeRecords(runs)
+	}
 	if *stats {
 		obs.Default().WriteJSON(os.Stderr)
 	}
@@ -93,8 +116,7 @@ func main() {
 	}
 }
 
-func run(figs string, opts bench.Options) ([]bench.JSONRecord, error) {
-	out := os.Stdout
+func run(figs string, opts bench.Options, out io.Writer) ([]bench.JSONRecord, error) {
 	wanted := make(map[string]bool)
 	for _, f := range strings.Split(figs, ",") {
 		if f = strings.TrimSpace(f); f != "" {
@@ -244,6 +266,16 @@ func run(figs string, opts bench.Options) ([]bench.JSONRecord, error) {
 		bench.PrintWritev(out, rows)
 		fmt.Fprintln(out)
 		records = append(records, bench.WritevRecords(rows)...)
+	}
+	if want("evolve") {
+		ran = true
+		rows, err := bench.Evolve(opts)
+		if err != nil {
+			return nil, err
+		}
+		bench.PrintEvolve(out, rows)
+		fmt.Fprintln(out)
+		records = append(records, bench.EvolveRecords(rows)...)
 	}
 	if !ran {
 		return nil, fmt.Errorf("unknown figure %q", figs)

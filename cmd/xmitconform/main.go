@@ -4,6 +4,10 @@
 //
 //	xmitconform                  run the differential suite (500 cases)
 //	xmitconform -seed 8 -n 1     replay one failing case deterministically
+//	xmitconform -evolve          run the format-evolution axis: policy-admitted
+//	                             lineage chains, registry acceptance, and
+//	                             version-projection round-trips vs the tree
+//	                             reference
 //	xmitconform -check           verify the golden corpus (CI drift gate)
 //	xmitconform -update          regenerate the golden corpus after a
 //	                             deliberate wire-format change
@@ -33,6 +37,8 @@ func main() {
 			"golden corpus directory")
 		seedFuzz = flag.String("seedfuzz", "",
 			"write generator-derived fuzz seed corpora under this repository root and exit")
+		evolve  = flag.Bool("evolve", false, "run the format-evolution axis instead of the single-format suite")
+		steps   = flag.Int("steps", conform.EvolveSteps, "evolution steps per lineage chain (with -evolve)")
 		verbose = flag.Bool("v", false, "print per-codec eligibility counts")
 	)
 	flag.Parse()
@@ -64,6 +70,17 @@ func main() {
 		}
 		fmt.Printf("golden corpus verified: %d cases x %d codec/platform files, no drift\n",
 			conform.GoldenCount, len(conform.Platforms())*6)
+	case *evolve:
+		count := *n
+		if *short {
+			count = 64
+		}
+		st, err := h.RunEvolve(*seed, count, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("conform: evolve axis: %d chains x %d steps, %d projection legs, %d wire ops, 0 disagreements\n",
+			st.Chains, st.Steps, st.Pairs, st.Checks)
 	default:
 		count := *n
 		if *short {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -21,6 +22,14 @@ type JSONRecord struct {
 	Unit       string  `json:"unit"`
 	GoVersion  string  `json:"go_version"`
 	GoMaxProcs int     `json:"gomaxprocs"`
+	// Reps, Min, and Max are stamped by MergeRecords when a run repeats
+	// each figure (xmitbench -count): Value becomes the mean over the
+	// repetitions and Min/Max bound the observed spread, so a baseline
+	// carries its own variance and a gate reading it can tell a real
+	// regression from run-to-run noise.  Absent (zero) for single runs.
+	Reps int     `json:"reps,omitempty"`
+	Min  float64 `json:"min,omitempty"`
+	Max  float64 `json:"max,omitempty"`
 }
 
 // key is the identity a record keeps across runs.
@@ -152,9 +161,45 @@ func ReadJSONFile(path string) ([]JSONRecord, error) {
 	return recs, nil
 }
 
+// MergeRecords folds the record sets of repeated runs into one: records
+// are matched by Figure/Config/Metric identity, Value becomes the mean,
+// and Reps/Min/Max record the spread.  Records missing from some runs are
+// merged over the runs that produced them.
+func MergeRecords(runs [][]JSONRecord) []JSONRecord {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	var order []string
+	acc := make(map[string]*JSONRecord)
+	for _, recs := range runs {
+		for _, r := range recs {
+			k := r.key()
+			m, ok := acc[k]
+			if !ok {
+				c := r
+				c.Reps, c.Min, c.Max = 1, r.Value, r.Value
+				acc[k] = &c
+				order = append(order, k)
+				continue
+			}
+			m.Value += r.Value
+			m.Reps++
+			m.Min = math.Min(m.Min, r.Value)
+			m.Max = math.Max(m.Max, r.Value)
+		}
+	}
+	out := make([]JSONRecord, 0, len(order))
+	for _, k := range order {
+		m := acc[k]
+		m.Value /= float64(m.Reps)
+		out = append(out, *m)
+	}
+	return out
+}
+
 // RecordFigures names every figure that contributes JSON records — the
 // expansion of "all" for RequireFigures.
-var RecordFigures = []string{"8", "fanout", "send", "scale", "mesh", "writev"}
+var RecordFigures = []string{"8", "fanout", "send", "scale", "mesh", "writev", "evolve"}
 
 // RequireFigures closes the vacuous-pass hole in the regression gate:
 // CompareJSON deliberately ignores baseline entries the fresh run didn't

@@ -1,0 +1,81 @@
+package conform
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/registry"
+)
+
+// TestEvolveAxis runs the evolution axis proper: generated policy-admitted
+// lineages, registry acceptance, differential projection against the tree
+// reference, and the per-chain negative control.
+func TestEvolveAxis(t *testing.T) {
+	chains := 48
+	if testing.Short() {
+		chains = 12
+	}
+	h := NewHarness()
+	st, err := h.RunEvolve(1, chains, EvolveSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chains != chains || st.Pairs == 0 || st.Checks == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRandomEvolveChainShape pins structural invariants of generated chains:
+// version count, stable name, and that every adjacent step is admitted by
+// the chain's policy (checked via a fresh registry per chain).
+func TestRandomEvolveChainShape(t *testing.T) {
+	h := NewHarness()
+	for seed := int64(100); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		policy := evolvePolicies[int(seed)%len(evolvePolicies)]
+		chain := RandomEvolveChain(r, "m", DefaultGen, 4, policy)
+		if len(chain.Specs) != 5 {
+			t.Fatalf("seed %d: %d versions, want 5", seed, len(chain.Specs))
+		}
+		reg := registry.New(registry.WithDefaultPolicy(policy))
+		for v, s := range chain.Specs {
+			if s.Name != "m" {
+				t.Fatalf("seed %d v%d: name %q", seed, v+1, s.Name)
+			}
+			cs, err := s.Compile(h.Plats[:1])
+			if err != nil {
+				t.Fatalf("seed %d v%d: %v", seed, v+1, err)
+			}
+			if _, err := reg.Register("m", cs.Format(h.Plats[0].Name), "test"); err != nil {
+				t.Fatalf("seed %d v%d rejected under %s: %v", seed, v+1, policy, err)
+			}
+		}
+	}
+}
+
+// TestProjectTreeZeroFill: a projection onto a version with added fields
+// reports exactly the zero tree for them.
+func TestProjectTreeZeroFill(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	src := RandomSpec(r, "z", DefaultGen)
+	dst := src.clone()
+	seq := 0
+	for i := 0; i < 4; i++ {
+		addField(r, dst, DefaultGen, &seq)
+	}
+	tree := RandomValue(r, src)
+	got, err := ProjectTree(src, dst, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := dst.ZeroTree()
+	n := len(src.nonLengthFields())
+	if len(got) != len(zero) {
+		t.Fatalf("projected %d entries, dst has %d", len(got), len(zero))
+	}
+	for k := n; k < len(got); k++ {
+		if !EqualTrees([]any{got[k]}, []any{zero[k]}) {
+			t.Errorf("added field slot %d = %v, want zero %v", k, got[k], zero[k])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package discovery
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/dom"
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/registry"
+)
+
+// Lineage discovery: a daemon with a schema registry serves a small XML
+// document at a well-known HTTP path describing every format lineage it
+// tracks — name, compatibility policy, and the content-derived ID of each
+// version, oldest first.  Consumers fetch it through Repository, so the
+// ETag/TTL/stale-if-error cache stack and singleflight coalescing apply to
+// lineage resolution exactly as they do to wire formats: metadata about
+// format evolution travels the same open channel as the formats themselves.
+//
+// The document is ordinary XMIT metadata:
+//
+//	<lineages>
+//	  <lineage name="sensor" policy="backward">
+//	    <version n="1" id="0x0123456789abcdef"/>
+//	    <version n="2" id="0xfedcba9876543210"/>
+//	  </lineage>
+//	</lineages>
+
+// WellKnownLineagePath is the HTTP path a registry-bearing daemon serves
+// its lineage document on.
+const WellKnownLineagePath = "/.well-known/xmit-lineages"
+
+// LineageDoc describes one lineage in a lineage discovery document.
+type LineageDoc struct {
+	Name       string
+	Policy     registry.Policy
+	VersionIDs []meta.FormatID // oldest first; the last entry is the head
+}
+
+// MarshalLineages renders a lineage discovery document, lineages sorted by
+// name.
+func MarshalLineages(docs []LineageDoc) []byte {
+	sorted := append([]LineageDoc(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	root := &dom.Element{Local: "lineages"}
+	for _, d := range sorted {
+		el := &dom.Element{
+			Local: "lineage",
+			Attrs: []dom.Attr{
+				{Local: "name", Value: d.Name},
+				{Local: "policy", Value: d.Policy.String()},
+			},
+			Parent: root,
+		}
+		for i, id := range d.VersionIDs {
+			el.Children = append(el.Children, &dom.Element{
+				Local: "version",
+				Attrs: []dom.Attr{
+					{Local: "n", Value: strconv.Itoa(i + 1)},
+					{Local: "id", Value: fmt.Sprintf("0x%016x", uint64(id))},
+				},
+				Parent: el,
+			})
+		}
+		root.Children = append(root.Children, el)
+	}
+	var buf bytes.Buffer
+	(&dom.Document{Root: root}).WriteXML(&buf)
+	return buf.Bytes()
+}
+
+// ParseLineages parses a lineage discovery document.
+func ParseLineages(data []byte) ([]LineageDoc, error) {
+	doc, err := dom.ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: lineage document: %w", err)
+	}
+	if doc.Root.Local != "lineages" {
+		return nil, fmt.Errorf("discovery: lineage document: root element is <%s>, want <lineages>", doc.Root.Local)
+	}
+	var out []LineageDoc
+	for _, el := range doc.Root.ChildrenByName("lineage") {
+		name, ok := el.Attr("name")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("discovery: lineage document: <lineage> missing name")
+		}
+		d := LineageDoc{Name: name}
+		if pol, ok := el.Attr("policy"); ok {
+			if d.Policy, err = registry.ParsePolicy(pol); err != nil {
+				return nil, fmt.Errorf("discovery: lineage %q: %w", name, err)
+			}
+		}
+		for _, v := range el.ChildrenByName("version") {
+			ns, _ := v.Attr("n")
+			n, err := strconv.Atoi(ns)
+			if err != nil || n != len(d.VersionIDs)+1 {
+				return nil, fmt.Errorf("discovery: lineage %q: version %q out of order", name, ns)
+			}
+			ids, _ := v.Attr("id")
+			id, err := strconv.ParseUint(strings.TrimPrefix(ids, "0x"), 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("discovery: lineage %q v%d: bad id %q", name, n, ids)
+			}
+			d.VersionIDs = append(d.VersionIDs, meta.FormatID(id))
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// SnapshotLineages captures a schema registry's lineages as discovery
+// documents — the view LineageHandler serves.
+func SnapshotLineages(lr *registry.Registry) []LineageDoc {
+	var out []LineageDoc
+	for _, name := range lr.Lineages() {
+		l, err := lr.Lineage(name)
+		if err != nil {
+			continue
+		}
+		d := LineageDoc{Name: l.Name(), Policy: l.Policy()}
+		for _, v := range l.Versions() {
+			d.VersionIDs = append(d.VersionIDs, v.ID)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// LineageHandler serves a lineage discovery document at
+// WellKnownLineagePath.  view is called per request so the document tracks
+// live registrations.
+func LineageHandler(view func() []LineageDoc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if r.URL.Path != WellKnownLineagePath && r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		w.Write(MarshalLineages(view()))
+	})
+}
+
+// FetchLineages retrieves and parses a lineage discovery document through
+// the repository's cache stack (ETag revalidation, TTL, stale-if-error,
+// singleflight).  url may be the well-known URL itself or a bare http(s)
+// origin, in which case the well-known path is appended.
+func (r *Repository) FetchLineages(url string) ([]LineageDoc, error) {
+	data, err := r.Fetch(lineageURL(url))
+	if err != nil {
+		return nil, err
+	}
+	return ParseLineages(data)
+}
+
+// lineageURL normalises a lineage discovery URL the way MeshURL does for
+// mesh documents.
+func lineageURL(url string) string {
+	origin, rest := url, ""
+	if i := strings.Index(url, "://"); i >= 0 {
+		if j := strings.IndexByte(url[i+3:], '/'); j >= 0 {
+			origin, rest = url[:i+3+j], url[i+3+j:]
+		}
+	}
+	if rest == "" || rest == "/" {
+		return origin + WellKnownLineagePath
+	}
+	return url
+}

@@ -1,0 +1,123 @@
+package discovery
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+	"github.com/open-metadata/xmit/internal/registry"
+)
+
+func TestLineageDocRoundTrip(t *testing.T) {
+	in := []LineageDoc{
+		{Name: "sensor", Policy: registry.PolicyBackward,
+			VersionIDs: []meta.FormatID{0x0123456789abcdef, 0xfedcba9876543210}},
+		{Name: "audit", Policy: registry.PolicyFullTransitive,
+			VersionIDs: []meta.FormatID{42}},
+	}
+	out, err := ParseLineages(MarshalLineages(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marshalling sorts by name.
+	want := []LineageDoc{in[1], in[0]}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("round trip = %+v, want %+v", out, want)
+	}
+}
+
+func TestParseLineagesRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"<lineage name='x'/>",
+		"<lineages><lineage/></lineages>", // no name
+		"<lineages><lineage name='x' policy='sideways'/></lineages>",                         // bad policy
+		"<lineages><lineage name='x'><version n='2' id='0x1'/></lineage></lineages>",         // gap
+		"<lineages><lineage name='x'><version n='1' id='zebra'/></lineage></lineages>",       // bad id
+		"<lineages><lineage name='x' policy='none'><version id='0x1'/></lineage></lineages>", // no n
+	} {
+		if _, err := ParseLineages([]byte(bad)); err == nil {
+			t.Errorf("ParseLineages(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestLineageHandlerFetch serves a live registry snapshot over HTTP and
+// fetches it back through the Repository cache stack — the path a consumer
+// uses to resolve lineage state out of band.
+func TestLineageHandlerFetch(t *testing.T) {
+	lr := registry.New(registry.WithDefaultPolicy(registry.PolicyBackward))
+	v1, err := meta.Build("sensor", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := meta.Build("sensor", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "unit", Kind: meta.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.Register("sensor", v1, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.Register("sensor", v2, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(LineageHandler(func() []LineageDoc { return SnapshotLineages(lr) }))
+	defer srv.Close()
+
+	repo := NewRepository()
+	docs, err := repo.FetchLineages(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("docs = %+v", docs)
+	}
+	d := docs[0]
+	if d.Name != "sensor" || d.Policy != registry.PolicyBackward ||
+		len(d.VersionIDs) != 2 || d.VersionIDs[0] != v1.ID() || d.VersionIDs[1] != v2.ID() {
+		t.Errorf("fetched %+v", d)
+	}
+	// The fetch went through the cache stack: a second fetch is served from
+	// cache without a revalidation miss.
+	if !repo.Cached(lineageURL(srv.URL)) {
+		t.Error("lineage document not cached after fetch")
+	}
+	if _, err := repo.FetchLineages(srv.URL + WellKnownLineagePath); err != nil {
+		t.Errorf("explicit well-known URL: %v", err)
+	}
+}
+
+// FuzzParseLineages: the lineage document parser faces fetched bytes from
+// arbitrary origins; it must reject, never panic on, malformed input, and
+// anything it accepts must survive a marshal/parse round trip.
+func FuzzParseLineages(f *testing.F) {
+	f.Add([]byte(`<lineages/>`))
+	f.Add([]byte(`<lineages><lineage name="s" policy="backward"><version n="1" id="0x0123456789abcdef"/></lineage></lineages>`))
+	f.Add([]byte(`<lineages><lineage name="s"><version n="2" id="0x1"/></lineage></lineages>`))
+	f.Add([]byte(`<lineages><lineage policy="bogus"/></lineages>`))
+	f.Add([]byte(`<formats/>`))
+	f.Add(MarshalLineages([]LineageDoc{
+		{Name: "a", Policy: registry.PolicyFullTransitive, VersionIDs: []meta.FormatID{1, 2, 3}},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		docs, err := ParseLineages(data)
+		if err != nil {
+			return
+		}
+		back, err := ParseLineages(MarshalLineages(docs))
+		if err != nil {
+			t.Fatalf("accepted document failed re-parse: %v", err)
+		}
+		if len(back) != len(docs) {
+			t.Fatalf("round trip changed lineage count: %d -> %d", len(docs), len(back))
+		}
+	})
+}

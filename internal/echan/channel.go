@@ -96,6 +96,7 @@ type channelMetrics struct {
 	shards        *obs.Gauge
 	shardDepth    *obs.Gauge
 	sinkWrites    *obs.Counter
+	viewProjected *obs.Counter
 	fanout        *obs.Histogram
 }
 
@@ -114,6 +115,10 @@ func (m *channelMetrics) init(reg *obs.Registry, name string) {
 	// delivered_total this is the syscalls-per-event figure the vectored
 	// drain exists to shrink: 1.0 write/event unbatched, under it batched.
 	m.sinkWrites = reg.Counter(p + "sink_writes_total")
+	// Events re-encoded for version-pinned subscribers; against
+	// delivered_total this is the view-negotiation cost (pass-through
+	// frames — pin == event version — don't count).
+	m.viewProjected = reg.Counter(p + "view_projected_total")
 	m.fanout = reg.Histogram(p + "fanout_latency_ns")
 }
 
@@ -290,6 +295,16 @@ func (ch *Channel) OutOfBand() bool { return ch.oob }
 // Derived reports whether the channel is derived from a parent.
 func (ch *Channel) Derived() bool { return ch.parent != nil }
 
+// lineageName is the schema-registry lineage the channel's formats belong
+// to.  A derived channel shares its parent's stream (and format table), so
+// it shares the parent's lineage too.
+func (ch *Channel) lineageName() string {
+	if ch.parent != nil {
+		return ch.parent.name
+	}
+	return ch.name
+}
+
 func (ch *Channel) addChild(c *Channel) {
 	// Callers hold b.mu; children mutate under ch.mu.
 	ch.mu.Lock()
@@ -314,6 +329,15 @@ func (ch *Channel) ensureAnnounced(f *meta.Format) (int, error) {
 	defer ch.mu.Unlock()
 	if idx, ok := (*ch.announced.Load())[f]; ok {
 		return idx, nil
+	}
+	// Schema-registry enforcement comes first: a format that violates the
+	// channel lineage's compatibility policy never reaches the registrar,
+	// the announcement table, or a subscriber.  The publish fails with the
+	// registry's typed CompatError.
+	if sr := ch.broker.schemaReg; sr != nil {
+		if _, err := sr.Register(ch.lineageName(), f, "publish"); err != nil {
+			return 0, err
+		}
 	}
 	if reg := ch.broker.registrar; reg != nil {
 		if err := reg(f); err != nil {

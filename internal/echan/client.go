@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/registry"
 	"github.com/open-metadata/xmit/internal/transport"
 )
 
@@ -192,6 +193,63 @@ func (c *Client) MeshLine() (string, error) {
 	return c.Do("MESH")
 }
 
+// LineageInfo is the parsed answer to a LINEAGE query: the lineage's
+// compatibility policy and the format ID of every version, oldest first
+// (VersionIDs[0] is v1, the last element is the head).
+type LineageInfo struct {
+	Name       string
+	Policy     registry.Policy
+	VersionIDs []uint64
+}
+
+// Lineage fetches a channel's format lineage: its policy and versions.  It
+// fails for a broker without a schema registry or a channel that has never
+// announced a format.
+func (c *Client) Lineage(name string) (LineageInfo, error) {
+	resp, err := c.Do("LINEAGE " + name)
+	if err != nil {
+		return LineageInfo{}, err
+	}
+	var info LineageInfo
+	head := -1
+	for _, kv := range strings.Fields(resp) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return info, fmt.Errorf("echan: malformed lineage field %q", kv)
+		}
+		switch {
+		case k == "name":
+			info.Name = v
+		case k == "policy":
+			if info.Policy, err = registry.ParsePolicy(v); err != nil {
+				return info, err
+			}
+		case k == "head":
+			if head, err = strconv.Atoi(v); err != nil {
+				return info, fmt.Errorf("echan: malformed lineage head %q", kv)
+			}
+		case len(k) > 1 && k[0] == 'v':
+			id, err := strconv.ParseUint(strings.TrimPrefix(v, "0x"), 16, 64)
+			if err != nil {
+				return info, fmt.Errorf("echan: malformed lineage version %q", kv)
+			}
+			info.VersionIDs = append(info.VersionIDs, id)
+		}
+	}
+	if head != len(info.VersionIDs) {
+		return info, fmt.Errorf("echan: lineage head=%d but %d versions listed", head, len(info.VersionIDs))
+	}
+	return info, nil
+}
+
+// SetPolicy sets a channel lineage's compatibility policy on the broker.
+// Tightening fails if the lineage's existing history already violates the
+// new policy.
+func (c *Client) SetPolicy(name string, p registry.Policy) error {
+	_, err := c.Do("POLICY " + name + " " + p.String())
+	return err
+}
+
 // Close tears down the control connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
@@ -234,6 +292,19 @@ type SubscriberConn struct {
 // fast lane is selected transparently: the broker's vectored writes land on
 // the socketpair directly, with no TCP framing overhead.
 func DialSubscriber(addr, channel string, policy Policy, queue int, ctx *pbio.Context, opts ...transport.ConnOption) (*SubscriberConn, error) {
+	return dialSubscriber(addr, channel, policy, queue, "", ctx, opts...)
+}
+
+// DialSubscriberVersion is DialSubscriber with the subscription pinned to
+// lineage version n (n == 0 pins the broker's current head): announcement
+// replay serves version n and events encoded under other lineage versions
+// are field-projected onto it before delivery.  Needs a broker with a
+// schema registry (echod -policy).
+func DialSubscriberVersion(addr, channel string, policy Policy, queue, n int, ctx *pbio.Context, opts ...transport.ConnOption) (*SubscriberConn, error) {
+	return dialSubscriber(addr, channel, policy, queue, " version="+strconv.Itoa(n), ctx, opts...)
+}
+
+func dialSubscriber(addr, channel string, policy Policy, queue int, extra string, ctx *pbio.Context, opts ...transport.ConnOption) (*SubscriberConn, error) {
 	conn, err := dialBroker(addr)
 	if err != nil {
 		return nil, err
@@ -242,6 +313,7 @@ func DialSubscriber(addr, channel string, policy Policy, queue int, ctx *pbio.Co
 	if queue > 0 {
 		cmd += " " + strconv.Itoa(queue)
 	}
+	cmd += extra
 	if err := writeLine(conn, cmd); err != nil {
 		conn.Close()
 		return nil, err

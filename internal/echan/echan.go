@@ -40,6 +40,7 @@ import (
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/obs"
 	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/registry"
 	"github.com/open-metadata/xmit/internal/transport"
 )
 
@@ -97,6 +98,10 @@ var (
 	// covered by the channel's retention ring; the subscriber must
 	// re-attach fresh and account the gap as loss.
 	ErrResumeGap = errors.New("echan: resume position no longer retained")
+	// ErrNoSchemaRegistry reports a version-pinned subscribe (or a
+	// LINEAGE/POLICY verb) against a broker that has no schema registry
+	// attached (see WithSchemaRegistry).
+	ErrNoSchemaRegistry = errors.New("echan: no schema registry attached")
 )
 
 // Broker owns a set of named channels.  It is safe for concurrent use.
@@ -104,6 +109,7 @@ type Broker struct {
 	ctx           *pbio.Context
 	reg           *obs.Registry
 	registrar     func(*meta.Format) error
+	schemaReg     *registry.Registry
 	defaultQueue  int
 	defaultShards int
 	defaultRetain int
@@ -139,6 +145,17 @@ func WithContext(ctx *pbio.Context) BrokerOption {
 // stream's formats from the format server.
 func WithFormatRegistrar(fn func(*meta.Format) error) BrokerOption {
 	return func(b *Broker) { b.registrar = fn }
+}
+
+// WithSchemaRegistry attaches a schema registry: every format first
+// published on a channel is appended to that channel's lineage, with the
+// lineage's compatibility policy enforced — a publish whose format breaks
+// the policy fails with a *registry.CompatError naming the offending
+// fields, before any subscriber sees an event.  The registry also powers
+// version-pinned subscriptions (SubscribeVersion, SUB version=<n>) and the
+// LINEAGE/POLICY control verbs.
+func WithSchemaRegistry(r *registry.Registry) BrokerOption {
+	return func(b *Broker) { b.schemaReg = r }
 }
 
 // WithDefaultQueue sets the default per-subscriber queue length for
@@ -207,6 +224,9 @@ func NewBroker(opts ...BrokerOption) *Broker {
 
 // Context returns the broker's PBIO context.
 func (b *Broker) Context() *pbio.Context { return b.ctx }
+
+// SchemaRegistry returns the attached schema registry, or nil.
+func (b *Broker) SchemaRegistry() *registry.Registry { return b.schemaReg }
 
 // encodePool returns the broker's shared encode pool, starting it on first
 // use, or nil when parallel encoding is not configured.

@@ -1,0 +1,218 @@
+package echan
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+	"github.com/open-metadata/xmit/internal/registry"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+// evolveChain builds a backward-compatible metric lineage of the given
+// depth: v1 is {seq}, each later version adds one field.
+func evolveChain(t testing.TB, steps int) []*meta.Format {
+	t.Helper()
+	defs := []meta.FieldDef{{Name: "seq", Kind: meta.Unsigned, Class: platform.LongLong}}
+	chain := make([]*meta.Format, 0, steps)
+	for i := 0; i < steps; i++ {
+		if i > 0 {
+			defs = append(defs, meta.FieldDef{
+				Name: "f" + string(rune('a'+i)), Kind: meta.Integer, Class: platform.Int,
+			})
+		}
+		f, err := meta.Build("metric", platform.X8664, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, f)
+	}
+	return chain
+}
+
+// evolveRecv summarises a subscriber's decoded stream during the evolution
+// soak: how many events, the seq bounds, and which wire formats appeared.
+type evolveRecv struct {
+	count   int
+	first   uint64
+	last    uint64
+	formats map[meta.FormatID]bool
+}
+
+// recvEvolved reads dynamic records until the stream breaks, checking seq
+// only ever moves forward.  wantID, when nonzero, asserts every record
+// decodes under that format (the pinned-view contract).
+func recvEvolved(t *testing.T, r io.ReadWriteCloser, wantID meta.FormatID, done chan<- evolveRecv) {
+	conn := transport.NewConn(r, pbio.NewContext())
+	res := evolveRecv{formats: map[meta.FormatID]bool{}}
+	for {
+		rec, err := conn.RecvRecord()
+		if err != nil {
+			break
+		}
+		id := rec.Format().ID()
+		res.formats[id] = true
+		if wantID != 0 && id != wantID {
+			t.Errorf("pinned stream decoded under %s, want %s", id, wantID)
+		}
+		sv, ok := rec.Get("seq")
+		if !ok {
+			t.Error("record without seq")
+			continue
+		}
+		seq := sv.(uint64)
+		if res.count == 0 {
+			res.first = seq
+		} else if seq <= res.last {
+			t.Errorf("seq moved backwards: %d after %d", seq, res.last)
+		}
+		res.last = seq
+		res.count++
+	}
+	done <- res
+}
+
+// TestEvolutionSoak is the live-evolution concurrency soak: one publisher
+// walks the lineage through several versions mid-stream while a v1-pinned
+// subscriber and a head subscriber — both on chaos-torn links — receive
+// every event, and a third pinned subscriber is reset mid-frame and
+// reconnects with an after= resume, ending with the complete tail.  Run
+// under -race this exercises registration, projection, and delivery
+// concurrently.
+func TestEvolutionSoak(t *testing.T) {
+	n := soakN()
+	const steps = 4
+	sr := registry.New(registry.WithDefaultPolicy(registry.PolicyBackward))
+	b := NewBroker(WithRegistry(obs.NewRegistry()), WithSchemaRegistry(sr))
+	defer b.Close()
+	ch, err := b.Create("soak", WithRetain(n+steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := evolveChain(t, steps)
+	pctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	for _, f := range chain {
+		if _, err := pctx.RegisterFormat(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seed v1 so pinned views resolve before the first publish.
+	if _, err := sr.Register("soak", chain[0], "seed"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Head subscriber on a torn link: sees every evolution.
+	hSink, hRecv := net.Pipe()
+	hChaos := transport.NewChaos(hSink, 3001,
+		transport.WithPartialWrites(0.4),
+		transport.WithDelays(0.01, 50*time.Microsecond))
+	subH, err := ch.Subscribe(hChaos, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hDone := make(chan evolveRecv, 1)
+	go recvEvolved(t, hRecv, 0, hDone)
+
+	// Pinned v1 subscriber on a torn link: every event projected to v1.
+	pSink, pRecv := net.Pipe()
+	pChaos := transport.NewChaos(pSink, 3002, transport.WithPartialWrites(0.4))
+	subP, err := ch.SubscribeVersion(pChaos, Block, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pDone := make(chan evolveRecv, 1)
+	go recvEvolved(t, pRecv, chain[0].ID(), pDone)
+
+	// Doomed pinned subscriber: its link resets mid-frame partway through.
+	dSink, dRecv := net.Pipe()
+	dChaos := transport.NewChaos(dSink, 3003, transport.WithReset(8<<10))
+	subD, err := ch.SubscribeVersion(dChaos, Block, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dDone := make(chan evolveRecv, 1)
+	go recvEvolved(t, dRecv, chain[0].ID(), dDone)
+
+	// The publisher upgrades the format every n/steps events, mid-stream.
+	for i := 1; i <= n; i++ {
+		f := chain[(i-1)*steps/n]
+		rec := pbio.NewRecord(f)
+		if err := rec.Set("seq", uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := pctx.EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.PublishMessage(f, msg); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+
+	waitFor(t, "reset subscriber to fail", func() bool { return subD.Err() != nil })
+	dRecv.Close()
+	d := <-dDone
+
+	// Reconnect the torn subscriber where it left off: still pinned to v1,
+	// resumed from the retention ring with after=.
+	rSink, rRecv := net.Pipe()
+	sub2, err := ch.SubscribeVersion(rSink, Block, 1, SubAfter(d.last))
+	if err != nil {
+		t.Fatalf("pinned resume after gen %d: %v", d.last, err)
+	}
+	rDone := make(chan evolveRecv, 1)
+	go recvEvolved(t, rRecv, chain[0].ID(), rDone)
+
+	ch.Sync()
+	if err := subH.Close(); err != nil {
+		t.Errorf("head subscriber failed: %v", err)
+	}
+	if err := subP.Close(); err != nil {
+		t.Errorf("pinned subscriber failed: %v", err)
+	}
+	if err := sub2.Close(); err != nil {
+		t.Errorf("resumed subscriber failed: %v", err)
+	}
+	hChaos.Close()
+	pChaos.Close()
+	rSink.Close()
+	h, p, r := <-hDone, <-pDone, <-rDone
+
+	if h.count != n || h.first != 1 || h.last != uint64(n) {
+		t.Errorf("head got %d/%d events (%d..%d)", h.count, n, h.first, h.last)
+	}
+	if len(h.formats) != steps {
+		t.Errorf("head saw %d formats, want %d", len(h.formats), steps)
+	}
+	if p.count != n || p.first != 1 || p.last != uint64(n) {
+		t.Errorf("pinned got %d/%d events (%d..%d)", p.count, n, p.first, p.last)
+	}
+	if len(p.formats) != 1 {
+		t.Errorf("pinned saw %d formats, want 1", len(p.formats))
+	}
+	// The torn subscriber's two lives cover the stream exactly once.
+	if d.count > 0 && d.first != 1 {
+		t.Errorf("doomed subscriber started at seq %d", d.first)
+	}
+	if r.first != d.last+1 || r.last != uint64(n) {
+		t.Errorf("resume covered %d..%d, want %d..%d", r.first, r.last, d.last+1, n)
+	}
+	if d.count+r.count != n {
+		t.Errorf("torn+resumed got %d events, want %d", d.count+r.count, n)
+	}
+
+	// Projection ran for every delivered event not already at v1.
+	if got := ch.metrics.viewProjected.Value(); got == 0 {
+		t.Error("no events crossed the projection path")
+	}
+	puts, _ := obs.Default().Value("pbio_pool_put_total")
+	gets, _ := obs.Default().Value("pbio_pool_get_total")
+	if puts > gets {
+		t.Fatalf("pool invariant violated: %v puts > %v gets (double release)", puts, gets)
+	}
+}

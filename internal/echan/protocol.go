@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"github.com/open-metadata/xmit/internal/registry"
 )
 
 // The broker control protocol is line-oriented text until a connection
@@ -13,7 +15,7 @@ import (
 //	CREATE <channel> [oob]            create a channel (oob: out-of-band metadata)
 //	DERIVE <channel> <parent> <expr>  create a filtered derived channel
 //	PUB <channel>                     become a publisher; transport frames follow
-//	SUB <channel> [policy] [queue] [link] [after=<gen>]
+//	SUB <channel> [policy] [queue] [link] [after=<gen>] [version=<n>]
 //	                                  become a subscriber; frames flow to the client
 //	UNSUB                             (subscriber only) drain and detach
 //	STATS <channel>                   one line of counters
@@ -22,6 +24,8 @@ import (
 //	HOME <channel>                    which broker the channel lives on
 //	PEERS                             the broker's known mesh peers
 //	MESH                              one line of mesh and per-link stats
+//	LINEAGE <channel>                 the channel's format lineage: policy and versions
+//	POLICY <channel> <policy>         set the channel lineage's compatibility policy
 //
 // Responses are a single line: "OK ..." or "ERR <reason>".  After "OK" to
 // PUB the client sends transport frames (format announcements and data
@@ -37,6 +41,15 @@ import (
 // retention ring, failing with an ERR mentioning ErrResumeGap when
 // retention no longer reaches back that far.  The "OK subscribed" response
 // reports the exact attach generation as "gen=<n>".
+//
+// The schema-registry extensions need a broker with a registry attached
+// (WithSchemaRegistry; echod -policy).  "version=<n>" pins the
+// subscription to lineage version n: announcement replay serves that
+// version and newer events are field-projected down to it (n=0 pins the
+// current head).  LINEAGE answers "OK name=<ch> policy=<p> head=<n>
+// v1=<id> v2=<id> ...".  POLICY takes a registry policy name
+// (none | backward | forward | full | *_transitive) and fails if the
+// lineage's existing history violates the tightened policy.
 //
 // maxCommandLine bounds a control line; longer input is a protocol error.
 const maxCommandLine = 4096
@@ -56,21 +69,26 @@ const (
 	VerbHome
 	VerbPeers
 	VerbMesh
+	VerbLineage
+	VerbPolicy
 )
 
 // Command is one parsed control line.
 type Command struct {
 	Verb     Verb
 	Name     string
-	Parent   string // DERIVE only
-	Filter   string // DERIVE only, validated by ParseFilter
-	Policy   Policy // SUB only (default Block)
-	Queue    int    // SUB only (0: channel default)
-	OOB      bool   // CREATE only
-	Link     bool   // SUB only: inter-broker link subscription
-	After    uint64 // SUB only: resume after this generation
-	HasAfter bool   // SUB only: After was given (0 is a valid position)
-	Addr     string // HELLO only: the caller's advertised broker address
+	Parent   string          // DERIVE only
+	Filter   string          // DERIVE only, validated by ParseFilter
+	Policy   Policy          // SUB only (default Block)
+	Queue    int             // SUB only (0: channel default)
+	OOB      bool            // CREATE only
+	Link     bool            // SUB only: inter-broker link subscription
+	After    uint64          // SUB only: resume after this generation
+	HasAfter bool            // SUB only: After was given (0 is a valid position)
+	Addr     string          // HELLO only: the caller's advertised broker address
+	Version  int             // SUB only: pinned lineage version (0: head / not pinned)
+	HasVer   bool            // SUB only: Version was given (version=0 pins the head)
+	Compat   registry.Policy // POLICY only: the compatibility policy to set
 }
 
 // ParseCommand parses one control line.  It validates channel names, policy
@@ -132,8 +150,8 @@ func ParseCommand(line string) (Command, error) {
 		cmd := Command{Verb: VerbPub, Name: args[0]}
 		return cmd, checkName(cmd.Name)
 	case "SUB":
-		if len(args) < 1 || len(args) > 5 {
-			return Command{}, fmt.Errorf("echan: usage: SUB <channel> [policy] [queue] [link] [after=<gen>]")
+		if len(args) < 1 || len(args) > 6 {
+			return Command{}, fmt.Errorf("echan: usage: SUB <channel> [policy] [queue] [link] [after=<gen>] [version=<n>]")
 		}
 		cmd := Command{Verb: VerbSub, Name: args[0], Policy: Block}
 		if err := checkName(cmd.Name); err != nil {
@@ -169,6 +187,13 @@ func ParseCommand(line string) (Command, error) {
 				}
 				cmd.After = g
 				cmd.HasAfter = true
+			case hasFoldPrefix(tok, "version="):
+				n, err := strconv.Atoi(tok[len("version="):])
+				if err != nil || n < 0 || n > 1<<20 {
+					return Command{}, fmt.Errorf("echan: bad lineage version %q", tok)
+				}
+				cmd.Version = n
+				cmd.HasVer = true
 			default:
 				return Command{}, fmt.Errorf("echan: unknown SUB option %q", tok)
 			}
@@ -212,6 +237,26 @@ func ParseCommand(line string) (Command, error) {
 			return Command{}, fmt.Errorf("echan: MESH takes no arguments")
 		}
 		return Command{Verb: VerbMesh}, nil
+	case "LINEAGE":
+		if len(args) != 1 {
+			return Command{}, fmt.Errorf("echan: usage: LINEAGE <channel>")
+		}
+		cmd := Command{Verb: VerbLineage, Name: args[0]}
+		return cmd, checkName(cmd.Name)
+	case "POLICY":
+		if len(args) != 2 {
+			return Command{}, fmt.Errorf("echan: usage: POLICY <channel> <policy>")
+		}
+		cmd := Command{Verb: VerbPolicy, Name: args[0]}
+		if err := checkName(cmd.Name); err != nil {
+			return Command{}, err
+		}
+		p, err := registry.ParsePolicy(args[1])
+		if err != nil {
+			return Command{}, err
+		}
+		cmd.Compat = p
+		return cmd, nil
 	}
 	return Command{}, fmt.Errorf("echan: unknown command %q", fields[0])
 }
@@ -219,7 +264,8 @@ func ParseCommand(line string) (Command, error) {
 // isSubExtension reports whether a SUB token is one of the federation
 // extensions rather than a positional policy/queue argument.
 func isSubExtension(tok string) bool {
-	return strings.EqualFold(tok, "link") || hasFoldPrefix(tok, "after=")
+	return strings.EqualFold(tok, "link") || hasFoldPrefix(tok, "after=") ||
+		hasFoldPrefix(tok, "version=")
 }
 
 func hasFoldPrefix(s, prefix string) bool {

@@ -13,6 +13,7 @@ import (
 
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/registry"
 	"github.com/open-metadata/xmit/internal/transport"
 )
 
@@ -283,6 +284,26 @@ func (s *Server) serveConn(conn net.Conn) {
 			if writeLine(conn, "OK "+m.StatsLine()) != nil {
 				return
 			}
+		case VerbLineage:
+			if s.serveLineage(conn, cmd) != nil {
+				return
+			}
+		case VerbPolicy:
+			sr := s.broker.SchemaRegistry()
+			if sr == nil {
+				if writeLine(conn, "ERR "+ErrNoSchemaRegistry.Error()) != nil {
+					return
+				}
+				continue
+			}
+			if err := sr.SetPolicy(s.lineageFor(cmd.Name), cmd.Compat); err != nil {
+				err = writeLine(conn, "ERR "+err.Error())
+			} else {
+				err = writeLine(conn, "OK policy "+cmd.Compat.String())
+			}
+			if err != nil {
+				return
+			}
 		case VerbUnsub:
 			if writeLine(conn, "ERR not subscribed") != nil {
 				return
@@ -295,6 +316,37 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// lineageFor maps a channel name to its lineage name: a derived channel
+// shares its parent's lineage (derived channels share the parent's formats),
+// any other name — including a channel not yet created — is its own.
+func (s *Server) lineageFor(name string) string {
+	if ch, ok := s.broker.Get(name); ok {
+		return ch.lineageName()
+	}
+	return name
+}
+
+// serveLineage answers LINEAGE <channel> with one line describing the
+// channel's format lineage: policy, head version, and every version's
+// format ID.  The returned error is a connection write failure; registry
+// misses answer as ERR lines.
+func (s *Server) serveLineage(conn net.Conn, cmd Command) error {
+	sr := s.broker.SchemaRegistry()
+	if sr == nil {
+		return writeLine(conn, "ERR "+ErrNoSchemaRegistry.Error())
+	}
+	l, err := sr.Lineage(s.lineageFor(cmd.Name))
+	if err != nil {
+		return writeLine(conn, "ERR "+err.Error()+": "+cmd.Name)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OK name=%s policy=%s head=%d", l.Name(), l.Policy(), l.Len())
+	for _, v := range l.Versions() {
+		fmt.Fprintf(&sb, " v%d=%#x", v.Version, uint64(v.ID))
+	}
+	return writeLine(conn, sb.String())
 }
 
 // servePublisher turns the connection into a frame stream feeding a
@@ -416,15 +468,32 @@ func (s *Server) serveSubscriber(conn net.Conn, rd *bufio.Reader, cmd Command) {
 	}
 	// The subscription is created gated so the response line — which
 	// carries the exact attach generation — is on the wire before the
-	// writer goroutine can emit the first frame byte.
+	// writer goroutine can emit the first frame byte.  A version-pinned
+	// subscription wraps the gated sink in the view (so the pinned
+	// announcement is gated with everything else) and echoes the resolved
+	// version in the response.
 	ready := make(chan struct{})
-	sub, err := ch.SubscribeSink(gatedSink{Sink: base, ready: ready}, cmd.Policy, opts...)
+	gated := gatedSink{Sink: base, ready: ready}
+	var sub *Subscription
+	var ver registry.Version
+	if cmd.HasVer {
+		var l *registry.Lineage
+		if l, ver, err = ch.ResolveView(cmd.Version); err == nil {
+			sub, err = ch.subscribePinned(gated, cmd.Policy, l, ver, opts...)
+		}
+	} else {
+		sub, err = ch.SubscribeSink(gated, cmd.Policy, opts...)
+	}
 	if err != nil {
 		close(ready)
 		writeLine(conn, "ERR "+err.Error())
 		return
 	}
-	if err := writeLine(conn, fmt.Sprintf("OK subscribed %s gen=%d", cmd.Name, sub.AttachGen())); err != nil {
+	resp := fmt.Sprintf("OK subscribed %s gen=%d", cmd.Name, sub.AttachGen())
+	if cmd.HasVer {
+		resp += fmt.Sprintf(" version=%d", ver.Version)
+	}
+	if err := writeLine(conn, resp); err != nil {
 		close(ready)
 		sub.abort()
 		return

@@ -1,0 +1,231 @@
+package echan
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/registry"
+	"github.com/open-metadata/xmit/internal/transport"
+)
+
+// View negotiation: a subscriber pins one version of the channel's format
+// lineage at SUB time and keeps decoding it while publishers evolve the
+// format under it.  The broker does the work at the frame seam — a
+// viewSink wrapped around the subscriber's real sink:
+//
+//   - Announcement replay serves the negotiated version: upstream format
+//     frames (which describe the head and every historical version) are
+//     suppressed, and the pinned version's announcement is written exactly
+//     once, before the first data frame.
+//   - Data frames already encoded under the pinned format pass through
+//     untouched — the common case until the format actually evolves, and
+//     it keeps the zero-copy vectored delivery path.
+//   - Any other lineage version is re-encoded through the same decode seam
+//     derived channels use (Context.DecodeRecordBody on the frame body):
+//     decode once, field-project onto the pinned view (zero-filling fields
+//     the event predates, dropping fields the view predates), encode into
+//     a pooled frame.
+//
+// Frames that are not lineage members — opaque payloads, formats published
+// before the registry was attached — pass through unchanged: the pin is a
+// promise about the lineage, not a filter.
+type viewSink struct {
+	inner    Sink
+	ch       *Channel
+	lineage  *registry.Lineage
+	pinned   registry.Version
+	annFrame []byte // prebuilt announcement frame for the pinned format
+	sentAnn  bool
+	projects *obs.Counter
+
+	// Writer-goroutine scratch for the batched path: the projected run is
+	// assembled here so steady-state pass-through stays allocation-free.
+	outFrames [][]byte
+	outBufs   []*pbio.Buffer
+}
+
+// newViewSink wraps inner so it observes the stream at the pinned version.
+func newViewSink(ch *Channel, inner Sink, l *registry.Lineage, pinned registry.Version) *viewSink {
+	return &viewSink{
+		inner:    inner,
+		ch:       ch,
+		lineage:  l,
+		pinned:   pinned,
+		annFrame: transport.AppendFrame(nil, transport.FrameFormat, pinned.Format.Canonical()),
+		projects: ch.metrics.viewProjected,
+	}
+}
+
+// WriteFormat suppresses upstream announcements: the view's single
+// announcement (the pinned version) is emitted before the first data frame.
+func (v *viewSink) WriteFormat([]byte) error { return nil }
+
+// ensureAnnounced writes the pinned version's announcement once.  Out-of-
+// band channels announce nothing; their subscribers resolve the pinned
+// format through the fmtserver/discovery path like any other.
+func (v *viewSink) ensureAnnounced() error {
+	if v.sentAnn || v.ch.oob {
+		v.sentAnn = true
+		return nil
+	}
+	if err := v.inner.WriteFormat(v.annFrame); err != nil {
+		return err
+	}
+	v.sentAnn = true
+	return nil
+}
+
+// project maps one data frame onto the pinned view.  It returns the frame
+// to deliver and, when re-encoding happened, the pooled buffer backing it
+// (the caller releases it after the write).  A frame outside the lineage
+// passes through with a nil buffer.
+func (v *viewSink) project(frame []byte) ([]byte, *pbio.Buffer, error) {
+	payload := frame[transport.FrameHeaderSize:]
+	id, body, err := pbio.ParseHeader(payload)
+	if err != nil || id == v.pinned.ID {
+		return frame, nil, nil
+	}
+	src, ok := v.lineage.ResolveID(id)
+	if !ok {
+		return frame, nil, nil // not a lineage member: pass through
+	}
+	ctx := v.ch.broker.ctx
+	rec, err := ctx.DecodeRecordBody(src.Format, body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("echan: view v%d: decoding v%d event: %w",
+			v.pinned.Version, src.Version, err)
+	}
+	prec, err := registry.Project(rec, v.pinned.Format)
+	if err != nil {
+		return nil, nil, fmt.Errorf("echan: view v%d: %w", v.pinned.Version, err)
+	}
+	buf := pbio.GetBuffer()
+	b := append(buf.B[:0], make([]byte, transport.FrameHeaderSize)...)
+	b = pbio.AppendHeader(b, v.pinned.ID)
+	if b, err = ctx.EncodeRecordBody(b, prec); err != nil {
+		buf.Release()
+		return nil, nil, fmt.Errorf("echan: view v%d: re-encoding: %w", v.pinned.Version, err)
+	}
+	buf.B = b
+	transport.PutFrameHeader(buf.B, transport.FrameData)
+	v.projects.Inc()
+	return buf.B, buf, nil
+}
+
+func (v *viewSink) WriteEvent(gen, head uint64, frame []byte) error {
+	out, buf, err := v.project(frame)
+	if err != nil {
+		return err
+	}
+	if err := v.ensureAnnounced(); err != nil {
+		if buf != nil {
+			buf.Release()
+		}
+		return err
+	}
+	err = v.inner.WriteEvent(gen, head, out)
+	if buf != nil {
+		buf.Release()
+	}
+	return err
+}
+
+// WriteEvents projects a run and hands it down as one batch: pass-through
+// frames keep their shared refcounted buffers, projected ones ride pooled
+// scratch buffers released after the vectored write.
+func (v *viewSink) WriteEvents(gens []uint64, head uint64, frames [][]byte) error {
+	out := v.outFrames[:0]
+	bufs := v.outBufs[:0]
+	release := func() {
+		for i, b := range bufs {
+			b.Release()
+			bufs[i] = nil
+		}
+		v.outFrames, v.outBufs = out[:0], bufs[:0]
+	}
+	for _, frame := range frames {
+		pf, buf, err := v.project(frame)
+		if err != nil {
+			release()
+			return err
+		}
+		out = append(out, pf)
+		if buf != nil {
+			bufs = append(bufs, buf)
+		}
+	}
+	if err := v.ensureAnnounced(); err != nil {
+		release()
+		return err
+	}
+	err := v.inner.WriteEvents(gens, head, out)
+	release()
+	return err
+}
+
+func (v *viewSink) Close() error {
+	if c, ok := v.inner.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// ResolveView resolves a pinned lineage version for this channel: version
+// n, or the lineage head for n == 0.  It fails with ErrNoSchemaRegistry
+// when the broker has no registry, registry.ErrUnknownLineage before the
+// first publish, or registry.ErrUnknownVersion for a version the lineage
+// has not reached.
+func (ch *Channel) ResolveView(n int) (*registry.Lineage, registry.Version, error) {
+	sr := ch.broker.schemaReg
+	if sr == nil {
+		return nil, registry.Version{}, ErrNoSchemaRegistry
+	}
+	l, err := sr.Lineage(ch.lineageName())
+	if err != nil {
+		return nil, registry.Version{}, err
+	}
+	if n == 0 {
+		head, ok := l.Head()
+		if !ok {
+			return nil, registry.Version{}, fmt.Errorf("echan: lineage %q is empty", ch.lineageName())
+		}
+		return l, head, nil
+	}
+	ver, err := l.Resolve(n)
+	if err != nil {
+		return nil, registry.Version{}, err
+	}
+	return l, ver, nil
+}
+
+// SubscribeVersion attaches w pinned to lineage version n (see Subscribe
+// for the delivery semantics): announcement replay serves version n, data
+// frames encoded under any other lineage version are field-projected onto
+// it, and w keeps decoding version n no matter how far the publishers have
+// evolved the format.  n == 0 pins the current head (a snapshot: unlike a
+// plain Subscribe, later evolutions are projected back down to it).  The
+// pinned format is registered in the broker's context so projection can
+// encode with it.
+func (ch *Channel) SubscribeVersion(w io.Writer, policy Policy, n int, opts ...SubOption) (*Subscription, error) {
+	return ch.SubscribeVersionSink(newWriterSink(w), policy, n, opts...)
+}
+
+// SubscribeVersionSink is SubscribeVersion at the Sink seam.
+func (ch *Channel) SubscribeVersionSink(snk Sink, policy Policy, n int, opts ...SubOption) (*Subscription, error) {
+	l, ver, err := ch.ResolveView(n)
+	if err != nil {
+		return nil, err
+	}
+	return ch.subscribePinned(snk, policy, l, ver, opts...)
+}
+
+// subscribePinned attaches snk behind a view sink for an already-resolved
+// lineage version (the server resolves first so it can echo the version).
+func (ch *Channel) subscribePinned(snk Sink, policy Policy, l *registry.Lineage, ver registry.Version, opts ...SubOption) (*Subscription, error) {
+	if _, err := ch.broker.ctx.RegisterFormat(ver.Format); err != nil {
+		return nil, fmt.Errorf("echan: registering pinned view format: %w", err)
+	}
+	return ch.SubscribeSink(newViewSink(ch, snk, l, ver), policy, opts...)
+}

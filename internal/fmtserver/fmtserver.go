@@ -9,24 +9,36 @@ package fmtserver
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/registry"
 )
 
 // Registry is the server-side store: canonical metadata keyed by format ID.
 // It is safe for concurrent use and usable in-process (without the TCP
 // layer) as a pbio.FormatResolver.
+//
+// With a schema registry attached (AttachLineages) every registration also
+// joins the lineage named after the format, so the directory server tracks
+// format evolution and enforces the lineage's compatibility policy: a
+// violating registration is rejected with a *registry.CompatError and
+// nothing is stored.
 type Registry struct {
 	mu   sync.RWMutex
 	byID map[meta.FormatID][]byte
+
+	lineages atomic.Pointer[registry.Registry]
 
 	stats RegistryStats
 }
@@ -77,14 +89,31 @@ func (r *Registry) PublishMetrics(reg *obs.Registry, prefix string) {
 	})
 }
 
+// AttachLineages wires a schema registry into the format store: every
+// subsequent registration joins the lineage named after the format.  Attach
+// before serving; re-attaching replaces the store.
+func (r *Registry) AttachLineages(lr *registry.Registry) { r.lineages.Store(lr) }
+
+// Lineages returns the attached schema registry, or nil.
+func (r *Registry) Lineages() *registry.Registry { return r.lineages.Load() }
+
 // RegisterCanonical validates canonical format bytes and stores them,
-// returning the format's ID.  Registration is idempotent.
+// returning the format's ID.  Registration is idempotent.  On a registry
+// with lineages attached the format must also satisfy its lineage's
+// compatibility policy — a violation rejects the registration with a
+// *registry.CompatError and stores nothing.
 func (r *Registry) RegisterCanonical(data []byte) (meta.FormatID, error) {
 	r.stats.Registrations.Add(1)
 	f, err := meta.ParseCanonical(data)
 	if err != nil {
 		r.stats.RegisterErrors.Add(1)
 		return 0, err
+	}
+	if lr := r.lineages.Load(); lr != nil {
+		if _, err := lr.Register(f.Name, f, "fmtserver"); err != nil {
+			r.stats.RegisterErrors.Add(1)
+			return 0, err
+		}
 	}
 	id := f.ID()
 	r.mu.Lock()
@@ -141,12 +170,26 @@ func (r *Registry) IDs() []meta.FormatID {
 //
 // ops: 1 register (payload = canonical bytes; ok payload = 8-byte ID)
 //
-//	2 lookup   (payload = 8-byte ID; ok payload = canonical bytes)
+//	2 lookup          (payload = 8-byte ID; ok payload = canonical bytes)
+//	3 lineage list    (payload = lineage name;
+//	                   ok payload = u8 policy | u32 n | n x u64 version IDs)
+//	4 lineage resolve (payload = u32 version | lineage name;
+//	                   ok payload = canonical bytes of that version)
+//	5 lineage policy  (payload = u8 policy | lineage name; ok payload empty)
 //
-// status: 0 ok, 1 not found, 2 error (payload = message text).
+// status: 0 ok, 1 not found, 2 error (payload = message text).  A not-found
+// payload carries a reason tag — "lineage <name>" or "version <n>" — so
+// clients can raise the matching typed error instead of a transport fault;
+// an empty payload is a plain format-ID miss.  A register rejected by the
+// lineage's compatibility policy answers status 2 with payload
+// "compat <json>", the JSON being the *registry.CompatError (policy,
+// versions, and every offending field).
 const (
-	opRegister = 1
-	opLookup   = 2
+	opRegister       = 1
+	opLookup         = 2
+	opLineageList    = 3
+	opLineageResolve = 4
+	opLineagePolicy  = 5
 
 	statusOK       = 0
 	statusNotFound = 1
@@ -154,6 +197,9 @@ const (
 
 	maxFrame = 1 << 20
 )
+
+// compatTag prefixes a JSON-encoded CompatError in a statusError payload.
+const compatTag = "compat "
 
 // Server serves a Registry over TCP.
 type Server struct {
@@ -226,12 +272,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		case opRegister:
 			id, err := s.Registry.RegisterCanonical(payload)
 			if err != nil {
+				var ce *registry.CompatError
+				if errors.As(err, &ce) {
+					if body, jerr := json.Marshal(ce); jerr == nil {
+						writeFrame(conn, statusError, append([]byte(compatTag), body...))
+						continue
+					}
+				}
 				writeFrame(conn, statusError, []byte(err.Error()))
 				continue
 			}
 			var idb [8]byte
 			binary.BigEndian.PutUint64(idb[:], uint64(id))
 			writeFrame(conn, statusOK, idb[:])
+		case opLineageList, opLineageResolve, opLineagePolicy:
+			s.serveLineageOp(conn, op, payload)
 		case opLookup:
 			if len(payload) != 8 {
 				writeFrame(conn, statusError, []byte("lookup payload must be 8 bytes"))
@@ -247,6 +302,67 @@ func (s *Server) serveConn(conn net.Conn) {
 		default:
 			writeFrame(conn, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
 		}
+	}
+}
+
+// serveLineageOp answers the three lineage ops.  Misses answer with tagged
+// not-found payloads ("lineage <name>", "version <n>") so the client can
+// surface registry.ErrUnknownLineage / registry.ErrUnknownVersion rather
+// than a transport fault.
+func (s *Server) serveLineageOp(conn net.Conn, op byte, payload []byte) {
+	lr := s.Registry.Lineages()
+	if lr == nil {
+		writeFrame(conn, statusError, []byte("no schema registry attached"))
+		return
+	}
+	switch op {
+	case opLineageList:
+		l, err := lr.Lineage(string(payload))
+		if err != nil {
+			writeFrame(conn, statusNotFound, []byte("lineage "+string(payload)))
+			return
+		}
+		vs := l.Versions()
+		out := make([]byte, 5, 5+8*len(vs))
+		out[0] = byte(l.Policy())
+		binary.BigEndian.PutUint32(out[1:5], uint32(len(vs)))
+		for _, v := range vs {
+			out = binary.BigEndian.AppendUint64(out, uint64(v.ID))
+		}
+		writeFrame(conn, statusOK, out)
+	case opLineageResolve:
+		if len(payload) < 5 {
+			writeFrame(conn, statusError, []byte("lineage resolve payload too short"))
+			return
+		}
+		n := int(binary.BigEndian.Uint32(payload[:4]))
+		name := string(payload[4:])
+		l, err := lr.Lineage(name)
+		if err != nil {
+			writeFrame(conn, statusNotFound, []byte("lineage "+name))
+			return
+		}
+		v, err := l.Resolve(n)
+		if err != nil {
+			writeFrame(conn, statusNotFound, []byte("version "+strconv.Itoa(n)))
+			return
+		}
+		writeFrame(conn, statusOK, v.Format.Canonical())
+	case opLineagePolicy:
+		if len(payload) < 2 {
+			writeFrame(conn, statusError, []byte("lineage policy payload too short"))
+			return
+		}
+		p := registry.Policy(payload[0])
+		if p < registry.PolicyNone || p > registry.PolicyFullTransitive {
+			writeFrame(conn, statusError, []byte("unknown policy"))
+			return
+		}
+		if err := lr.SetPolicy(string(payload[1:]), p); err != nil {
+			writeFrame(conn, statusError, []byte(err.Error()))
+			return
+		}
+		writeFrame(conn, statusOK, nil)
 	}
 }
 
@@ -313,6 +429,37 @@ func NewClient(addr string) *Client {
 // ErrNotFound is returned when the server does not know a format ID.
 var ErrNotFound = errors.New("fmtserver: format not found")
 
+// notFoundErr maps a tagged not-found payload to the matching typed error:
+// "lineage <name>" and "version <n>" wrap the registry's sentinel errors so
+// callers can tell a directory miss from a transport fault; anything else
+// is a plain format miss.
+func notFoundErr(payload []byte) error {
+	reason, rest, _ := strings.Cut(string(payload), " ")
+	switch reason {
+	case "lineage":
+		return fmt.Errorf("fmtserver: %w: %s", registry.ErrUnknownLineage, rest)
+	case "version":
+		return fmt.Errorf("fmtserver: %w: %s", registry.ErrUnknownVersion, rest)
+	}
+	return ErrNotFound
+}
+
+// statusErr maps a statusError payload to an error, decoding a tagged
+// compatibility rejection back into the typed *registry.CompatError it was
+// on the server.
+func statusErr(what string, payload []byte) error {
+	if body, ok := strings.CutPrefix(string(payload), compatTag); ok {
+		var ce registry.CompatError
+		if err := json.Unmarshal([]byte(body), &ce); err == nil {
+			if p, err := registry.ParsePolicy(ce.PolicyName); err == nil {
+				ce.Policy = p
+			}
+			return &ce
+		}
+	}
+	return fmt.Errorf("fmtserver: %s: %s", what, payload)
+}
+
 func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -355,9 +502,92 @@ func (c *Client) Register(f *meta.Format) (meta.FormatID, error) {
 		c.mu.Unlock()
 		return id, nil
 	case statusError:
-		return 0, fmt.Errorf("fmtserver: register rejected: %s", resp)
+		return 0, statusErr("register rejected", resp)
 	default:
 		return 0, fmt.Errorf("fmtserver: unexpected register status %d", status)
+	}
+}
+
+// LineageInfo is a directory lineage as reported by the server: the
+// compatibility policy and every version's format ID, oldest first.
+type LineageInfo struct {
+	Name       string
+	Policy     registry.Policy
+	VersionIDs []meta.FormatID
+}
+
+// Lineage fetches a lineage's policy and version history.  An unknown
+// lineage fails with an error wrapping registry.ErrUnknownLineage —
+// distinguishable from a transport fault.
+func (c *Client) Lineage(name string) (LineageInfo, error) {
+	status, resp, err := c.roundTrip(opLineageList, []byte(name))
+	if err != nil {
+		return LineageInfo{}, err
+	}
+	switch status {
+	case statusOK:
+		if len(resp) < 5 {
+			return LineageInfo{}, fmt.Errorf("fmtserver: malformed lineage response")
+		}
+		info := LineageInfo{Name: name, Policy: registry.Policy(resp[0])}
+		n := int(binary.BigEndian.Uint32(resp[1:5]))
+		if len(resp) != 5+8*n {
+			return LineageInfo{}, fmt.Errorf("fmtserver: lineage response claims %d versions in %d bytes", n, len(resp))
+		}
+		for i := 0; i < n; i++ {
+			info.VersionIDs = append(info.VersionIDs,
+				meta.FormatID(binary.BigEndian.Uint64(resp[5+8*i:])))
+		}
+		return info, nil
+	case statusNotFound:
+		return LineageInfo{}, notFoundErr(resp)
+	case statusError:
+		return LineageInfo{}, statusErr("lineage lookup failed", resp)
+	default:
+		return LineageInfo{}, fmt.Errorf("fmtserver: unexpected lineage status %d", status)
+	}
+}
+
+// ResolveVersion fetches the format at one lineage version (1-based).  An
+// unknown lineage or version fails with the matching typed error.
+func (c *Client) ResolveVersion(name string, n int) (*meta.Format, error) {
+	payload := make([]byte, 4, 4+len(name))
+	binary.BigEndian.PutUint32(payload, uint32(n))
+	payload = append(payload, name...)
+	status, resp, err := c.roundTrip(opLineageResolve, payload)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case statusOK:
+		return meta.ParseCanonical(resp)
+	case statusNotFound:
+		return nil, notFoundErr(resp)
+	case statusError:
+		return nil, statusErr("lineage resolve failed", resp)
+	default:
+		return nil, fmt.Errorf("fmtserver: unexpected resolve status %d", status)
+	}
+}
+
+// SetPolicy sets a lineage's compatibility policy on the server, creating
+// the lineage if it does not exist yet.  Tightening fails if the existing
+// history already violates the new policy.
+func (c *Client) SetPolicy(name string, p registry.Policy) error {
+	payload := make([]byte, 1, 1+len(name))
+	payload[0] = byte(p)
+	payload = append(payload, name...)
+	status, resp, err := c.roundTrip(opLineagePolicy, payload)
+	if err != nil {
+		return err
+	}
+	switch status {
+	case statusOK:
+		return nil
+	case statusError:
+		return statusErr("policy rejected", resp)
+	default:
+		return fmt.Errorf("fmtserver: unexpected policy status %d", status)
 	}
 }
 

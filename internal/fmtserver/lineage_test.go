@@ -1,0 +1,157 @@
+package fmtserver
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+	"github.com/open-metadata/xmit/internal/registry"
+)
+
+// sensorVersion builds version n of the "sensor" lineage: v1 {id, value},
+// v2 adds unit, v3 adds seq.
+func sensorVersion(t *testing.T, n int) *meta.Format {
+	t.Helper()
+	defs := []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "value", Kind: meta.Float, Class: platform.Double},
+		{Name: "unit", Kind: meta.String},
+		{Name: "seq", Kind: meta.Unsigned, Class: platform.LongLong},
+	}
+	f, err := meta.Build("sensor", platform.X8664, defs[:n+1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestLineageOps drives the three lineage ops end to end over the wire:
+// registrations grow the lineage, list and resolve answer it, policy is
+// settable, and a violating registration comes back as the typed
+// *registry.CompatError it was on the server.
+func TestLineageOps(t *testing.T) {
+	reg := NewRegistry()
+	reg.AttachLineages(registry.New())
+	srv := NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(addr)
+	defer c.Close()
+
+	v1, v2 := sensorVersion(t, 1), sensorVersion(t, 2)
+	if _, err := c.Register(v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(v2); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := c.Lineage("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Policy != registry.PolicyNone || len(info.VersionIDs) != 2 ||
+		info.VersionIDs[0] != v1.ID() || info.VersionIDs[1] != v2.ID() {
+		t.Fatalf("lineage = %+v", info)
+	}
+
+	f, err := c.ResolveVersion("sensor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID() != v1.ID() {
+		t.Fatalf("resolved v1 = %s, want %s", f.ID(), v1.ID())
+	}
+
+	if err := c.SetPolicy("sensor", registry.PolicyBackward); err != nil {
+		t.Fatal(err)
+	}
+	info, err = c.Lineage("sensor")
+	if err != nil || info.Policy != registry.PolicyBackward {
+		t.Fatalf("after SetPolicy: %+v, %v", info, err)
+	}
+
+	// A registration that breaks the policy is rejected with the typed
+	// diff, reconstructed client-side, and the lineage does not advance.
+	narrowed, err := meta.Build("sensor", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "value", Kind: meta.Float, Class: platform.Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Register(narrowed)
+	var ce *registry.CompatError
+	if !errors.As(err, &ce) {
+		t.Fatalf("violating register error = %v, want *registry.CompatError", err)
+	}
+	if ce.Policy != registry.PolicyBackward || len(ce.Violations) == 0 {
+		t.Fatalf("compat error = %+v", ce)
+	}
+	found := false
+	for _, v := range ce.Violations {
+		if v.Path == "value" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %+v do not name the value field", ce.Violations)
+	}
+	if info, err := c.Lineage("sensor"); err != nil || len(info.VersionIDs) != 2 {
+		t.Fatalf("lineage advanced after rejection: %+v, %v", info, err)
+	}
+}
+
+// TestLineageTypedErrors pins the miss taxonomy: unknown lineage and
+// unknown version surface the registry sentinels — neither is mistakable
+// for a transport fault or a plain format miss.
+func TestLineageTypedErrors(t *testing.T) {
+	reg := NewRegistry()
+	reg.AttachLineages(registry.New())
+	srv := NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(addr)
+	defer c.Close()
+
+	if _, err := c.Lineage("ghost"); !errors.Is(err, registry.ErrUnknownLineage) {
+		t.Fatalf("unknown lineage: %v", err)
+	}
+	if _, err := c.ResolveVersion("ghost", 1); !errors.Is(err, registry.ErrUnknownLineage) {
+		t.Fatalf("resolve on unknown lineage: %v", err)
+	}
+	if _, err := c.Register(sensorVersion(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ResolveVersion("sensor", 5); !errors.Is(err, registry.ErrUnknownVersion) {
+		t.Fatalf("unknown version: %v", err)
+	}
+	// A plain format miss keeps its own sentinel.
+	if _, err := c.ResolveFormat(meta.FormatID(12345)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("format miss: %v", err)
+	}
+}
+
+// TestLineageOpsWithoutRegistry: lineage ops on a server with no schema
+// registry attached answer a clear error, not a hang or a miss.
+func TestLineageOpsWithoutRegistry(t *testing.T) {
+	srv := NewServer(NewRegistry())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(addr)
+	defer c.Close()
+	if _, err := c.Lineage("x"); err == nil ||
+		errors.Is(err, registry.ErrUnknownLineage) {
+		t.Fatalf("lineage without registry: %v", err)
+	}
+}

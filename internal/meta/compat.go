@@ -97,7 +97,7 @@ func convertible(wire, native *Field) error {
 	switch {
 	case wire.IsDynamic() != native.IsDynamic():
 		return fmt.Errorf("dynamic array mismatch (wire %v, native %v)", wire.IsDynamic(), native.IsDynamic())
-	case wire.IsStaticArray() != native.IsStaticArray():
+	case wire.StaticDim != native.StaticDim:
 		return fmt.Errorf("static array mismatch (wire dim %d, native dim %d)", wire.StaticDim, native.StaticDim)
 	}
 	if wire.IsDynamic() && !strings.EqualFold(wire.LengthField, native.LengthField) {

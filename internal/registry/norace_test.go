@@ -1,0 +1,7 @@
+//go:build !race
+
+package registry
+
+// raceEnabled reports whether the race detector is compiled in.  See
+// race_test.go.
+const raceEnabled = false

@@ -1,0 +1,103 @@
+// Package registry implements the schema registry: versioned format
+// lineages with enforced compatibility policies and view projection.
+//
+// A lineage is the ordered version history of one logical format — one per
+// channel, named after it.  Each version is keyed by the format's 64-bit
+// content hash (meta.FormatID) and carries a parent link and registration
+// provenance.  A per-lineage compatibility policy decides which evolution
+// steps are accepted: registration of a format whose diff against the
+// lineage (head, or every prior version for transitive policies) breaks
+// the promised direction is rejected with a typed, machine-readable
+// CompatError naming the offending fields.
+//
+// The directions follow meta's evolution semantics (see meta/evolve.go):
+// backward protects new readers decoding old data, forward protects old
+// readers decoding new data.  Projection (Project) is the forward story at
+// run time: it maps a record decoded under any lineage version onto the
+// view of another version, zero-filling added fields and dropping removed
+// ones, which is what lets a version-pinned subscriber keep decoding while
+// the format evolves under it.
+package registry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy is a per-lineage compatibility promise.  It names the readers the
+// lineage refuses to break:
+//
+//	none                no constraint; any valid format may follow any other
+//	backward            readers on version N decode data written under N-1
+//	forward             readers on version N-1 decode data written under N
+//	full                both directions, against the previous version
+//	backward_transitive backward against every earlier version, not just N-1
+//	forward_transitive  forward against every earlier version
+//	full_transitive     both directions against every earlier version
+//
+// The lattice orders by strictness: none < {backward, forward} < full, and
+// each non-transitive policy is weaker than its transitive variant.
+type Policy int
+
+const (
+	PolicyNone Policy = iota
+	PolicyBackward
+	PolicyForward
+	PolicyFull
+	PolicyBackwardTransitive
+	PolicyForwardTransitive
+	PolicyFullTransitive
+)
+
+var policyNames = [...]string{
+	PolicyNone:               "none",
+	PolicyBackward:           "backward",
+	PolicyForward:            "forward",
+	PolicyFull:               "full",
+	PolicyBackwardTransitive: "backward_transitive",
+	PolicyForwardTransitive:  "forward_transitive",
+	PolicyFullTransitive:     "full_transitive",
+}
+
+// String returns the wire name of the policy ("backward_transitive").
+func (p Policy) String() string {
+	if p < 0 || int(p) >= len(policyNames) {
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+	return policyNames[p]
+}
+
+// ParsePolicy parses a wire policy name, case-insensitively.  Hyphens are
+// accepted in place of underscores ("full-transitive").
+func ParsePolicy(s string) (Policy, error) {
+	name := strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), "-", "_")
+	for p, n := range policyNames {
+		if n == name {
+			return Policy(p), nil
+		}
+	}
+	return 0, fmt.Errorf("registry: unknown compatibility policy %q", s)
+}
+
+// Transitive reports whether the policy checks against every earlier
+// version rather than only the immediate predecessor.
+func (p Policy) Transitive() bool {
+	switch p {
+	case PolicyBackwardTransitive, PolicyForwardTransitive, PolicyFullTransitive:
+		return true
+	}
+	return false
+}
+
+// directions returns which compatibility directions the policy enforces.
+func (p Policy) directions() (backward, forward bool) {
+	switch p {
+	case PolicyBackward, PolicyBackwardTransitive:
+		return true, false
+	case PolicyForward, PolicyForwardTransitive:
+		return false, true
+	case PolicyFull, PolicyFullTransitive:
+		return true, true
+	}
+	return false, false
+}

@@ -1,0 +1,187 @@
+package registry
+
+import (
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+// TestProjectDown: a head record projected onto an older pinned view drops
+// the added fields and keeps the shared ones, through a real encode/decode
+// round-trip (the path the broker's view sink runs per event).
+func TestProjectDown(t *testing.T) {
+	v1 := sensorV1(t) // id, value
+	v3 := sensorV3(t) // id, value, unit, seq
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	for _, f := range []*meta.Format{v1, v3} {
+		if _, err := ctx.RegisterFormat(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := pbio.NewRecord(v3)
+	for name, v := range map[string]any{"id": 7, "value": 2.5, "unit": "K", "seq": uint64(99)} {
+		if err := rec.Set(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msg, err := ctx.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ctx.DecodeRecord(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pinned, err := Project(decoded, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Format().ID() != v1.ID() {
+		t.Fatalf("projected format = %s, want v1", pinned.Format().Name)
+	}
+	if v, _ := pinned.Get("id"); v != int64(7) {
+		t.Errorf("id = %v, want 7", v)
+	}
+	if v, _ := pinned.Get("value"); v != 2.5 {
+		t.Errorf("value = %v, want 2.5", v)
+	}
+	if _, ok := pinned.Get("unit"); ok {
+		t.Error("unit survived projection to v1")
+	}
+	// The projected record must encode under the old format.
+	if _, err := ctx.EncodeRecord(pinned); err != nil {
+		t.Fatalf("encode projected: %v", err)
+	}
+}
+
+// TestProjectUp: an old event projected onto a newer view zero-fills the
+// added fields (they stay unset; the codec zero-fills on encode).
+func TestProjectUp(t *testing.T) {
+	v1, v2 := sensorV1(t), sensorV2(t)
+	rec := pbio.NewRecord(v1)
+	if err := rec.Set("id", 3); err != nil {
+		t.Fatal(err)
+	}
+	up, err := Project(rec, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := up.Get("id"); v != int64(3) {
+		t.Errorf("id = %v", v)
+	}
+	if _, ok := up.Get("unit"); ok {
+		t.Error("unit set after up-projection; want unset (zero-filled on encode)")
+	}
+}
+
+// TestProjectIdentity: projecting onto the same format is a no-op that
+// returns the record itself.
+func TestProjectIdentity(t *testing.T) {
+	v1 := sensorV1(t)
+	rec := pbio.NewRecord(v1)
+	got, err := Project(rec, v1)
+	if err != nil || got != rec {
+		t.Fatalf("identity projection = %v, %v; want same record", got, err)
+	}
+}
+
+// TestProjectNestedAndArrays: nested records are rebuilt against the
+// destination sub-format, and widened arrays convert element types.
+func TestProjectNestedAndArrays(t *testing.T) {
+	hdrV1 := build(t, "hdr", []meta.FieldDef{
+		{Name: "seq", Kind: meta.Unsigned, Class: platform.Int},
+	})
+	hdrV2 := build(t, "hdr", []meta.FieldDef{
+		{Name: "seq", Kind: meta.Unsigned, Class: platform.Int},
+		{Name: "host", Kind: meta.String},
+	})
+	oldF := build(t, "batch", []meta.FieldDef{
+		{Name: "hdr", Kind: meta.Struct, Sub: hdrV1},
+		{Name: "n", Kind: meta.Integer, Class: platform.Int},
+		{Name: "samples", Kind: meta.Integer, Class: platform.Int, LengthField: "n"},
+	})
+	newF := build(t, "batch", []meta.FieldDef{
+		{Name: "hdr", Kind: meta.Struct, Sub: hdrV2},
+		{Name: "n", Kind: meta.Integer, Class: platform.Int},
+		// Samples widened to unsigned 64-bit: projection back to the old
+		// view must convert []uint64 -> []int64.
+		{Name: "samples", Kind: meta.Unsigned, Class: platform.LongLong, LengthField: "n"},
+	})
+
+	hdr := pbio.NewRecord(hdrV2)
+	if err := hdr.Set("seq", 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := hdr.Set("host", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	rec := pbio.NewRecord(newF)
+	if err := rec.Set("hdr", hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Set("n", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Set("samples", []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	old, err := Project(rec, oldF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, ok := old.Get("hdr")
+	if !ok {
+		t.Fatal("hdr missing after projection")
+	}
+	ph := hv.(*pbio.Record)
+	if ph.Format().ID() != hdrV1.ID() {
+		t.Fatal("nested record not rebuilt against destination sub-format")
+	}
+	if v, _ := ph.Get("seq"); v != uint64(41) {
+		t.Errorf("hdr.seq = %v", v)
+	}
+	if _, ok := ph.Get("host"); ok {
+		t.Error("hdr.host survived projection")
+	}
+	sv, _ := old.Get("samples")
+	s, ok := sv.([]int64)
+	if !ok || len(s) != 3 || s[0] != 1 || s[2] != 3 {
+		t.Fatalf("samples = %#v, want []int64{1,2,3}", sv)
+	}
+	// And the projected record encodes/decodes cleanly under the old format.
+	ctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	if _, err := ctx.RegisterFormat(oldF); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ctx.EncodeRecord(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ctx.DecodeRecord(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := back.Get("samples")
+	if b, ok := bs.([]int64); !ok || len(b) != 3 || b[1] != 2 {
+		t.Fatalf("round-tripped samples = %#v", bs)
+	}
+}
+
+// TestProjectKindCrossingFails: under PolicyNone a lineage can cross kind
+// families; projection then fails loudly, naming the field.
+func TestProjectKindCrossingFails(t *testing.T) {
+	a := build(t, "m", []meta.FieldDef{{Name: "v", Kind: meta.Float, Class: platform.Double}})
+	b := build(t, "m", []meta.FieldDef{{Name: "v", Kind: meta.String}})
+	rec := pbio.NewRecord(a)
+	if err := rec.Set("v", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Project(rec, b); err == nil {
+		t.Fatal("float->string projection succeeded")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package registry
+
+// raceEnabled reports whether the race detector is compiled in.  Allocation
+// gates skip themselves when this is true: the detector's instrumentation
+// allocates on paths the production build does not.
+const raceEnabled = true

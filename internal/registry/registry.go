@@ -1,0 +1,268 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/meta"
+)
+
+// Version is one step of a lineage: a concrete format, its content-hash
+// identity, the parent link, and registration provenance.
+type Version struct {
+	// Version is the 1-based position in the lineage (v1, v2, ...).
+	Version int
+	// ID is the format's 64-bit content hash.
+	ID meta.FormatID
+	// Format is the registered format.
+	Format *meta.Format
+	// Parent is the ID of the preceding version, zero for v1.
+	Parent meta.FormatID
+	// Source records who registered the version ("publish", "fmtserver",
+	// a peer address — whatever the registering path knows).
+	Source string
+	// RegisteredAt is the registration wall-clock time.
+	RegisteredAt time.Time
+}
+
+// lineageSnap is the immutable snapshot readers resolve against.  Writers
+// build a new snapshot and swap it in; Resolve and Head never lock.
+type lineageSnap struct {
+	versions []Version
+	byID     map[meta.FormatID]int
+}
+
+// Lineage is the versioned history of one named format.
+type Lineage struct {
+	name   string
+	mu     sync.Mutex // serialises Register and SetPolicy
+	policy atomic.Int32
+	snap   atomic.Pointer[lineageSnap]
+}
+
+// Name returns the lineage name.
+func (l *Lineage) Name() string { return l.name }
+
+// Policy returns the lineage's current compatibility policy.
+func (l *Lineage) Policy() Policy { return Policy(l.policy.Load()) }
+
+// Len returns the number of registered versions.
+func (l *Lineage) Len() int { return len(l.snap.Load().versions) }
+
+// Head returns the newest version, or false for an empty lineage (one that
+// has a policy set but no registrations yet).
+func (l *Lineage) Head() (Version, bool) {
+	vs := l.snap.Load().versions
+	if len(vs) == 0 {
+		return Version{}, false
+	}
+	return vs[len(vs)-1], true
+}
+
+// Resolve returns version number n (1-based).  It is lock-free and
+// allocation-free: subscribers resolve their pinned view on every attach
+// and the broker resolves per published format.
+func (l *Lineage) Resolve(n int) (Version, error) {
+	vs := l.snap.Load().versions
+	if n < 1 || n > len(vs) {
+		return Version{}, fmt.Errorf("%w: %s v%d (have %d versions)", ErrUnknownVersion, l.name, n, len(vs))
+	}
+	return vs[n-1], nil
+}
+
+// ResolveID returns the version with the given content hash, if any.  Like
+// Resolve it takes no locks and allocates nothing.
+func (l *Lineage) ResolveID(id meta.FormatID) (Version, bool) {
+	s := l.snap.Load()
+	if i, ok := s.byID[id]; ok {
+		return s.versions[i], true
+	}
+	return Version{}, false
+}
+
+// Versions returns a copy of the full history, oldest first.
+func (l *Lineage) Versions() []Version {
+	vs := l.snap.Load().versions
+	out := make([]Version, len(vs))
+	copy(out, vs)
+	return out
+}
+
+// Register appends a format to the lineage if the policy admits it.
+// Re-registering an ID already in the lineage is idempotent and returns
+// the existing version.  A policy violation returns a *CompatError naming
+// the offending fields; the lineage is unchanged.
+func (l *Lineage) Register(f *meta.Format, source string) (Version, error) {
+	id := f.ID()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.snap.Load()
+	if i, ok := cur.byID[id]; ok {
+		return cur.versions[i], nil
+	}
+	pol := l.Policy()
+	if len(cur.versions) > 0 {
+		against := cur.versions[len(cur.versions)-1:]
+		if pol.Transitive() {
+			against = cur.versions
+		}
+		for _, prev := range against {
+			if err := checkStep(l.name, pol, prev, id, f); err != nil {
+				return Version{}, err
+			}
+		}
+	}
+	v := Version{
+		Version:      len(cur.versions) + 1,
+		ID:           id,
+		Format:       f,
+		Source:       source,
+		RegisteredAt: time.Now(),
+	}
+	if len(cur.versions) > 0 {
+		v.Parent = cur.versions[len(cur.versions)-1].ID
+	}
+	next := &lineageSnap{
+		versions: make([]Version, len(cur.versions)+1),
+		byID:     make(map[meta.FormatID]int, len(cur.byID)+1),
+	}
+	copy(next.versions, cur.versions)
+	next.versions[len(cur.versions)] = v
+	for k, i := range cur.byID {
+		next.byID[k] = i
+	}
+	next.byID[id] = len(cur.versions)
+	l.snap.Store(next)
+	return v, nil
+}
+
+// SetPolicy changes the lineage policy.  Tightening is only allowed if the
+// existing history already satisfies the new policy; otherwise the first
+// violating step is returned as a *CompatError and the policy keeps its
+// old value.
+func (l *Lineage) SetPolicy(p Policy) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	vs := l.snap.Load().versions
+	for i := 1; i < len(vs); i++ {
+		against := vs[i-1 : i]
+		if p.Transitive() {
+			against = vs[:i]
+		}
+		for _, prev := range against {
+			if err := checkStep(l.name, p, prev, vs[i].ID, vs[i].Format); err != nil {
+				return err
+			}
+		}
+	}
+	l.policy.Store(int32(p))
+	return nil
+}
+
+// checkStep enforces the policy for one evolution step prev -> next.
+func checkStep(name string, pol Policy, prev Version, nextID meta.FormatID, next *meta.Format) error {
+	backward, forward := pol.directions()
+	if !backward && !forward {
+		return nil
+	}
+	diff := meta.EvolveDiff(prev.Format, next)
+	bad := diff.Breaking(backward, forward)
+	if len(bad) == 0 {
+		return nil
+	}
+	return &CompatError{
+		Lineage:     name,
+		Policy:      pol,
+		PolicyName:  pol.String(),
+		FromVersion: prev.Version,
+		FromID:      prev.ID,
+		ToID:        nextID,
+		Violations:  bad,
+	}
+}
+
+// Registry is the set of lineages, keyed by name.  Lookup is lock-free
+// against a copy-on-write map; creation and registration serialise on the
+// registry mutex.
+type Registry struct {
+	mu            sync.Mutex
+	lineages      atomic.Pointer[map[string]*Lineage]
+	defaultPolicy Policy
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithDefaultPolicy sets the policy new lineages start with.
+func WithDefaultPolicy(p Policy) Option {
+	return func(r *Registry) { r.defaultPolicy = p }
+}
+
+// New creates an empty registry.
+func New(opts ...Option) *Registry {
+	r := &Registry{}
+	for _, o := range opts {
+		o(r)
+	}
+	empty := map[string]*Lineage{}
+	r.lineages.Store(&empty)
+	return r
+}
+
+// Lineage returns the named lineage or ErrUnknownLineage.
+func (r *Registry) Lineage(name string) (*Lineage, error) {
+	if l, ok := (*r.lineages.Load())[name]; ok {
+		return l, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownLineage, name)
+}
+
+// Lineages returns the sorted lineage names.
+func (r *Registry) Lineages() []string {
+	m := *r.lineages.Load()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ensure returns the named lineage, creating it with the default policy if
+// absent.
+func (r *Registry) ensure(name string) *Lineage {
+	if l, ok := (*r.lineages.Load())[name]; ok {
+		return l
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := *r.lineages.Load()
+	if l, ok := cur[name]; ok {
+		return l
+	}
+	l := &Lineage{name: name}
+	l.policy.Store(int32(r.defaultPolicy))
+	l.snap.Store(&lineageSnap{byID: map[meta.FormatID]int{}})
+	next := make(map[string]*Lineage, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = l
+	r.lineages.Store(&next)
+	return l
+}
+
+// Register appends a format to the named lineage (created with the default
+// policy if new), enforcing the lineage's compatibility policy.
+func (r *Registry) Register(lineage string, f *meta.Format, source string) (Version, error) {
+	return r.ensure(lineage).Register(f, source)
+}
+
+// SetPolicy sets the named lineage's policy, creating the lineage if it
+// does not exist yet (so a policy can be pinned before the first publish).
+func (r *Registry) SetPolicy(lineage string, p Policy) error {
+	return r.ensure(lineage).SetPolicy(p)
+}

@@ -1,0 +1,350 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+func build(t *testing.T, name string, defs []meta.FieldDef) *meta.Format {
+	t.Helper()
+	f, err := meta.Build(name, platform.X8664, defs)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return f
+}
+
+// v1/v2/v3 form a backward-compatible chain: each step only adds fields.
+func sensorV1(t *testing.T) *meta.Format {
+	return build(t, "sensor", []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "value", Kind: meta.Float, Class: platform.Double},
+	})
+}
+
+func sensorV2(t *testing.T) *meta.Format {
+	return build(t, "sensor", []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "value", Kind: meta.Float, Class: platform.Double},
+		{Name: "unit", Kind: meta.String},
+	})
+}
+
+func sensorV3(t *testing.T) *meta.Format {
+	return build(t, "sensor", []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "value", Kind: meta.Float, Class: platform.Double},
+		{Name: "unit", Kind: meta.String},
+		{Name: "seq", Kind: meta.Unsigned, Class: platform.LongLong},
+	})
+}
+
+func TestLineageChain(t *testing.T) {
+	r := New(WithDefaultPolicy(PolicyBackward))
+	v1, err := r.Register("telemetry", sensorV1(t), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Version != 1 || v1.Parent != 0 || v1.Source != "test" {
+		t.Fatalf("v1 = %+v", v1)
+	}
+	v2, err := r.Register("telemetry", sensorV2(t), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Version != 2 || v2.Parent != v1.ID {
+		t.Fatalf("v2 = %+v, want parent %s", v2, v1.ID)
+	}
+
+	// Idempotent re-registration returns the existing version.
+	again, err := r.Register("telemetry", sensorV1(t), "elsewhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Version != 1 || again.Source != "test" {
+		t.Fatalf("re-register = %+v, want original v1", again)
+	}
+
+	l, err := r.Lineage("telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	head, ok := l.Head()
+	if !ok || head.ID != v2.ID {
+		t.Fatalf("Head = %+v, want v2", head)
+	}
+	got, err := l.Resolve(1)
+	if err != nil || got.ID != v1.ID {
+		t.Fatalf("Resolve(1) = %+v, %v", got, err)
+	}
+	if _, err := l.Resolve(3); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("Resolve(3) err = %v, want ErrUnknownVersion", err)
+	}
+	if _, ok := l.ResolveID(v2.ID); !ok {
+		t.Fatal("ResolveID(v2) not found")
+	}
+	if _, err := r.Lineage("nope"); !errors.Is(err, ErrUnknownLineage) {
+		t.Fatalf("Lineage(nope) err = %v, want ErrUnknownLineage", err)
+	}
+	if names := r.Lineages(); len(names) != 1 || names[0] != "telemetry" {
+		t.Fatalf("Lineages = %v", names)
+	}
+}
+
+func TestPolicyRejectsWithTypedDiff(t *testing.T) {
+	r := New(WithDefaultPolicy(PolicyFull))
+	if _, err := r.Register("t", sensorV2(t), "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping "unit" breaks forward; full policy must reject it and the
+	// error must name the field, typed and machine-readable.
+	_, err := r.Register("t", sensorV1(t), "test")
+	var ce *CompatError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *CompatError", err, err)
+	}
+	if ce.Lineage != "t" || ce.Policy != PolicyFull || ce.FromVersion != 1 {
+		t.Fatalf("CompatError = %+v", ce)
+	}
+	if len(ce.Violations) != 1 || ce.Violations[0].Path != "unit" || ce.Violations[0].Change != meta.FieldRemoved {
+		t.Fatalf("violations = %+v, want removed unit", ce.Violations)
+	}
+	if !strings.Contains(ce.Error(), "unit") {
+		t.Errorf("Error() = %q does not name the offending field", ce.Error())
+	}
+	blob, jerr := json.Marshal(ce)
+	if jerr != nil || !strings.Contains(string(blob), `"unit"`) || !strings.Contains(string(blob), `"removed"`) {
+		t.Errorf("machine-readable form = %s, %v", blob, jerr)
+	}
+	// The lineage is unchanged after a rejection.
+	l, _ := r.Lineage("t")
+	if l.Len() != 1 {
+		t.Fatalf("rejected registration mutated the lineage: len=%d", l.Len())
+	}
+}
+
+func TestPolicyDirections(t *testing.T) {
+	widened := build(t, "sensor", []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.LongLong},
+		{Name: "value", Kind: meta.Float, Class: platform.Double},
+	})
+	cases := []struct {
+		policy  Policy
+		second  func(*testing.T) *meta.Format
+		wantErr bool
+	}{
+		// Widening id breaks forward only.
+		{PolicyBackward, func(t *testing.T) *meta.Format { return widened }, false},
+		{PolicyForward, func(t *testing.T) *meta.Format { return widened }, true},
+		{PolicyFull, func(t *testing.T) *meta.Format { return widened }, true},
+		// Pure addition breaks nothing.
+		{PolicyFull, sensorV2, false},
+		// Removal breaks forward only.
+		{PolicyBackward, func(t *testing.T) *meta.Format {
+			return build(t, "sensor", []meta.FieldDef{
+				{Name: "id", Kind: meta.Integer, Class: platform.Int},
+			})
+		}, false},
+		{PolicyNone, func(t *testing.T) *meta.Format {
+			return build(t, "sensor", []meta.FieldDef{
+				{Name: "id", Kind: meta.String}, // kind crossing: none allows even this
+			})
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.policy.String(), func(t *testing.T) {
+			r := New(WithDefaultPolicy(tc.policy))
+			if _, err := r.Register("s", sensorV1(t), "test"); err != nil {
+				t.Fatal(err)
+			}
+			_, err := r.Register("s", tc.second(t), "test")
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("policy %s: err = %v, wantErr %v", tc.policy, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestTransitivePolicy(t *testing.T) {
+	// v1 -> v2 (add unit) -> v3-with-unit-removed: the step v2 -> v3 is
+	// fine under backward, and the chain v1 -> v3 is also fine; but make
+	// v3 remove a v1 field to show transitivity has teeth for forward.
+	r := New(WithDefaultPolicy(PolicyForwardTransitive))
+	if _, err := r.Register("t", sensorV1(t), "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Forward: additions are fine.
+	if _, err := r.Register("t", sensorV2(t), "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Removing "unit" is forward-breaking against v2 but NOT against v1
+	// (which never had it).  Non-transitive forward would still reject
+	// (checks v2); to isolate transitivity, remove "value" instead: that
+	// breaks against both v1 and v2.
+	noValue := build(t, "sensor", []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "unit", Kind: meta.String},
+	})
+	_, err := r.Register("t", noValue, "test")
+	var ce *CompatError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CompatError", err)
+	}
+	// The transitive check reports the oldest violated version first.
+	if ce.FromVersion != 1 {
+		t.Fatalf("FromVersion = %d, want 1 (transitive check starts at v1)", ce.FromVersion)
+	}
+}
+
+func TestSetPolicyValidatesHistory(t *testing.T) {
+	r := New() // PolicyNone
+	if _, err := r.Register("t", sensorV2(t), "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("t", sensorV1(t), "test"); err != nil {
+		t.Fatal(err) // removal fine under none
+	}
+	// Tightening to forward must fail: history contains a removal.
+	err := r.SetPolicy("t", PolicyForward)
+	var ce *CompatError
+	if !errors.As(err, &ce) {
+		t.Fatalf("SetPolicy err = %v, want CompatError", err)
+	}
+	l, _ := r.Lineage("t")
+	if l.Policy() != PolicyNone {
+		t.Fatalf("failed SetPolicy changed policy to %s", l.Policy())
+	}
+	// Tightening to backward is fine (removals don't break backward).
+	if err := r.SetPolicy("t", PolicyBackward); err != nil {
+		t.Fatal(err)
+	}
+	if l.Policy() != PolicyBackward {
+		t.Fatalf("policy = %s, want backward", l.Policy())
+	}
+	// Policy can be pinned before the first registration.
+	if err := r.SetPolicy("fresh", PolicyFullTransitive); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := r.Lineage("fresh")
+	if err != nil || fl.Policy() != PolicyFullTransitive || fl.Len() != 0 {
+		t.Fatalf("fresh lineage = %v, %v", fl, err)
+	}
+	if _, ok := fl.Head(); ok {
+		t.Fatal("empty lineage has a head")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"none": PolicyNone, "BACKWARD": PolicyBackward, "forward": PolicyForward,
+		"full": PolicyFull, "backward_transitive": PolicyBackwardTransitive,
+		"forward-transitive": PolicyForwardTransitive, " full_transitive ": PolicyFullTransitive,
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "sideways", "backward transitive", "full2"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+	// Round-trip: every policy's String parses back to itself.
+	for p := PolicyNone; p <= PolicyFullTransitive; p++ {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round-trip %v: got %v, %v", p, got, err)
+		}
+	}
+}
+
+func TestConcurrentRegisterResolve(t *testing.T) {
+	r := New(WithDefaultPolicy(PolicyBackward))
+	formats := []*meta.Format{sensorV1(t), sensorV2(t), sensorV3(t)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, f := range formats {
+			if _, err := r.Register("c", f, "writer"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if l, err := r.Lineage("c"); err == nil {
+			if head, ok := l.Head(); ok {
+				if _, err := l.Resolve(head.Version); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	<-done
+	l, _ := r.Lineage("c")
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+}
+
+// TestResolveAlloc gates the read path the broker hits per published
+// format and per subscriber attach: snapshot loads only, 0 allocs/op.
+func TestResolveAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocs-per-run gates are meaningless under the race detector")
+	}
+	r := New(WithDefaultPolicy(PolicyBackward))
+	v1, err := r.Register("a", sensorV1(t), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("a", sensorV2(t), "test"); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := r.Lineage("a")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := l.Resolve(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := l.ResolveID(v1.ID); !ok {
+			t.Fatal("missing")
+		}
+		if _, ok := l.Head(); !ok {
+			t.Fatal("no head")
+		}
+		if _, err := r.Lineage("a"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("resolve path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func FuzzParsePolicy(f *testing.F) {
+	for _, s := range []string{"none", "backward", "forward", "full",
+		"backward_transitive", "forward-transitive", "FULL_TRANSITIVE", "bogus", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		// Anything that parses must round-trip through its wire name.
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round-trip %q -> %v -> %v, %v", s, p, back, err)
+		}
+	})
+}
