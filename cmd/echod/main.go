@@ -28,7 +28,20 @@
 // lineage version at SUB time ("SUB ch version=N") to keep decoding that
 // view while publishers evolve the format.  The LINEAGE and POLICY control
 // verbs inspect and adjust lineages; with -metrics the lineage catalogue
-// is also served at /.well-known/xmit-lineages for discovery.
+// is also served at /.well-known/xmit-lineages for discovery, canonical
+// format bodies included.
+//
+// On a federated broker the registry itself federates: lineage state
+// gossips between peers (the LINEAGES control verb ships the well-known
+// document incrementally on the HELLO rounds), every policy decision
+// resolves at the channel's home broker — a registration admitted anywhere
+// is admitted everywhere, and a rejection travels back to the remote
+// publisher as the same typed compat error — and a version-pinned
+// subscriber can attach or reattach through any broker in the mesh: the
+// negotiated announcement replays from gossiped lineage state and
+// "after=<gen>" resume positions carry across brokers because proxies
+// re-publish under home generation numbers.  An http(s) -peer bootstrap
+// also adopts the peer's lineage document up front.
 //
 // Usage:
 //
@@ -132,6 +145,16 @@ func main() {
 		fmt.Printf("echod: schema registry attached (default policy %s)\n", *policy)
 	}
 
+	// The lineage catalogue is served with full canonical format bodies, so
+	// a peer (or a directory server) fetching the document can adopt the
+	// formats themselves, not just the version IDs — the same shape the
+	// mesh gossips over LINEAGES.
+	lineageHandler := func() http.Handler {
+		return discovery.LineageHandler(func() []discovery.LineageDoc {
+			return discovery.SnapshotLineagesFull(schemaReg)
+		})
+	}
+
 	var mesh *echan.Mesh
 	if federated {
 		self := *advertise
@@ -154,6 +177,18 @@ func main() {
 				for _, a := range doc.Peers {
 					mesh.AddPeer(a)
 				}
+				// A fresh broker joining an established mesh adopts the
+				// peer's lineage state up front (best-effort: gossip
+				// converges it regardless), so pinned subscribers attaching
+				// here resolve views before the first HELLO round lands.
+				if schemaReg != nil {
+					u := strings.TrimSuffix(strings.TrimSuffix(p, discovery.WellKnownMeshPath), "/") + discovery.WellKnownLineagePath
+					if docs, err := repo.FetchLineages(u); err == nil {
+						if n, err := discovery.MergeLineages(schemaReg, docs, doc.Self); err == nil && n > 0 {
+							fmt.Printf("echod: adopted %d lineage versions from %s\n", n, u)
+						}
+					}
+				}
 				continue
 			}
 			mesh.AddPeer(p)
@@ -162,12 +197,18 @@ func main() {
 		mesh.Start()
 		fmt.Printf("echod: federated as %s (%d peers, retain %d)\n", self, len(mesh.Peers()), *retain)
 		if *meshListen != "" {
-			handler := discovery.MeshHandler(func() discovery.MeshDoc {
+			mux := http.NewServeMux()
+			mux.Handle(discovery.WellKnownMeshPath, discovery.MeshHandler(func() discovery.MeshDoc {
 				return discovery.MeshDoc{Self: mesh.Self(), Peers: mesh.Peers()}
-			})
+			}))
+			if schemaReg != nil {
+				// The mesh bootstrap endpoint also serves the lineages, so
+				// joining brokers reach both documents through one address.
+				mux.Handle(discovery.WellKnownLineagePath, lineageHandler())
+			}
 			go func() {
 				fmt.Printf("echod: mesh document on http://%s%s\n", *meshListen, discovery.WellKnownMeshPath)
-				log.Fatal(http.ListenAndServe(*meshListen, handler))
+				log.Fatal(http.ListenAndServe(*meshListen, mux))
 			}()
 		}
 	}
@@ -176,9 +217,7 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler())
 		if schemaReg != nil {
-			mux.Handle(discovery.WellKnownLineagePath, discovery.LineageHandler(func() []discovery.LineageDoc {
-				return discovery.SnapshotLineages(schemaReg)
-			}))
+			mux.Handle(discovery.WellKnownLineagePath, lineageHandler())
 			fmt.Printf("echod: lineages on http://%s%s\n", *metricsAddr, discovery.WellKnownLineagePath)
 		}
 		go func() {

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", "writev", "evolve", or "all"`)
+	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", "writev", "evolve", "evolve-mesh", or "all"`)
 	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
 	count := flag.Int("count", 1, "repetitions per figure; JSON records carry the mean plus min/max spread")
 	metricsAddr := flag.String("metrics", "", "serve the process obs registry at /metrics on this HTTP address while running (empty: disabled)")
@@ -276,6 +276,16 @@ func run(figs string, opts bench.Options, out io.Writer) ([]bench.JSONRecord, er
 		bench.PrintEvolve(out, rows)
 		fmt.Fprintln(out)
 		records = append(records, bench.EvolveRecords(rows)...)
+	}
+	if want("evolve-mesh") {
+		ran = true
+		rows, err := bench.EvolveMesh(opts)
+		if err != nil {
+			return nil, err
+		}
+		bench.PrintEvolveMesh(out, rows)
+		fmt.Fprintln(out)
+		records = append(records, bench.EvolveMeshRecords(rows)...)
 	}
 	if !ran {
 		return nil, fmt.Errorf("unknown figure %q", figs)

@@ -5,9 +5,11 @@
 //	xmitconform                  run the differential suite (500 cases)
 //	xmitconform -seed 8 -n 1     replay one failing case deterministically
 //	xmitconform -evolve          run the format-evolution axis: policy-admitted
-//	                             lineage chains, registry acceptance, and
+//	                             lineage chains, registry acceptance,
 //	                             version-projection round-trips vs the tree
-//	                             reference
+//	                             reference, and a federated mesh leg projecting
+//	                             pinned views through a remote registry built
+//	                             from the gossiped lineage document
 //	xmitconform -check           verify the golden corpus (CI drift gate)
 //	xmitconform -update          regenerate the golden corpus after a
 //	                             deliberate wire-format change
@@ -49,7 +51,7 @@ func main() {
 		if err := conform.SeedFuzzCorpora(*seedFuzz, 8); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("fuzz seed corpora written under %s (dom, pbio, echan, conform)\n", *seedFuzz)
+		fmt.Printf("fuzz seed corpora written under %s (dom, pbio, echan, conform, discovery)\n", *seedFuzz)
 	case *update:
 		if err := h.WriteGolden(*dir, conform.GoldenCount); err != nil {
 			fatal(err)
@@ -79,8 +81,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("conform: evolve axis: %d chains x %d steps, %d projection legs, %d wire ops, 0 disagreements\n",
-			st.Chains, st.Steps, st.Pairs, st.Checks)
+		fmt.Printf("conform: evolve axis: %d chains x %d steps, %d projection legs, %d mesh legs, %d wire ops, 0 disagreements\n",
+			st.Chains, st.Steps, st.Pairs, st.MeshLegs, st.Checks)
 	default:
 		count := *n
 		if *short {

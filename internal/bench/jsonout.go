@@ -199,7 +199,7 @@ func MergeRecords(runs [][]JSONRecord) []JSONRecord {
 
 // RecordFigures names every figure that contributes JSON records — the
 // expansion of "all" for RequireFigures.
-var RecordFigures = []string{"8", "fanout", "send", "scale", "mesh", "writev", "evolve"}
+var RecordFigures = []string{"8", "fanout", "send", "scale", "mesh", "writev", "evolve", "evolve-mesh"}
 
 // RequireFigures closes the vacuous-pass hole in the regression gate:
 // CompareJSON deliberately ignores baseline entries the fresh run didn't
@@ -238,12 +238,39 @@ func RequireFigures(figs []string, fresh []JSONRecord) []string {
 	return missing
 }
 
+// perMetricTolerance derives the tolerance for one baseline record from
+// its own recorded spread.  A baseline merged from repeated runs (Reps >=
+// 2, see MergeRecords) knows how noisy each metric is: the relative spread
+// (Max-Min)/Value, widened by half again for spans the repetitions did not
+// happen to visit, becomes that metric's tolerance — clamped to
+// [global/2, 2*global] so a freakishly steady metric cannot turn the gate
+// hair-triggered and a wild one cannot disable it.  Legacy records
+// (single-run baselines, or any with an unusable spread) fall back to the
+// global knob unchanged.
+func perMetricTolerance(base JSONRecord, global float64) float64 {
+	if base.Reps < 2 || base.Value <= 0 || base.Min <= 0 || base.Max < base.Min {
+		return global
+	}
+	tol := 1.5 * (base.Max - base.Min) / base.Value
+	if lo := global / 2; tol < lo {
+		return lo
+	}
+	if hi := 2 * global; tol > hi {
+		return hi
+	}
+	return tol
+}
+
 // CompareJSON checks fresh throughput numbers against a baseline and
 // returns one message per regression: a rate metric present in both sets
-// whose fresh value fell more than tolerance below the baseline (0.35
-// means anything above a 35% drop fails).  Time-per-op metrics and
-// baseline entries the fresh run didn't produce (figures not re-run) are
-// ignored, so a full baseline can gate a partial rerun.
+// whose fresh value fell more than the tolerated fraction below the
+// baseline.  tolerance is the global knob (0.35 means anything above a 35%
+// drop fails); a baseline recorded with repetitions carries per-metric
+// spread (Reps/Min/Max) from which each metric derives its own tolerance
+// around that knob (see perMetricTolerance), so steady metrics gate tighter
+// than noisy ones.  Time-per-op metrics and baseline entries the fresh run
+// didn't produce (figures not re-run) are ignored, so a full baseline can
+// gate a partial rerun.
 func CompareJSON(baseline, fresh []JSONRecord, tolerance float64) []string {
 	got := make(map[string]JSONRecord, len(fresh))
 	for _, r := range fresh {
@@ -258,12 +285,13 @@ func CompareJSON(baseline, fresh []JSONRecord, tolerance float64) []string {
 		if !ok {
 			continue
 		}
-		floor := base.Value * (1 - tolerance)
+		tol := perMetricTolerance(base, tolerance)
+		floor := base.Value * (1 - tol)
 		if cur.Value < floor {
 			regressions = append(regressions,
-				fmt.Sprintf("%s/%s %s: %.0f %s, %.1f%% below baseline %.0f (floor %.0f)",
+				fmt.Sprintf("%s/%s %s: %.0f %s, %.1f%% below baseline %.0f (floor %.0f, tolerance %.0f%%)",
 					base.Figure, base.Config, base.Metric, cur.Value, cur.Unit,
-					100*(1-cur.Value/base.Value), base.Value, floor))
+					100*(1-cur.Value/base.Value), base.Value, floor, 100*tol))
 		}
 	}
 	return regressions

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func rateRec(metric string, value float64, reps int, min, max float64) JSONRecord {
+	return JSONRecord{
+		Figure: "scale", Config: "p4_8subs", Metric: metric,
+		Value: value, Unit: "events/s", Reps: reps, Min: min, Max: max,
+	}
+}
+
+// TestPerMetricTolerance pins the spread-to-tolerance mapping: a merged
+// baseline's own run-to-run variance decides how hard each metric gates,
+// clamped around the global knob, with single-run and malformed records
+// falling back to the knob exactly.
+func TestPerMetricTolerance(t *testing.T) {
+	const global = 0.35
+	for _, tc := range []struct {
+		name string
+		rec  JSONRecord
+		want float64
+	}{
+		// 3 reps spanning 980..1020 around 1000: spread 4%, 1.5x = 6%,
+		// clamped up to global/2.
+		{"tight spread clamps to half the knob", rateRec("m", 1000, 3, 980, 1020), global / 2},
+		// Spread 20%: 1.5x = 30%, inside the clamp band — used as-is.
+		{"moderate spread used directly", rateRec("m", 1000, 3, 900, 1100), 0.30},
+		// Spread 100%: 1.5x = 150%, clamped down to 2x the knob.
+		{"wide spread clamps to twice the knob", rateRec("m", 1000, 5, 500, 1500), 2 * global},
+		// Legacy single-run baselines carry no spread.
+		{"single run falls back", rateRec("m", 1000, 0, 0, 0), global},
+		{"one rep falls back", rateRec("m", 1000, 1, 1000, 1000), global},
+		// Malformed spreads must not produce a bogus tolerance.
+		{"zero min falls back", rateRec("m", 1000, 3, 0, 1100), global},
+		{"inverted bounds fall back", rateRec("m", 1000, 3, 1100, 900), global},
+		{"zero value falls back", rateRec("m", 0, 3, 900, 1100), global},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := perMetricTolerance(tc.rec, global)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("perMetricTolerance = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareJSONSpreadTolerance drives the gate end to end over the three
+// baseline shapes: a tight-spread metric catches a drop the global knob
+// would wave through, a wide-spread metric tolerates a drop the global knob
+// would flag, and a legacy record behaves exactly as before.
+func TestCompareJSONSpreadTolerance(t *testing.T) {
+	const global = 0.35
+	fresh := func(metric string, value float64) []JSONRecord {
+		r := rateRec(metric, value, 0, 0, 0)
+		return []JSONRecord{r}
+	}
+	for _, tc := range []struct {
+		name     string
+		base     JSONRecord
+		value    float64 // fresh value
+		wantRegs int
+	}{
+		// Tight spread -> tolerance global/2 = 17.5%: a 25% drop fails
+		// even though it is inside the 35% global knob...
+		{"tight spread catches a quiet regression", rateRec("m", 1000, 3, 990, 1010), 750, 1},
+		// ...and a 10% drop still passes.
+		{"tight spread passes normal noise", rateRec("m", 1000, 3, 990, 1010), 900, 0},
+		// Wide spread -> tolerance 2*global = 70%: a 50% drop is within
+		// this metric's own observed variance.
+		{"wide spread tolerates known noise", rateRec("m", 1000, 5, 500, 1500), 500, 0},
+		{"wide spread still has a floor", rateRec("m", 1000, 5, 500, 1500), 250, 1},
+		// Legacy single-run baseline: the global knob verbatim.
+		{"legacy record passes at the knob", rateRec("m", 1000, 0, 0, 0), 700, 0},
+		{"legacy record fails past the knob", rateRec("m", 1000, 0, 0, 0), 600, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			regs := CompareJSON([]JSONRecord{tc.base}, fresh("m", tc.value), global)
+			if len(regs) != tc.wantRegs {
+				t.Fatalf("regressions = %v, want %d", regs, tc.wantRegs)
+			}
+			if tc.wantRegs == 1 && !strings.Contains(regs[0], "tolerance") {
+				t.Errorf("regression message %q does not name the tolerance", regs[0])
+			}
+		})
+	}
+
+	// A merged baseline gating a merged fresh run (the CI shape): the
+	// per-metric floor applies to the fresh mean.
+	base := []JSONRecord{rateRec("a", 1000, 3, 950, 1050), rateRec("b", 2000, 3, 1900, 2100)}
+	ok := []JSONRecord{rateRec("a", 900, 3, 880, 920), rateRec("b", 1850, 3, 1800, 1900)}
+	if regs := CompareJSON(base, ok, global); len(regs) != 0 {
+		t.Errorf("merged-vs-merged flagged %v", regs)
+	}
+}

@@ -65,9 +65,10 @@ func TestRequireFigures(t *testing.T) {
 		!strings.Contains(missing[0], `"mesh"`) {
 		t.Errorf("mesh without records: %v", missing)
 	}
-	// fanout, send, scale, mesh, evolve have no records here; 8 and writev do.
-	if missing := RequireFigures([]string{"all"}, recs); len(missing) != 5 {
-		t.Errorf("all-expansion: %d missing, want 5: %v", len(missing), missing)
+	// fanout, send, scale, mesh, evolve, and evolve-mesh have no records
+	// here; 8 and writev do.
+	if missing := RequireFigures([]string{"all"}, recs); len(missing) != 6 {
+		t.Errorf("all-expansion: %d missing, want 6: %v", len(missing), missing)
 	}
 	// Figures that never produce records are not required, and duplicates
 	// are reported once.

@@ -1,0 +1,206 @@
+package conform
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/open-metadata/xmit/internal/discovery"
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/registry"
+)
+
+// The mesh leg extends the evolution axis across a (simulated) broker
+// boundary: the chain just registered at the "home" registry is shipped to
+// a fresh "remote" registry the way federated brokers ship it — marshalled
+// as the full-body /.well-known/xmit-lineages document, re-parsed, and
+// merged — and the remote must then be indistinguishable from the home:
+//
+//   - identical history: version numbering, IDs, canonical bytes, policy;
+//   - identical projections: a pinned view resolved from the remote's
+//     adopted formats must project data onto bit-identical wire bytes as
+//     the same view resolved at the home;
+//   - identical policy decisions: the policy-violating head the home
+//     rejects must be rejected by the remote too, naming the same field,
+//     and the typed error must survive the JSON relay brokers forward it
+//     through ("ERR compat <json>").
+//
+// Any daylight between the two registries is exactly the class of bug that
+// lets a subscriber decode the same stream differently depending on which
+// broker it happened to attach through.
+func (h *Harness) meshLeg(chain *EvolveChain, compiled []*CompiledSpec, home *registry.Registry, st *EvolveStats) error {
+	name := chain.Specs[0].Name
+	r := newRand(int64(len(chain.Specs))) // deterministic per chain shape
+
+	docs, err := discovery.ParseLineages(discovery.MarshalLineages(discovery.SnapshotLineagesFull(home)))
+	if err != nil {
+		return fmt.Errorf("mesh leg: lineage document round-trip: %w", err)
+	}
+	remote := registry.New()
+	if _, err := discovery.MergeLineages(remote, docs, "mesh"); err != nil {
+		return fmt.Errorf("mesh leg: merging gossiped document: %w", err)
+	}
+	lh, err := home.Lineage(name)
+	if err != nil {
+		return fmt.Errorf("mesh leg: home lineage: %w", err)
+	}
+	lr, err := remote.Lineage(name)
+	if err != nil {
+		return fmt.Errorf("mesh leg: remote lineage missing after merge: %w", err)
+	}
+	if lr.Policy() != lh.Policy() {
+		return fmt.Errorf("mesh leg: remote policy %s, home %s", lr.Policy(), lh.Policy())
+	}
+	vh, vr := lh.Versions(), lr.Versions()
+	if len(vr) != len(vh) {
+		return fmt.Errorf("mesh leg: remote has %d versions, home %d", len(vr), len(vh))
+	}
+	for i := range vh {
+		if vr[i].ID != vh[i].ID || vr[i].Version != vh[i].Version {
+			return fmt.Errorf("mesh leg: remote v%d = %s, home %s", i+1, vr[i].ID, vh[i].ID)
+		}
+		if !bytes.Equal(vr[i].Format.Canonical(), vh[i].Format.Canonical()) {
+			return fmt.Errorf("mesh leg: remote v%d canonical bytes differ from home", i+1)
+		}
+	}
+
+	// Pinned projection through the remote, in each direction the policy
+	// promises, pinned to the extremes of the lineage (v1 view of head data
+	// and head view of v1 data — the spans a long-lived pinned subscriber
+	// actually crosses).  Lineage versions map back to chain specs by format
+	// ID: the registry dedupes no-op mutation steps, so the lineage can be
+	// shorter than the chain and version numbers are not chain indices.
+	specOf := make(map[meta.FormatID]int, len(compiled))
+	for v := range compiled {
+		id := compiled[v].Format(h.Plats[0].Name).ID()
+		if _, ok := specOf[id]; !ok {
+			specOf[id] = v
+		}
+	}
+	first, last := vh[0], vh[len(vh)-1]
+	lo, ok := specOf[first.ID]
+	if !ok {
+		return fmt.Errorf("mesh leg: lineage v1 (%s) matches no chain spec", first.ID)
+	}
+	hi, ok := specOf[last.ID]
+	if !ok {
+		return fmt.Errorf("mesh leg: lineage head (%s) matches no chain spec", last.ID)
+	}
+	backward := chain.Policy == registry.PolicyBackward || chain.Policy == registry.PolicyBackwardTransitive ||
+		chain.Policy == registry.PolicyFull || chain.Policy == registry.PolicyFullTransitive
+	type pinLeg struct{ src, dst, ver int }
+	legs := []pinLeg{}
+	if backward {
+		legs = append(legs, pinLeg{lo, hi, last.Version}) // old data, new pinned view
+	}
+	if !backward || chain.Policy == registry.PolicyFull || chain.Policy == registry.PolicyFullTransitive {
+		legs = append(legs, pinLeg{hi, lo, first.Version}) // new data, old pinned view
+	}
+	for _, leg := range legs {
+		src, dst := leg.src, leg.dst
+		tree := RandomValue(r, chain.Specs[src])
+		fSrc := compiled[src].Format(h.Plats[0].Name)
+		rec, err := chain.Specs[src].BuildRecord(fSrc, tree)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: build: %w", src+1, dst+1, err)
+		}
+		wire, err := h.Ctx.EncodeRecordBody(nil, rec)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: encode: %w", src+1, dst+1, err)
+		}
+		dec, err := h.Ctx.DecodeRecordBody(fSrc, wire)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: decode: %w", src+1, dst+1, err)
+		}
+		// Resolve the pinned view twice: at the home and from the remote's
+		// adopted lineage state, as broker B does for a reattaching
+		// subscriber.
+		hv, err := lh.Resolve(leg.ver)
+		if err != nil {
+			return fmt.Errorf("mesh leg: home resolve v%d: %w", leg.ver, err)
+		}
+		rv, err := lr.Resolve(leg.ver)
+		if err != nil {
+			return fmt.Errorf("mesh leg: remote resolve v%d: %w", leg.ver, err)
+		}
+		projHome, err := registry.Project(dec, hv.Format)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: home project: %w", src+1, dst+1, err)
+		}
+		wireHome, err := h.Ctx.EncodeRecordBody(nil, projHome)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: home re-encode: %w", src+1, dst+1, err)
+		}
+		projRemote, err := registry.Project(dec, rv.Format)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: remote project: %w", src+1, dst+1, err)
+		}
+		wireRemote, err := h.Ctx.EncodeRecordBody(nil, projRemote)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: remote re-encode: %w", src+1, dst+1, err)
+		}
+		if !bytes.Equal(wireRemote, wireHome) {
+			return fmt.Errorf("mesh leg v%d->v%d: projection through the remote registry is not bit-identical to the home (%d vs %d bytes)",
+				src+1, dst+1, len(wireRemote), len(wireHome))
+		}
+		// And the remote projection still matches the declarative reference.
+		want, err := ProjectTree(chain.Specs[src], chain.Specs[dst], tree)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: reference projection: %w", src+1, dst+1, err)
+		}
+		dec2, err := h.Ctx.DecodeRecordBody(rv.Format, wireRemote)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: re-decode: %w", src+1, dst+1, err)
+		}
+		got, err := chain.Specs[dst].ExtractRecord(dec2)
+		if err != nil {
+			return fmt.Errorf("mesh leg v%d->v%d: extract: %w", src+1, dst+1, err)
+		}
+		if !EqualTrees(want, got) {
+			return fmt.Errorf("mesh leg v%d->v%d: remote projection differs from reference\n    want %s\n    got  %s",
+				src+1, dst+1, FormatTree(want), FormatTree(got))
+		}
+		st.MeshLegs++
+		st.Checks += 6
+	}
+
+	// Negative control, remote edition: the shape-changed head a home
+	// registration rejects must be rejected by the remote's adopted lineage
+	// too — same decision wherever the registration lands — with the typed
+	// diff naming the same field even after the error crosses a broker
+	// boundary as JSON.
+	if bad, field := breakHead(chain.Specs[len(chain.Specs)-1]); bad != nil {
+		cs, err := bad.Compile(h.Plats[:1])
+		if err != nil {
+			return nil
+		}
+		_, err = remote.Register(name, cs.Format(h.Plats[0].Name), "conform-remote")
+		var ce *registry.CompatError
+		if !errors.As(err, &ce) {
+			return fmt.Errorf("mesh leg: remote registry accepted a shape change of field %q (err=%v)", field, err)
+		}
+		data, err := json.Marshal(ce)
+		if err != nil {
+			return fmt.Errorf("mesh leg: encoding compat error: %w", err)
+		}
+		relayed, err := registry.DecodeCompatJSON(data)
+		if err != nil {
+			return fmt.Errorf("mesh leg: compat error did not survive the JSON relay: %w", err)
+		}
+		if relayed.Lineage != ce.Lineage || relayed.Policy != ce.Policy || relayed.FromVersion != ce.FromVersion {
+			return fmt.Errorf("mesh leg: relayed compat error lost identity: %+v vs %+v", relayed, ce)
+		}
+		named := false
+		for _, v := range relayed.Violations {
+			if strings.EqualFold(v.Path, field) && v.Change == meta.ShapeChanged {
+				named = true
+			}
+		}
+		if !named {
+			return fmt.Errorf("mesh leg: relayed rejection %v does not name mutated field %q", relayed.Violations, field)
+		}
+	}
+	return nil
+}

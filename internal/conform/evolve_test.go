@@ -23,6 +23,11 @@ func TestEvolveAxis(t *testing.T) {
 	if st.Chains != chains || st.Pairs == 0 || st.Checks == 0 {
 		t.Fatalf("stats = %+v", st)
 	}
+	// Every chain crosses the simulated broker boundary at least once; full
+	// chains cross twice.
+	if st.MeshLegs < chains {
+		t.Fatalf("mesh legs = %d, want >= %d (stats %+v)", st.MeshLegs, chains, st)
+	}
 }
 
 // TestRandomEvolveChainShape pins structural invariants of generated chains:

@@ -5,12 +5,16 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"github.com/open-metadata/xmit/internal/discovery"
+	"github.com/open-metadata/xmit/internal/registry"
 )
 
 // SeedFuzzCorpora writes generator-derived seed corpora for the repo's
 // fuzz targets under root (the repository root): format-metadata XML for
 // the dom parser, PBIO wire bodies for the body decoder, broker control
-// lines built from generated names, and case seeds for this package's own
+// lines built from generated names, gossiped lineage documents for the
+// federation merge path, and case seeds for this package's own
 // FuzzRoundTrip.  Seeding the fuzzers with structures the generator
 // considers interesting (shared length fields, markup-hostile strings,
 // boundary scalars) starts each CI fuzz pass deep inside the input space
@@ -22,10 +26,11 @@ func SeedFuzzCorpora(root string, n int) error {
 		entries []string
 	}
 	targets := map[string]*target{
-		"dom":     {dir: filepath.Join(root, "internal", "dom", "testdata", "fuzz", "FuzzParse")},
-		"pbio":    {dir: filepath.Join(root, "internal", "pbio", "testdata", "fuzz", "FuzzDecodeBody")},
-		"echan":   {dir: filepath.Join(root, "internal", "echan", "testdata", "fuzz", "FuzzParseCommand")},
-		"conform": {dir: filepath.Join(root, "internal", "conform", "testdata", "fuzz", "FuzzRoundTrip")},
+		"dom":       {dir: filepath.Join(root, "internal", "dom", "testdata", "fuzz", "FuzzParse")},
+		"pbio":      {dir: filepath.Join(root, "internal", "pbio", "testdata", "fuzz", "FuzzDecodeBody")},
+		"echan":     {dir: filepath.Join(root, "internal", "echan", "testdata", "fuzz", "FuzzParseCommand")},
+		"conform":   {dir: filepath.Join(root, "internal", "conform", "testdata", "fuzz", "FuzzRoundTrip")},
+		"discovery": {dir: filepath.Join(root, "internal", "discovery", "testdata", "fuzz", "FuzzMergeLineages")},
 	}
 
 	for i := 0; i < n; i++ {
@@ -53,6 +58,27 @@ func SeedFuzzCorpora(root string, n int) error {
 		}
 		targets["conform"].entries = append(targets["conform"].entries,
 			"go test fuzz v1\nint64("+strconv.FormatInt(caseSeed, 10)+")\n")
+
+		// A generated evolution chain registered under its policy, snapshot
+		// as the full-body lineage document brokers gossip — real structure
+		// for the merge fuzzer to mutate (multi-version histories, canonical
+		// format bodies, every policy name).
+		chr := newRand(caseSeed)
+		chPolicy := evolvePolicies[int(abs64(caseSeed))%len(evolvePolicies)]
+		chain := RandomEvolveChain(chr, s.Name, DefaultGen, 2, chPolicy)
+		lreg := registry.New(registry.WithDefaultPolicy(chPolicy))
+		for v, sp := range chain.Specs {
+			cs, err := sp.Compile(h.Plats[:1])
+			if err != nil {
+				return fmt.Errorf("conform: fuzz lineage seed %d v%d: %w", caseSeed, v+1, err)
+			}
+			if _, err := lreg.Register(sp.Name, cs.Format(h.Plats[0].Name), "seed"); err != nil {
+				return fmt.Errorf("conform: fuzz lineage seed %d v%d: %w", caseSeed, v+1, err)
+			}
+		}
+		targets["discovery"].entries = append(targets["discovery"].entries,
+			bytesEntry(discovery.MarshalLineages(discovery.SnapshotLineagesFull(lreg))),
+			bytesEntry(discovery.MarshalLineages(discovery.SnapshotLineages(lreg))))
 	}
 	// The three historical disagreement seeds stay in the round-trip corpus
 	// forever (xdr enum(8), mpidt boolean(2), xmlwire carriage return).

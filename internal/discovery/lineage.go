@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"bytes"
+	"encoding/hex"
 	"fmt"
 	"net/http"
 	"sort"
@@ -29,6 +30,16 @@ import (
 //	    <version n="2" id="0xfedcba9876543210"/>
 //	  </lineage>
 //	</lineages>
+//
+// A version may additionally carry the format's canonical bytes, hex-encoded
+// in a <canon> child.  That full form is what brokers gossip to each other
+// (and what MergeLineages consumes): with the bodies present, a remote
+// broker can replay a pinned view's negotiated announcement without ever
+// having seen the original format frame.
+//
+//	<version n="1" id="0x0123456789abcdef">
+//	  <canon>584d4631...</canon>
+//	</version>
 
 // WellKnownLineagePath is the HTTP path a registry-bearing daemon serves
 // its lineage document on.
@@ -39,6 +50,10 @@ type LineageDoc struct {
 	Name       string
 	Policy     registry.Policy
 	VersionIDs []meta.FormatID // oldest first; the last entry is the head
+	// Formats, when non-nil, is parallel to VersionIDs and carries the
+	// canonical format bodies (entries may individually be nil).  Documents
+	// without bodies describe a lineage; documents with bodies replicate it.
+	Formats []*meta.Format
 }
 
 // MarshalLineages renders a lineage discovery document, lineages sorted by
@@ -57,14 +72,22 @@ func MarshalLineages(docs []LineageDoc) []byte {
 			Parent: root,
 		}
 		for i, id := range d.VersionIDs {
-			el.Children = append(el.Children, &dom.Element{
+			ver := &dom.Element{
 				Local: "version",
 				Attrs: []dom.Attr{
 					{Local: "n", Value: strconv.Itoa(i + 1)},
 					{Local: "id", Value: fmt.Sprintf("0x%016x", uint64(id))},
 				},
 				Parent: el,
-			})
+			}
+			if i < len(d.Formats) && d.Formats[i] != nil {
+				ver.Children = append(ver.Children, &dom.Element{
+					Local:  "canon",
+					Text:   hex.EncodeToString(d.Formats[i].Canonical()),
+					Parent: ver,
+				})
+			}
+			el.Children = append(el.Children, ver)
 		}
 		root.Children = append(root.Children, el)
 	}
@@ -94,6 +117,7 @@ func ParseLineages(data []byte) ([]LineageDoc, error) {
 				return nil, fmt.Errorf("discovery: lineage %q: %w", name, err)
 			}
 		}
+		haveBody := false
 		for _, v := range el.ChildrenByName("version") {
 			ns, _ := v.Attr("n")
 			n, err := strconv.Atoi(ns)
@@ -106,6 +130,25 @@ func ParseLineages(data []byte) ([]LineageDoc, error) {
 				return nil, fmt.Errorf("discovery: lineage %q v%d: bad id %q", name, n, ids)
 			}
 			d.VersionIDs = append(d.VersionIDs, meta.FormatID(id))
+			var f *meta.Format
+			if c := v.FirstChild("canon"); c != nil {
+				raw, err := hex.DecodeString(c.Text)
+				if err != nil {
+					return nil, fmt.Errorf("discovery: lineage %q v%d: bad canon hex: %v", name, n, err)
+				}
+				if f, err = meta.ParseCanonical(raw); err != nil {
+					return nil, fmt.Errorf("discovery: lineage %q v%d: bad canon body: %v", name, n, err)
+				}
+				if f.ID() != meta.FormatID(id) {
+					return nil, fmt.Errorf("discovery: lineage %q v%d: canon body hashes to %#016x, id attribute says %#016x",
+						name, n, uint64(f.ID()), id)
+				}
+				haveBody = true
+			}
+			d.Formats = append(d.Formats, f)
+		}
+		if !haveBody {
+			d.Formats = nil
 		}
 		out = append(out, d)
 	}
@@ -128,6 +171,82 @@ func SnapshotLineages(lr *registry.Registry) []LineageDoc {
 		out = append(out, d)
 	}
 	return out
+}
+
+// SnapshotLineagesFull captures a registry's lineages with the canonical
+// format bodies included — the replicating form brokers gossip and serve to
+// bootstrapping peers.
+func SnapshotLineagesFull(lr *registry.Registry) []LineageDoc {
+	return SnapshotLineagesSince(lr, 0)
+}
+
+// SnapshotLineagesSince captures, with format bodies, only the lineages
+// mutated after registry revision `after` — the incremental delta a peer
+// pulls once it has merged state up to that revision.  A changed lineage is
+// always shipped whole (histories are short and append-only; the receiver's
+// merge is idempotent), so a delta never depends on the receiver having
+// seen intermediate revisions.
+func SnapshotLineagesSince(lr *registry.Registry, after uint64) []LineageDoc {
+	var out []LineageDoc
+	for _, name := range lr.Lineages() {
+		l, err := lr.Lineage(name)
+		if err != nil || l.Rev() <= after {
+			continue
+		}
+		out = append(out, SnapshotLineageDoc(l))
+	}
+	return out
+}
+
+// SnapshotLineageDoc captures one lineage, format bodies included.
+func SnapshotLineageDoc(l *registry.Lineage) LineageDoc {
+	d := LineageDoc{Name: l.Name(), Policy: l.Policy()}
+	for _, v := range l.Versions() {
+		d.VersionIDs = append(d.VersionIDs, v.ID)
+		d.Formats = append(d.Formats, v.Format)
+	}
+	return d
+}
+
+// MergeLineages folds gossiped lineage documents into a registry.  The
+// document is authoritative (it came from the lineage's home broker): its
+// policy is adopted, and versions the receiver has not seen are adopted in
+// document order without local policy checks, preserving the home's version
+// numbering.  Versions already present are skipped; versions shipped
+// without a format body cannot be adopted and end the walk for that
+// lineage.  A document that disagrees with already-merged history — a
+// different ID at the same position — is reported as an error and the local
+// lineage is left as it was.  It returns the number of versions adopted.
+func MergeLineages(lr *registry.Registry, docs []LineageDoc, source string) (int, error) {
+	adopted := 0
+	for _, d := range docs {
+		if d.Name == "" {
+			continue
+		}
+		lr.AdoptPolicy(d.Name, d.Policy)
+		l, err := lr.Lineage(d.Name)
+		if err != nil {
+			return adopted, err
+		}
+		local := l.Versions()
+		for i, id := range d.VersionIDs {
+			if i < len(local) {
+				if local[i].ID != id {
+					return adopted, fmt.Errorf("discovery: lineage %q diverged: local v%d is %#016x, document says %#016x",
+						d.Name, i+1, uint64(local[i].ID), uint64(id))
+				}
+				continue
+			}
+			if i >= len(d.Formats) || d.Formats[i] == nil {
+				break // no body to adopt; a later full snapshot will fill in
+			}
+			if _, err := l.Adopt(d.Formats[i], source); err != nil {
+				return adopted, err
+			}
+			adopted++
+		}
+	}
+	return adopted, nil
 }
 
 // LineageHandler serves a lineage discovery document at

@@ -95,6 +95,146 @@ func TestLineageHandlerFetch(t *testing.T) {
 	}
 }
 
+// TestLineageDocFormatBodies: the replicating form round-trips the
+// canonical format bytes, and a body that does not hash to its id attribute
+// is rejected.
+func TestLineageDocFormatBodies(t *testing.T) {
+	v1, err := meta.Build("sensor", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := meta.Build("sensor", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "unit", Kind: meta.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []LineageDoc{{
+		Name:       "sensor",
+		Policy:     registry.PolicyBackward,
+		VersionIDs: []meta.FormatID{v1.ID(), v2.ID()},
+		Formats:    []*meta.Format{v1, v2},
+	}}
+	out, err := ParseLineages(MarshalLineages(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0].Formats) != 2 {
+		t.Fatalf("parsed %+v", out)
+	}
+	for i, f := range out[0].Formats {
+		if f == nil || f.ID() != in[0].VersionIDs[i] {
+			t.Errorf("format %d did not survive the round trip", i)
+		}
+	}
+	// A mixed document (one body missing) keeps alignment.
+	in[0].Formats[0] = nil
+	out, err = ParseLineages(MarshalLineages(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Formats[0] != nil || out[0].Formats[1] == nil {
+		t.Errorf("mixed bodies misaligned: %+v", out[0].Formats)
+	}
+	// Tampered id attribute: the body no longer hashes to it.
+	doc := MarshalLineages([]LineageDoc{{
+		Name: "sensor", VersionIDs: []meta.FormatID{12345}, Formats: []*meta.Format{v1},
+	}})
+	if _, err := ParseLineages(doc); err == nil {
+		t.Error("accepted canon body whose hash disagrees with the id attribute")
+	}
+}
+
+// TestMergeLineages: gossiped documents replicate the home's history —
+// policy and version numbering — into a receiving registry, idempotently,
+// and divergence is an error rather than a silent overwrite.
+func TestMergeLineages(t *testing.T) {
+	home := registry.New(registry.WithDefaultPolicy(registry.PolicyBackward))
+	v1, _ := meta.Build("sensor", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+	})
+	v2, _ := meta.Build("sensor", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+		{Name: "unit", Kind: meta.String},
+	})
+	for _, f := range []*meta.Format{v1, v2} {
+		if _, err := home.Register("sensor", f, "test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	remote := registry.New()
+	n, err := MergeLineages(remote, SnapshotLineagesFull(home), "gossip")
+	if err != nil || n != 2 {
+		t.Fatalf("merge = %d, %v", n, err)
+	}
+	l, err := remote.Lineage("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Policy() != registry.PolicyBackward || l.Len() != 2 {
+		t.Fatalf("merged lineage: policy=%v len=%d", l.Policy(), l.Len())
+	}
+	hv, _ := l.Head()
+	if hv.Version != 2 || hv.ID != v2.ID() {
+		t.Errorf("merged head = %+v", hv)
+	}
+	// Merging the same snapshot again adopts nothing.
+	if n, err = MergeLineages(remote, SnapshotLineagesFull(home), "gossip"); err != nil || n != 0 {
+		t.Errorf("re-merge = %d, %v", n, err)
+	}
+	// A diverged document (different ID at an occupied position) errors.
+	bad := SnapshotLineagesFull(home)
+	bad[0].VersionIDs[0] = 999
+	if _, err := MergeLineages(remote, bad, "gossip"); err == nil {
+		t.Error("merged a diverged lineage without error")
+	}
+	// Delta snapshots: nothing changed since the home's current revision.
+	if docs := SnapshotLineagesSince(home, home.Rev()); len(docs) != 0 {
+		t.Errorf("empty delta has %d docs", len(docs))
+	}
+	if docs := SnapshotLineagesSince(home, 0); len(docs) != 1 {
+		t.Errorf("full delta has %d docs", len(docs))
+	}
+}
+
+// FuzzMergeLineages: the gossiped lineage-delta wire format is parsed and
+// merged from bytes a peer sent; arbitrary input must never panic or
+// corrupt the receiving registry, and whatever merges must re-snapshot to a
+// parseable document.
+func FuzzMergeLineages(f *testing.F) {
+	f.Add([]byte(`<lineages/>`))
+	f.Add([]byte(`<lineages><lineage name="s" policy="backward"><version n="1" id="0x0123456789abcdef"/></lineage></lineages>`))
+	v1, _ := meta.Build("sensor", platform.X8664, []meta.FieldDef{
+		{Name: "id", Kind: meta.Integer, Class: platform.Int},
+	})
+	f.Add(MarshalLineages([]LineageDoc{{
+		Name: "sensor", Policy: registry.PolicyBackward,
+		VersionIDs: []meta.FormatID{v1.ID()}, Formats: []*meta.Format{v1},
+	}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		docs, err := ParseLineages(data)
+		if err != nil {
+			return
+		}
+		lr := registry.New()
+		if _, err := MergeLineages(lr, docs, "fuzz"); err != nil {
+			return
+		}
+		snap := SnapshotLineagesFull(lr)
+		if _, err := ParseLineages(MarshalLineages(snap)); err != nil {
+			t.Fatalf("merged state does not re-snapshot: %v", err)
+		}
+		// Merging the same document twice is idempotent.
+		if n, err := MergeLineages(lr, docs, "fuzz"); err != nil || n != 0 {
+			t.Fatalf("re-merge adopted %d versions (err %v)", n, err)
+		}
+	})
+}
+
 // FuzzParseLineages: the lineage document parser faces fetched bytes from
 // arbitrary origins; it must reject, never panic on, malformed input, and
 // anything it accepts must survive a marshal/parse round trip.

@@ -146,6 +146,13 @@ type Channel struct {
 	children  atomic.Pointer[[]*Channel]
 	closed    atomic.Bool
 
+	// adopted marks a mesh proxy channel: its events arrive over an
+	// inter-broker link from the channel's home broker, which already ran
+	// the schema-registry policy check.  Formats announced here are adopted
+	// into the local registry verbatim (home ordering, no re-check), so a
+	// policy decision is made exactly once mesh-wide — at the home.
+	adopted atomic.Bool
+
 	// feed is the channel's attachment to its parent when derived: the
 	// delivery sink registered on one of the parent's shards.  Set under
 	// the broker mutex at Derive, cleared at Close.
@@ -333,9 +340,16 @@ func (ch *Channel) ensureAnnounced(f *meta.Format) (int, error) {
 	// Schema-registry enforcement comes first: a format that violates the
 	// channel lineage's compatibility policy never reaches the registrar,
 	// the announcement table, or a subscriber.  The publish fails with the
-	// registry's typed CompatError.
+	// registry's typed CompatError.  A mesh proxy channel adopts instead of
+	// registering — the home broker is the policy authority, and its
+	// admission (carried here by the link) must not be re-litigated under
+	// the local policy.
 	if sr := ch.broker.schemaReg; sr != nil {
-		if _, err := sr.Register(ch.lineageName(), f, "publish"); err != nil {
+		if ch.adopted.Load() {
+			if _, err := sr.Adopt(ch.lineageName(), f, "link"); err != nil {
+				return 0, err
+			}
+		} else if _, err := sr.Register(ch.lineageName(), f, "publish"); err != nil {
 			return 0, err
 		}
 	}
@@ -437,6 +451,17 @@ func (ch *Channel) PublishBatch(b *pbio.Binding, vs ...any) error {
 // from publisher connections.  The message is copied into a pooled frame, so
 // msg may be reused immediately.
 func (ch *Channel) PublishMessage(f *meta.Format, msg []byte) error {
+	return ch.PublishMessageAt(f, msg, 0)
+}
+
+// PublishMessageAt is PublishMessage with an externally-assigned publish
+// generation: at == 0 lets the channel number the event itself (the normal
+// path); at > 0 stamps the event with the given generation and advances the
+// channel head to at least that value.  Mesh links use it to republish a
+// home broker's stream under the home's own generation numbers, so a
+// subscriber's "after=<gen>" position means the same thing on every broker
+// it might reattach through.
+func (ch *Channel) PublishMessageAt(f *meta.Format, msg []byte, at uint64) error {
 	if ch.parent != nil {
 		return ErrDerivedChannel
 	}
@@ -446,7 +471,7 @@ func (ch *Channel) PublishMessage(f *meta.Format, msg []byte) error {
 	buf := pbio.GetBuffer()
 	dst := append(buf.B[:0], make([]byte, transport.FrameHeaderSize)...)
 	buf.B = append(dst, msg...)
-	return ch.publishFrame(f, buf)
+	return ch.publishFrameAt(f, buf, at)
 }
 
 // PublishOpaque fans out an opaque payload — self-describing encodings (XML,
@@ -469,6 +494,28 @@ func (ch *Channel) PublishOpaque(payload []byte) error {
 // by the payload), stamps the frame header, and fans the event out.  f is
 // nil for opaque payloads.
 func (ch *Channel) publishFrame(f *meta.Format, buf *pbio.Buffer) error {
+	return ch.publishFrameAt(f, buf, 0)
+}
+
+// setGen assigns the event's publish generation: the channel's own next
+// number when at is zero, or the caller-supplied one, advancing the channel
+// head monotonically so Stats().Head and attach positions stay coherent.
+// With retention on, callers hold retMu and the CAS cannot contend.
+func (ch *Channel) setGen(ev *event, at uint64) {
+	if at == 0 {
+		ev.gen = ch.gen.Add(1)
+		return
+	}
+	ev.gen = at
+	for {
+		cur := ch.gen.Load()
+		if at <= cur || ch.gen.CompareAndSwap(cur, at) {
+			return
+		}
+	}
+}
+
+func (ch *Channel) publishFrameAt(f *meta.Format, buf *pbio.Buffer, at uint64) error {
 	payload := len(buf.B) - transport.FrameHeaderSize
 	if payload+1 > maxEventFrame {
 		buf.Release()
@@ -497,14 +544,17 @@ func (ch *Channel) publishFrame(f *meta.Format, buf *pbio.Buffer) error {
 		// With retention on, generation assignment, the retention append,
 		// and the shard handoff form one critical section: the retained
 		// ring then holds a gen-contiguous suffix of the stream, which is
-		// what lets SubAfter decide "replayable or gap" by arithmetic.
+		// what lets SubAfter decide "replayable or gap" by arithmetic.  (A
+		// proxy channel's externally-stamped gens can leave gaps after a
+		// torn link; the arithmetic then over-counts the missed span and
+		// rejects conservatively — a counted loss, never a duplicate.)
 		ch.retMu.Lock()
-		ev.gen = ch.gen.Add(1)
+		ch.setGen(ev, at)
 		ch.retain(ev)
 		ch.enqueueShards(ev)
 		ch.retMu.Unlock()
 	} else {
-		ev.gen = ch.gen.Add(1)
+		ch.setGen(ev, at)
 		ch.enqueueShards(ev)
 	}
 	ch.metrics.published.Inc()

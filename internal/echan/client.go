@@ -2,10 +2,13 @@ package echan
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
+	"github.com/open-metadata/xmit/internal/discovery"
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/registry"
 	"github.com/open-metadata/xmit/internal/transport"
@@ -59,13 +62,21 @@ func readResponseLine(conn net.Conn) (string, error) {
 }
 
 // checkResponse splits a response line into its payload, turning "ERR ..."
-// into an error.
+// into an error.  The typed "ERR compat <json>" line (a schema-registry
+// rejection, possibly relayed through any number of brokers) decodes back
+// into a *registry.CompatError, so errors.As works at the far end exactly
+// as it does next to the registry.
 func checkResponse(line string) (string, error) {
 	switch {
 	case line == "OK":
 		return "", nil
 	case strings.HasPrefix(line, "OK "):
 		return line[len("OK "):], nil
+	case strings.HasPrefix(line, "ERR compat "):
+		if ce, err := registry.DecodeCompatJSON([]byte(line[len("ERR compat "):])); err == nil {
+			return "", ce
+		}
+		return "", fmt.Errorf("echan: broker: %s", line[len("ERR "):])
 	case strings.HasPrefix(line, "ERR "):
 		return "", fmt.Errorf("echan: broker: %s", line[len("ERR "):])
 	}
@@ -242,6 +253,51 @@ func (c *Client) Lineage(name string) (LineageInfo, error) {
 	return info, nil
 }
 
+// Lineages fetches the broker's lineage state as discovery documents with
+// full format bodies — the same documents brokers gossip to each other.
+// channel != "" narrows to that one channel's lineage; otherwise after > 0
+// narrows to lineages mutated past registry revision after (a delta pull;
+// after == 0 fetches everything).  The returned rev is the broker's
+// registry revision at snapshot time: feed it back as after on the next
+// call to pull only what changed since.
+func (c *Client) Lineages(channel string, after uint64) (rev uint64, docs []discovery.LineageDoc, err error) {
+	line := "LINEAGES"
+	switch {
+	case channel != "":
+		line += " " + channel
+	case after > 0:
+		line += " after=" + strconv.FormatUint(after, 10)
+	}
+	payload, err := c.Do(line)
+	if err != nil {
+		return 0, nil, err
+	}
+	var size int64 = -1
+	for _, tok := range strings.Fields(payload) {
+		if v, ok := strings.CutPrefix(tok, "rev="); ok {
+			if rev, err = strconv.ParseUint(v, 10, 64); err != nil {
+				return 0, nil, fmt.Errorf("echan: malformed lineages rev %q", tok)
+			}
+		}
+		if v, ok := strings.CutPrefix(tok, "bytes="); ok {
+			if size, err = strconv.ParseInt(v, 10, 64); err != nil || size < 0 {
+				return 0, nil, fmt.Errorf("echan: malformed lineages size %q", tok)
+			}
+		}
+	}
+	if size < 0 {
+		return 0, nil, fmt.Errorf("echan: lineages response missing bytes= (%q)", payload)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(c.conn, data); err != nil {
+		return 0, nil, fmt.Errorf("echan: reading lineages payload: %w", err)
+	}
+	if docs, err = discovery.ParseLineages(data); err != nil {
+		return 0, nil, err
+	}
+	return rev, docs, nil
+}
+
 // SetPolicy sets a channel lineage's compatibility policy on the broker.
 // Tightening fails if the lineage's existing history already violates the
 // new policy.
@@ -278,6 +334,60 @@ func DialPublisher(addr, channel string, ctx *pbio.Context, opts ...transport.Co
 	return transport.NewConn(conn, ctx, opts...), nil
 }
 
+// PublisherConn is a publisher's connection that keeps the raw socket at
+// hand, so asynchronous broker rejections — a schema-registry compat
+// refusal arrives as an "ERR compat <json>" line after the offending
+// format frame, not as a send failure — can be read back with Status.
+type PublisherConn struct {
+	*transport.Conn
+	nc net.Conn
+}
+
+// DialPublisherConn is DialPublisher returning a PublisherConn.
+func DialPublisherConn(addr, channel string, ctx *pbio.Context, opts ...transport.ConnOption) (*PublisherConn, error) {
+	conn, err := dialBroker(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeLine(conn, "PUB "+channel); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp, err := readResponseLine(conn)
+	if err == nil {
+		_, err = checkResponse(resp)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &PublisherConn{Conn: transport.NewConn(conn, ctx, opts...), nc: conn}, nil
+}
+
+// Status polls for a pending broker error line, waiting at most timeout.
+// It returns nil when the broker has said nothing (the publisher is in
+// good standing), or the decoded error — a *registry.CompatError for a
+// policy rejection, even one resolved at a remote home broker and relayed
+// back through the mesh.  After a non-nil Status the broker has dropped
+// the publisher; the connection is only good for Close.
+func (p *PublisherConn) Status(timeout time.Duration) error {
+	if err := p.nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	defer p.nc.SetReadDeadline(time.Time{})
+	line, err := readResponseLine(p.nc)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil
+		}
+		return err
+	}
+	if _, cerr := checkResponse(line); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
 // SubscriberConn is a subscriber's connection to a broker channel: a
 // transport.Conn for receiving events plus the control verb to detach.
 type SubscriberConn struct {
@@ -302,6 +412,19 @@ func DialSubscriber(addr, channel string, policy Policy, queue int, ctx *pbio.Co
 // schema registry (echod -policy).
 func DialSubscriberVersion(addr, channel string, policy Policy, queue, n int, ctx *pbio.Context, opts ...transport.ConnOption) (*SubscriberConn, error) {
 	return dialSubscriber(addr, channel, policy, queue, " version="+strconv.Itoa(n), ctx, opts...)
+}
+
+// DialSubscriberVersionAfter is DialSubscriberVersion resuming after a
+// known stream generation: the broker replays retained events past gen
+// before going live, still projected onto lineage version n.  Mesh proxies
+// re-publish under the home broker's generation numbers, so a resume
+// position learned on one broker means the same stream position on any
+// broker the subscriber reattaches through.  An uncoverable resume (the
+// span has left retention) fails with an error naming the retention gap
+// rather than silently skipping.
+func DialSubscriberVersionAfter(addr, channel string, policy Policy, queue, n int, gen uint64, ctx *pbio.Context, opts ...transport.ConnOption) (*SubscriberConn, error) {
+	extra := " version=" + strconv.Itoa(n) + " after=" + strconv.FormatUint(gen, 10)
+	return dialSubscriber(addr, channel, policy, queue, extra, ctx, opts...)
 }
 
 func dialSubscriber(addr, channel string, policy Policy, queue int, extra string, ctx *pbio.Context, opts ...transport.ConnOption) (*SubscriberConn, error) {

@@ -255,6 +255,13 @@ func (l *Link) session() (delivered bool) {
 			if _, err := l.mesh.broker.ctx.RegisterFormat(f); err != nil {
 				return delivered
 			}
+			// A new format on the stream means the home's lineage moved:
+			// pull it now so a pinned local subscriber sees the admitted
+			// history before this format's first data frame re-publishes.
+			// Best-effort — periodic gossip converges it regardless.
+			if l.mesh.broker.SchemaRegistry() != nil {
+				l.mesh.SyncLineage(l.home, l.name)
+			}
 		case transport.FrameDataSeq:
 			gen, head, data, err := transport.ParseSeqPayload(payload)
 			if err != nil {
@@ -271,7 +278,10 @@ func (l *Link) session() (delivered bool) {
 			if err != nil {
 				return delivered
 			}
-			if l.local.PublishMessage(f, data) != nil {
+			// Re-publish under the home's own generation number, so a
+			// subscriber's resume position ("after=<gen>") means the same
+			// stream position on every broker it might reattach through.
+			if l.local.PublishMessageAt(f, data, gen) != nil {
 				return delivered
 			}
 			l.lastGen.Store(gen)

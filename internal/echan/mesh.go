@@ -2,12 +2,15 @@ package echan
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/open-metadata/xmit/internal/discovery"
 	"github.com/open-metadata/xmit/internal/obs"
 )
 
@@ -58,7 +61,9 @@ type Mesh struct {
 	stop   chan struct{}
 	wg     sync.WaitGroup
 
-	peersGauge *obs.Gauge
+	peersGauge     *obs.Gauge
+	lineagePulls   *obs.Counter
+	lineageAdopted *obs.Counter
 }
 
 // peerState tracks one known peer.
@@ -66,6 +71,10 @@ type peerState struct {
 	addr    string
 	alive   bool
 	lastErr error
+	// lineageRev is the peer registry's revision high-water mark as of our
+	// last successful lineage pull; the next pull asks for "after=<rev>" so
+	// gossip ships only the lineages that changed since.
+	lineageRev uint64
 }
 
 // MeshOption configures a Mesh.
@@ -132,6 +141,8 @@ func NewMesh(b *Broker, self string, opts ...MeshOption) *Mesh {
 		}
 	}
 	m.peersGauge = b.reg.Gauge("echan_mesh_peers")
+	m.lineagePulls = b.reg.Counter("echan_mesh_lineage_pulls_total")
+	m.lineageAdopted = b.reg.Counter("echan_mesh_lineage_adopted_total")
 	return m
 }
 
@@ -209,17 +220,123 @@ func (m *Mesh) Close() error {
 }
 
 // helloRound introduces the broker to every known peer and merges each
-// peer's own peer list, so membership converges transitively.
+// peer's own peer list, so membership converges transitively.  On a broker
+// with a schema registry the round also pulls each peer's lineage delta —
+// only the lineages mutated since the last pull — and folds it in, so
+// registry state rides the same gossip cadence as membership.
 func (m *Mesh) helloRound() {
 	for _, addr := range m.Peers() {
 		err := m.greet(addr)
+		var after uint64
 		m.mu.Lock()
 		if p, ok := m.peers[addr]; ok {
 			p.alive = err == nil
 			p.lastErr = err
+			after = p.lineageRev
+		}
+		m.mu.Unlock()
+		if err != nil || m.broker.SchemaRegistry() == nil {
+			continue
+		}
+		rev, pullErr := m.pullLineages(addr, after)
+		if pullErr != nil {
+			continue // transient; the next round retries from the same rev
+		}
+		m.mu.Lock()
+		if p, ok := m.peers[addr]; ok && rev > p.lineageRev {
+			p.lineageRev = rev
 		}
 		m.mu.Unlock()
 	}
+}
+
+// pullLineages fetches one peer's lineage delta past the given registry
+// revision and merges it into the local registry, returning the peer's
+// current revision.  Lineages homed on this broker are skipped — we are
+// their authority, and merging a peer's (possibly stale) echo of our own
+// state back in could revert a local policy change.
+func (m *Mesh) pullLineages(addr string, after uint64) (uint64, error) {
+	rev, docs, err := m.fetchLineageDocs(addr, "LINEAGES after="+strconv.FormatUint(after, 10))
+	if err != nil {
+		return 0, err
+	}
+	m.lineagePulls.Inc()
+	remote := docs[:0]
+	for _, d := range docs {
+		if home, ok := m.Home(d.Name); ok && home == m.self {
+			continue
+		}
+		remote = append(remote, d)
+	}
+	n, err := discovery.MergeLineages(m.broker.SchemaRegistry(), remote, addr)
+	if n > 0 {
+		m.lineageAdopted.Add(int64(n))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return rev, nil
+}
+
+// SyncLineage pulls one channel's lineage from a specific broker (its home)
+// and merges it into the local registry.  This is the on-demand path: a
+// pinned subscriber attaching through a non-home broker needs the home's
+// negotiated history before its view can resolve, and a link seeing a new
+// format frame wants the lineage that admitted it.
+func (m *Mesh) SyncLineage(home, channel string) error {
+	sr := m.broker.SchemaRegistry()
+	if sr == nil {
+		return ErrNoSchemaRegistry
+	}
+	_, docs, err := m.fetchLineageDocs(home, "LINEAGES "+channel)
+	if err != nil {
+		return err
+	}
+	m.lineagePulls.Inc()
+	n, err := discovery.MergeLineages(sr, docs, home)
+	if n > 0 {
+		m.lineageAdopted.Add(int64(n))
+	}
+	return err
+}
+
+// fetchLineageDocs runs one LINEAGES request against addr: the sized XML
+// payload after the OK line is read whole and parsed.
+func (m *Mesh) fetchLineageDocs(addr, line string) (uint64, []discovery.LineageDoc, error) {
+	conn, err := m.dial(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	payload, err := meshRequest(conn, line)
+	if err != nil {
+		return 0, nil, err
+	}
+	var rev, size uint64
+	for _, tok := range strings.Fields(payload) {
+		switch {
+		case strings.HasPrefix(tok, "rev="):
+			rev, err = strconv.ParseUint(tok[len("rev="):], 10, 64)
+		case strings.HasPrefix(tok, "bytes="):
+			size, err = strconv.ParseUint(tok[len("bytes="):], 10, 64)
+		}
+		if err != nil {
+			return 0, nil, fmt.Errorf("echan: bad LINEAGES response %q", payload)
+		}
+	}
+	if size > 1<<26 {
+		return 0, nil, fmt.Errorf("echan: %d-byte lineage document over cap", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return 0, nil, err
+	}
+	docs, err := discovery.ParseLineages(buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rev, docs, nil
 }
 
 // greet runs one HELLO + PEERS exchange with a peer.
@@ -349,6 +466,10 @@ func (m *Mesh) ensureLink(name, home string) (*Link, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The proxy republishes a stream the home broker already admitted:
+	// formats announced through it are adopted into the local registry
+	// (home ordering, no local policy re-check).  See Channel.adopted.
+	local.adopted.Store(true)
 	l := newLink(m, name, home, local)
 	m.links[name] = l
 	m.wg.Add(1)

@@ -25,6 +25,9 @@ import (
 //	PEERS                             the broker's known mesh peers
 //	MESH                              one line of mesh and per-link stats
 //	LINEAGE <channel>                 the channel's format lineage: policy and versions
+//	LINEAGES [<channel>] [after=<rev>]
+//	                                  the registry's lineage document, format bodies
+//	                                  included (federation gossip); see below
 //	POLICY <channel> <policy>         set the channel lineage's compatibility policy
 //
 // Responses are a single line: "OK ..." or "ERR <reason>".  After "OK" to
@@ -51,6 +54,15 @@ import (
 // (none | backward | forward | full | *_transitive) and fails if the
 // lineage's existing history violates the tightened policy.
 //
+// LINEAGES is the registry-gossip verb: peers pull lineage state (the
+// /.well-known/xmit-lineages XML document with canonical format bodies
+// inlined) over the same connection they mesh on.  With no arguments the
+// full snapshot is returned; "after=<rev>" narrows it to lineages mutated
+// after that registry revision (an incremental delta); a channel name
+// narrows it to that channel's lineage.  The response is
+// "OK rev=<registry-rev> bytes=<n>" followed by exactly n bytes of XML —
+// the only response in the protocol that carries a sized binary payload.
+//
 // maxCommandLine bounds a control line; longer input is a protocol error.
 const maxCommandLine = 4096
 
@@ -71,6 +83,7 @@ const (
 	VerbMesh
 	VerbLineage
 	VerbPolicy
+	VerbLineages
 )
 
 // Command is one parsed control line.
@@ -243,6 +256,33 @@ func ParseCommand(line string) (Command, error) {
 		}
 		cmd := Command{Verb: VerbLineage, Name: args[0]}
 		return cmd, checkName(cmd.Name)
+	case "LINEAGES":
+		if len(args) > 2 {
+			return Command{}, fmt.Errorf("echan: usage: LINEAGES [<channel>] [after=<rev>]")
+		}
+		cmd := Command{Verb: VerbLineages}
+		for _, tok := range args {
+			switch {
+			case hasFoldPrefix(tok, "after="):
+				if cmd.HasAfter {
+					return Command{}, fmt.Errorf("echan: duplicate LINEAGES option %q", tok)
+				}
+				r, err := strconv.ParseUint(tok[len("after="):], 10, 64)
+				if err != nil {
+					return Command{}, fmt.Errorf("echan: bad registry revision %q", tok)
+				}
+				cmd.After = r
+				cmd.HasAfter = true
+			case cmd.Name == "":
+				if err := checkName(tok); err != nil {
+					return Command{}, err
+				}
+				cmd.Name = tok
+			default:
+				return Command{}, fmt.Errorf("echan: unknown LINEAGES option %q", tok)
+			}
+		}
+		return cmd, nil
 	case "POLICY":
 		if len(args) != 2 {
 			return Command{}, fmt.Errorf("echan: usage: POLICY <channel> <policy>")

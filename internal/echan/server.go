@@ -3,6 +3,8 @@ package echan
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -11,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/open-metadata/xmit/internal/discovery"
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/registry"
@@ -156,6 +159,21 @@ func writeLine(w io.Writer, line string) error {
 	return err
 }
 
+// errLine renders an error as a protocol ERR line.  A schema-registry
+// *CompatError travels typed: "ERR compat <json>", which checkResponse on
+// the client side decodes back into a *registry.CompatError — so a policy
+// rejection keeps its structure (lineage, policy, offending fields) across
+// any number of broker hops, forwardPublisher's byte pipe included.
+func errLine(err error) string {
+	var ce *registry.CompatError
+	if errors.As(err, &ce) {
+		if b, jerr := json.Marshal(ce); jerr == nil {
+			return "ERR compat " + string(b)
+		}
+	}
+	return "ERR " + err.Error()
+}
+
 // readCommandLine reads one bounded control line.
 func readCommandLine(rd *bufio.Reader) (string, error) {
 	line, err := rd.ReadString('\n')
@@ -288,6 +306,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			if s.serveLineage(conn, cmd) != nil {
 				return
 			}
+		case VerbLineages:
+			if s.serveLineages(conn, cmd) != nil {
+				return
+			}
 		case VerbPolicy:
 			sr := s.broker.SchemaRegistry()
 			if sr == nil {
@@ -297,7 +319,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			if err := sr.SetPolicy(s.lineageFor(cmd.Name), cmd.Compat); err != nil {
-				err = writeLine(conn, "ERR "+err.Error())
+				err = writeLine(conn, errLine(err))
 			} else {
 				err = writeLine(conn, "OK policy "+cmd.Compat.String())
 			}
@@ -347,6 +369,42 @@ func (s *Server) serveLineage(conn net.Conn, cmd Command) error {
 		fmt.Fprintf(&sb, " v%d=%#x", v.Version, uint64(v.ID))
 	}
 	return writeLine(conn, sb.String())
+}
+
+// serveLineages answers the LINEAGES gossip verb: "OK rev=<r> bytes=<n>"
+// followed by exactly n bytes — the lineage discovery document (canonical
+// format bodies included) for every lineage matching the query.  With
+// "after=<rev>" only lineages mutated past that registry revision are
+// shipped (the incremental delta a peer pulls each hello round); with a
+// channel name, just that channel's lineage.  The returned error is a
+// connection write failure.
+func (s *Server) serveLineages(conn net.Conn, cmd Command) error {
+	sr := s.broker.SchemaRegistry()
+	if sr == nil {
+		return writeLine(conn, "ERR "+ErrNoSchemaRegistry.Error())
+	}
+	// The revision is read before the snapshot: a mutation landing between
+	// the two is then re-shipped on the next delta rather than lost.
+	rev := sr.Rev()
+	var docs []discovery.LineageDoc
+	switch {
+	case cmd.Name != "":
+		l, err := sr.Lineage(s.lineageFor(cmd.Name))
+		if err != nil {
+			return writeLine(conn, "ERR "+err.Error()+": "+cmd.Name)
+		}
+		docs = []discovery.LineageDoc{discovery.SnapshotLineageDoc(l)}
+	case cmd.HasAfter:
+		docs = discovery.SnapshotLineagesSince(sr, cmd.After)
+	default:
+		docs = discovery.SnapshotLineagesFull(sr)
+	}
+	data := discovery.MarshalLineages(docs)
+	if err := writeLine(conn, fmt.Sprintf("OK rev=%d bytes=%d", rev, len(data))); err != nil {
+		return err
+	}
+	_, err := conn.Write(data)
+	return err
 }
 
 // servePublisher turns the connection into a frame stream feeding a
@@ -400,7 +458,12 @@ func (s *Server) servePublisher(conn net.Conn, rd *bufio.Reader, cmd Command) {
 				return
 			}
 			if err := ch.PublishMessage(f, payload); err != nil {
-				writeLine(conn, "ERR "+err.Error())
+				// A schema-registry rejection leaves as the typed "ERR
+				// compat" line; through forwardPublisher's byte pipe it
+				// reaches a remote publisher verbatim, so the home broker's
+				// policy decision arrives structured wherever the publish
+				// originated.
+				writeLine(conn, errLine(err))
 				return
 			}
 		default:
@@ -477,6 +540,18 @@ func (s *Server) serveSubscriber(conn net.Conn, rd *bufio.Reader, cmd Command) {
 	var sub *Subscription
 	var ver registry.Version
 	if cmd.HasVer {
+		// A pinned subscriber reattaching through a broker that is not the
+		// channel's home needs the home's lineage before the view can
+		// resolve — the local proxy may never have seen the announcement
+		// frames (they flowed before this broker linked up).  Pull the
+		// lineage from the home synchronously; gossip keeps it fresh after
+		// that.  Best-effort: if the home is unreachable, ResolveView
+		// reports what is actually missing.
+		if m := s.mesh.Load(); m != nil {
+			if home := m.ResolveHome(cmd.Name); home != m.Self() {
+				m.SyncLineage(home, cmd.Name)
+			}
+		}
 		var l *registry.Lineage
 		if l, ver, err = ch.ResolveView(cmd.Version); err == nil {
 			sub, err = ch.subscribePinned(gated, cmd.Policy, l, ver, opts...)

@@ -187,6 +187,9 @@ func FuzzParseCommand(f *testing.F) {
 		"STATS weather", "LIST", "DERIVE hot weather temp >= 30",
 		"DERIVE h w site == 'up stream' && seq != 3",
 		"create lower", "SUB a b c d", "", "   ", "CREATE \x00",
+		"SUB weather block 16 version=1 after=42",
+		"LINEAGES", "LINEAGES weather", "LINEAGES after=17",
+		"LINEAGES after=17 after=18", "LINEAGES weather after=17 x",
 		strings.Repeat("A ", 300),
 	} {
 		f.Add(seed)
@@ -199,7 +202,12 @@ func FuzzParseCommand(f *testing.F) {
 		// A command that parses must be safe to execute: names valid,
 		// and DERIVE filters compile.
 		switch cmd.Verb {
-		case VerbUnsub, VerbList:
+		case VerbUnsub, VerbList, VerbPeers, VerbMesh, VerbHello:
+		case VerbLineages:
+			// Both the broker-wide form (no name) and the narrowed form.
+			if cmd.Name != "" && !validName(cmd.Name) {
+				t.Fatalf("ParseCommand(%q) accepted invalid name %q", line, cmd.Name)
+			}
 		default:
 			if !validName(cmd.Name) {
 				t.Fatalf("ParseCommand(%q) accepted invalid name %q", line, cmd.Name)

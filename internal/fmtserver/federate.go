@@ -1,0 +1,43 @@
+package fmtserver
+
+import (
+	"fmt"
+
+	"github.com/open-metadata/xmit/internal/discovery"
+)
+
+// ImportLineages seeds the registry from a lineage discovery document — the
+// /.well-known/xmit-lineages form brokers gossip across the mesh.  Every
+// format body carried in the document is stored in the format directory,
+// and with a schema registry attached the documents merge into it verbatim:
+// version numbering and policies are adopted as decided by the document's
+// origin (the lineage's home broker), bypassing local policy checks.  The
+// two stores therefore agree after an import, which is what lets a
+// directory server bootstrap from a running mesh instead of replaying every
+// registration.  source labels the adopted versions' provenance.  Returns
+// how many formats were newly stored.
+func (r *Registry) ImportLineages(docs []discovery.LineageDoc, source string) (int, error) {
+	if lr := r.lineages.Load(); lr != nil {
+		if _, err := discovery.MergeLineages(lr, docs, source); err != nil {
+			return 0, fmt.Errorf("fmtserver: importing lineages: %w", err)
+		}
+	}
+	stored := 0
+	for _, d := range docs {
+		for _, f := range d.Formats {
+			if f == nil {
+				continue
+			}
+			id := f.ID()
+			data := f.Canonical()
+			r.mu.Lock()
+			if _, ok := r.byID[id]; !ok {
+				r.byID[id] = append([]byte(nil), data...)
+				r.stats.RegistrationsNew.Add(1)
+				stored++
+			}
+			r.mu.Unlock()
+		}
+	}
+	return stored, nil
+}

@@ -1,0 +1,77 @@
+package fmtserver
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/discovery"
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/registry"
+)
+
+// TestImportLineages bootstraps a directory server from a home registry's
+// full-body lineage document: the format store answers lookups for every
+// imported version and the lineage history replicates verbatim, policy
+// included, without the local policy gate re-judging remote decisions.
+func TestImportLineages(t *testing.T) {
+	home := registry.New()
+	v1, v2, v3 := sensorVersion(t, 1), sensorVersion(t, 2), sensorVersion(t, 3)
+	if _, err := home.Register("sensor", v1, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := home.SetPolicy("sensor", registry.PolicyBackward); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := home.Register("sensor", v2, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := home.Register("sensor", v3, "test"); err != nil {
+		t.Fatal(err)
+	}
+	docs := discovery.SnapshotLineagesFull(home)
+
+	reg := NewRegistry()
+	reg.AttachLineages(registry.New())
+	stored, err := reg.ImportLineages(docs, "mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 3 {
+		t.Fatalf("stored %d formats, want 3", stored)
+	}
+	for _, want := range []meta.FormatID{v1.ID(), v2.ID(), v3.ID()} {
+		if _, ok := reg.LookupCanonical(want); !ok {
+			t.Fatalf("format %s not stored after import", want)
+		}
+	}
+	l, err := reg.Lineages().Lineage("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Policy() != registry.PolicyBackward {
+		t.Fatalf("policy = %v after import, want backward", l.Policy())
+	}
+	vs := l.Versions()
+	if len(vs) != 3 || vs[0].ID != v1.ID() || vs[2].ID != v3.ID() {
+		t.Fatalf("versions = %+v after import", vs)
+	}
+	if vs[1].Source != "mesh" {
+		t.Fatalf("adopted source = %q, want mesh", vs[1].Source)
+	}
+
+	// Idempotent: re-importing the same document stores nothing new.
+	if stored, err = reg.ImportLineages(docs, "mesh"); err != nil || stored != 0 {
+		t.Fatalf("re-import stored %d, err %v; want 0, nil", stored, err)
+	}
+
+	// A diverged document (conflicting history) is rejected, and the error
+	// names the problem.
+	other := registry.New()
+	if _, err := other.Register("sensor", v2, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.ImportLineages(discovery.SnapshotLineagesFull(other), "mesh"); err == nil ||
+		!strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("diverged import err = %v, want divergence error", err)
+	}
+}

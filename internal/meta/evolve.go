@@ -75,6 +75,18 @@ func (k ChangeKind) String() string {
 	}
 }
 
+// ParseChangeKind inverts ChangeKind.String — consumers decoding a
+// serialized FieldChange (the registry's CompatError travelling between
+// brokers) restore the typed kind from its wire name.
+func ParseChangeKind(s string) (ChangeKind, bool) {
+	for _, k := range []ChangeKind{FieldAdded, FieldRemoved, TypeChanged, KindChanged, ShapeChanged} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // FieldChange records one difference between two versions of a format,
 // with the compatibility directions it breaks.  Path is the dotted field
 // path ("hdr.count" for a field inside a nested record).

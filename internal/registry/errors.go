@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -42,4 +43,25 @@ func (e *CompatError) Error() string {
 		b.WriteByte(']')
 	}
 	return b.String()
+}
+
+// DecodeCompatJSON reconstructs a CompatError from its JSON encoding — the
+// form it travels in between brokers ("ERR compat <json>" on the control
+// protocol).  The typed fields that don't marshal (Policy, each
+// violation's ChangeKind) are restored from their wire names, so the
+// decoded error renders and matches errors.As exactly like the original.
+func DecodeCompatJSON(data []byte) (*CompatError, error) {
+	var ce CompatError
+	if err := json.Unmarshal(data, &ce); err != nil {
+		return nil, err
+	}
+	if p, err := ParsePolicy(ce.PolicyName); err == nil {
+		ce.Policy = p
+	}
+	for i := range ce.Violations {
+		if k, ok := meta.ParseChangeKind(ce.Violations[i].Kind); ok {
+			ce.Violations[i].Change = k
+		}
+	}
+	return &ce, nil
 }

@@ -1,0 +1,124 @@
+package registry
+
+import (
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+func fedFormat(t *testing.T, fields ...meta.FieldDef) *meta.Format {
+	t.Helper()
+	f, err := meta.Build("sensor", platform.X8664, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestAdoptSkipsPolicy: Adopt is the replication path — a head the home
+// broker admitted must be adoptable even where the local policy would have
+// rejected it, and version numbering must match the home's.
+func TestAdoptSkipsPolicy(t *testing.T) {
+	id := meta.FieldDef{Name: "id", Kind: meta.Integer, Class: platform.Int}
+	val := meta.FieldDef{Name: "val", Kind: meta.Float, Class: platform.Double}
+	v1 := fedFormat(t, id, val)
+	// v2 changes "val" from float to string: breaks backward compatibility.
+	v2 := fedFormat(t, id, meta.FieldDef{Name: "val", Kind: meta.String})
+
+	r := New(WithDefaultPolicy(PolicyBackward))
+	if _, err := r.Register("sensor", v1, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("sensor", v2, "test"); err == nil {
+		t.Fatal("Register admitted a backward-breaking head; want CompatError")
+	}
+	v, err := r.Adopt("sensor", v2, "gossip")
+	if err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	if v.Version != 2 || v.Parent != v1.ID() || v.Source != "gossip" {
+		t.Errorf("adopted version = %+v", v)
+	}
+	// Idempotent by ID, like Register.
+	again, err := r.Adopt("sensor", v2, "gossip")
+	if err != nil || again.Version != 2 {
+		t.Errorf("re-adopt = %+v, %v", again, err)
+	}
+	l, err := r.Lineage("sensor")
+	if err != nil || l.Len() != 2 {
+		t.Fatalf("lineage after adopt: %v len=%d", err, l.Len())
+	}
+}
+
+// TestAdoptPolicySkipsValidation: mirroring the home's policy must succeed
+// even when the locally-adopted history would fail SetPolicy validation.
+func TestAdoptPolicySkipsValidation(t *testing.T) {
+	id := meta.FieldDef{Name: "id", Kind: meta.Integer, Class: platform.Int}
+	val := meta.FieldDef{Name: "val", Kind: meta.Float, Class: platform.Double}
+	r := New()
+	if _, err := r.Adopt("sensor", fedFormat(t, id, val), "gossip"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Adopt("sensor", fedFormat(t, id, meta.FieldDef{Name: "val", Kind: meta.String}), "gossip"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetPolicy("sensor", PolicyBackward); err == nil {
+		t.Fatal("SetPolicy validated a breaking history as backward-compatible")
+	}
+	r.AdoptPolicy("sensor", PolicyBackward)
+	l, _ := r.Lineage("sensor")
+	if l.Policy() != PolicyBackward {
+		t.Errorf("policy after AdoptPolicy = %v", l.Policy())
+	}
+}
+
+// TestRegistryRevisions: every mutation bumps the registry revision and
+// stamps the mutated lineage, so gossip deltas can filter by revision.
+func TestRegistryRevisions(t *testing.T) {
+	id := meta.FieldDef{Name: "id", Kind: meta.Integer, Class: platform.Int}
+	val := meta.FieldDef{Name: "val", Kind: meta.Float, Class: platform.Double}
+	r := New()
+	if r.Rev() != 0 {
+		t.Fatalf("fresh registry rev = %d", r.Rev())
+	}
+	if _, err := r.Register("a", fedFormat(t, id), "test"); err != nil {
+		t.Fatal(err)
+	}
+	la, _ := r.Lineage("a")
+	if r.Rev() != 1 || la.Rev() != 1 {
+		t.Fatalf("after one register: registry rev=%d lineage rev=%d", r.Rev(), la.Rev())
+	}
+	// Idempotent re-register does not bump.
+	if _, err := r.Register("a", fedFormat(t, id), "test"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rev() != 1 {
+		t.Fatalf("idempotent register bumped rev to %d", r.Rev())
+	}
+	if _, err := r.Adopt("b", fedFormat(t, id, val), "gossip"); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := r.Lineage("b")
+	if r.Rev() != 2 || lb.Rev() != 2 || la.Rev() != 1 {
+		t.Fatalf("after adopt: registry=%d a=%d b=%d", r.Rev(), la.Rev(), lb.Rev())
+	}
+	// Policy change bumps; a no-op policy change does not.
+	if err := r.SetPolicy("a", PolicyBackward); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rev() != 3 || la.Rev() != 3 {
+		t.Fatalf("after policy change: registry=%d a=%d", r.Rev(), la.Rev())
+	}
+	if err := r.SetPolicy("a", PolicyBackward); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rev() != 3 {
+		t.Fatalf("no-op policy change bumped rev to %d", r.Rev())
+	}
+	// ensure alone (policy adopt to the same value) does not bump.
+	r.AdoptPolicy("c", PolicyNone)
+	if r.Rev() != 3 {
+		t.Fatalf("AdoptPolicy to default bumped rev to %d", r.Rev())
+	}
+}

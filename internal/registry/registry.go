@@ -41,6 +41,23 @@ type Lineage struct {
 	mu     sync.Mutex // serialises Register and SetPolicy
 	policy atomic.Int32
 	snap   atomic.Pointer[lineageSnap]
+	// rev points at the owning registry's revision counter; lastRev records
+	// the registry revision of this lineage's most recent mutation, so delta
+	// consumers (mesh gossip) can ask for "everything after revision N".
+	rev     *atomic.Uint64
+	lastRev atomic.Uint64
+}
+
+// Rev returns the registry revision of this lineage's last mutation (zero
+// if it has never been mutated).
+func (l *Lineage) Rev() uint64 { return l.lastRev.Load() }
+
+// touch stamps the lineage with a fresh registry revision.  Callers hold
+// l.mu.
+func (l *Lineage) touch() {
+	if l.rev != nil {
+		l.lastRev.Store(l.rev.Add(1))
+	}
 }
 
 // Name returns the lineage name.
@@ -136,7 +153,61 @@ func (l *Lineage) Register(f *meta.Format, source string) (Version, error) {
 	}
 	next.byID[id] = len(cur.versions)
 	l.snap.Store(next)
+	l.touch()
 	return v, nil
+}
+
+// Adopt appends a format that some other authority has already admitted —
+// the gossip/replication path.  A channel's compatibility policy is decided
+// once, at its home broker; remote brokers adopt the resulting history
+// verbatim so version numbers mean the same thing mesh-wide.  Adopting an
+// ID already in the lineage is idempotent and returns the existing version;
+// no policy check is performed either way.
+func (l *Lineage) Adopt(f *meta.Format, source string) (Version, error) {
+	id := f.ID()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.snap.Load()
+	if i, ok := cur.byID[id]; ok {
+		return cur.versions[i], nil
+	}
+	v := Version{
+		Version:      len(cur.versions) + 1,
+		ID:           id,
+		Format:       f,
+		Source:       source,
+		RegisteredAt: time.Now(),
+	}
+	if len(cur.versions) > 0 {
+		v.Parent = cur.versions[len(cur.versions)-1].ID
+	}
+	next := &lineageSnap{
+		versions: make([]Version, len(cur.versions)+1),
+		byID:     make(map[meta.FormatID]int, len(cur.byID)+1),
+	}
+	copy(next.versions, cur.versions)
+	next.versions[len(cur.versions)] = v
+	for k, i := range cur.byID {
+		next.byID[k] = i
+	}
+	next.byID[id] = len(cur.versions)
+	l.snap.Store(next)
+	l.touch()
+	return v, nil
+}
+
+// AdoptPolicy replaces the lineage policy without validating the existing
+// history against it.  Like Adopt, this is the replication path: the home
+// broker already ran the SetPolicy validation, so a remote broker mirroring
+// the home's state must not re-litigate (its local history may lag).
+func (l *Lineage) AdoptPolicy(p Policy) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if Policy(l.policy.Load()) == p {
+		return
+	}
+	l.policy.Store(int32(p))
+	l.touch()
 }
 
 // SetPolicy changes the lineage policy.  Tightening is only allowed if the
@@ -158,7 +229,10 @@ func (l *Lineage) SetPolicy(p Policy) error {
 			}
 		}
 	}
-	l.policy.Store(int32(p))
+	if Policy(l.policy.Load()) != p {
+		l.policy.Store(int32(p))
+		l.touch()
+	}
 	return nil
 }
 
@@ -191,7 +265,16 @@ type Registry struct {
 	mu            sync.Mutex
 	lineages      atomic.Pointer[map[string]*Lineage]
 	defaultPolicy Policy
+	// rev increments on every lineage mutation (Register, Adopt, policy
+	// change).  Each lineage records the revision of its own last mutation,
+	// so "what changed since revision N" is answerable without diffing.
+	rev atomic.Uint64
 }
+
+// Rev returns the registry's current revision — the high-water mark across
+// all lineage mutations.  A consumer that has merged state up to Rev() r
+// only needs lineages whose Lineage.Rev() exceeds r.
+func (r *Registry) Rev() uint64 { return r.rev.Load() }
 
 // Option configures a Registry.
 type Option func(*Registry)
@@ -243,7 +326,7 @@ func (r *Registry) ensure(name string) *Lineage {
 	if l, ok := cur[name]; ok {
 		return l
 	}
-	l := &Lineage{name: name}
+	l := &Lineage{name: name, rev: &r.rev}
 	l.policy.Store(int32(r.defaultPolicy))
 	l.snap.Store(&lineageSnap{byID: map[meta.FormatID]int{}})
 	next := make(map[string]*Lineage, len(cur)+1)
@@ -265,4 +348,16 @@ func (r *Registry) Register(lineage string, f *meta.Format, source string) (Vers
 // does not exist yet (so a policy can be pinned before the first publish).
 func (r *Registry) SetPolicy(lineage string, p Policy) error {
 	return r.ensure(lineage).SetPolicy(p)
+}
+
+// Adopt appends an already-admitted format to the named lineage without a
+// policy check (see Lineage.Adopt).
+func (r *Registry) Adopt(lineage string, f *meta.Format, source string) (Version, error) {
+	return r.ensure(lineage).Adopt(f, source)
+}
+
+// AdoptPolicy replaces the named lineage's policy without history
+// validation (see Lineage.AdoptPolicy), creating the lineage if absent.
+func (r *Registry) AdoptPolicy(lineage string, p Policy) {
+	r.ensure(lineage).AdoptPolicy(p)
 }
