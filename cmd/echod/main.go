@@ -43,10 +43,20 @@
 // re-publish under home generation numbers.  An http(s) -peer bootstrap
 // also adopts the peer's lineage document up front.
 //
+// With -store (requires -policy), registry state persists across restarts:
+// every lineage append and policy change is journaled to the directory
+// (format bodies in a content-addressed blob store, decisions in an
+// append-only journal with periodic snapshots), and a restarted broker
+// recovers its full lineage histories, version numbering, and policy
+// decisions from local disk before serving — no peer gossip or remote
+// fetch needed, and the same incompatible head is re-rejected with the
+// same typed compat error.  Fetched discovery documents are persisted
+// too, so cold-start warming skips remote fetches entirely.
+//
 // Usage:
 //
 //	echod -addr 127.0.0.1:8801 -metrics 127.0.0.1:8802 [-fmtserver 127.0.0.1:8701] [-queue 64] [-shards N]
-//	      [-unix /run/echod.sock] [-policy backward]
+//	      [-unix /run/echod.sock] [-policy backward] [-store /var/lib/echod]
 //	      [-peer host2:8801,http://host3:8803] [-mesh-listen 127.0.0.1:8803] [-advertise host1:8801] [-retain N]
 package main
 
@@ -66,6 +76,7 @@ import (
 	"github.com/open-metadata/xmit/internal/obs"
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/registry"
+	"github.com/open-metadata/xmit/internal/store"
 )
 
 func main() {
@@ -80,6 +91,7 @@ func main() {
 	advertise := flag.String("advertise", "", "mesh address peers dial this broker on (default: the bound -addr)")
 	retain := flag.Int("retain", -1, "events retained per channel for link resume (-1: 1024 when federated, else 0)")
 	policy := flag.String("policy", "", "attach a schema registry with this default compatibility policy (none, backward, forward, full, *_transitive; empty: no registry)")
+	storeDir := flag.String("store", "", "persist registry state and fetched documents in this directory (requires -policy; survives restarts)")
 	flag.Parse()
 
 	federated := *peers != "" || *meshListen != "" || *advertise != ""
@@ -124,6 +136,31 @@ func main() {
 		schemaReg = registry.New(registry.WithDefaultPolicy(p))
 		opts = append(opts, echan.WithSchemaRegistry(schemaReg))
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		if schemaReg == nil {
+			log.Fatalf("echod: -store requires -policy (the store persists registry state)")
+		}
+		var err error
+		st, err = store.Open(*storeDir, store.WithMetricsRegistry(metrics))
+		if err != nil {
+			log.Fatalf("echod: %v", err)
+		}
+		// Recover persisted lineage state before the broker serves anything,
+		// then journal every subsequent append and policy change.
+		rs, err := st.PersistRegistry(schemaReg)
+		if err != nil {
+			log.Fatalf("echod: recovering store %s: %v", *storeDir, err)
+		}
+		fmt.Printf("echod: store %s: recovered %d lineages, %d versions (%d snapshot, %d journal records", *storeDir, rs.Lineages, rs.Versions, rs.SnapshotVersions, rs.JournalRecords)
+		if rs.TruncatedTail {
+			fmt.Printf(", torn journal tail truncated")
+		}
+		if rs.SnapshotFallback {
+			fmt.Printf(", snapshot fallback")
+		}
+		fmt.Println(")")
+	}
 	broker := echan.NewBroker(opts...)
 
 	srv := echan.NewServer(broker)
@@ -162,7 +199,16 @@ func main() {
 			self = bound
 		}
 		mesh = echan.NewMesh(broker, self)
-		repo := discovery.NewRepository()
+		var ropts []discovery.RepoOption
+		if st != nil {
+			ropts = append(ropts, discovery.WithDocStore(st))
+		}
+		repo := discovery.NewRepository(ropts...)
+		if st != nil {
+			if n := repo.WarmFromStore(); n > 0 {
+				fmt.Printf("echod: warmed %d discovery documents from store\n", n)
+			}
+		}
 		for _, p := range strings.Split(*peers, ",") {
 			p = strings.TrimSpace(p)
 			if p == "" {
@@ -235,4 +281,14 @@ func main() {
 	}
 	srv.Close()
 	broker.Close()
+	if st != nil {
+		// Snapshot the registry and compact the journal so the next start
+		// recovers from one document instead of a long replay.
+		if err := st.Snapshot(schemaReg); err != nil {
+			log.Printf("echod: snapshotting store: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("echod: closing store: %v", err)
+		}
+	}
 }

@@ -10,9 +10,15 @@
 // default compatibility policy, queryable over the lineage wire ops, and
 // (with -metrics) served at /.well-known/xmit-lineages for discovery.
 //
+// With -store, the catalogue persists: registered formats are written
+// through to a content-addressed blob store and replayed from local disk
+// at startup, so a restarted server answers every pre-restart lookup
+// without a single re-registration; with -policy too, lineage histories
+// and policy decisions are journaled and recovered the same way.
+//
 // Usage:
 //
-//	fmtserver -addr 127.0.0.1:8701 -metrics 127.0.0.1:8702 [-policy backward]
+//	fmtserver -addr 127.0.0.1:8701 -metrics 127.0.0.1:8702 [-policy backward] [-store /var/lib/fmtserver]
 package main
 
 import (
@@ -27,12 +33,14 @@ import (
 	"github.com/open-metadata/xmit/internal/fmtserver"
 	"github.com/open-metadata/xmit/internal/obs"
 	"github.com/open-metadata/xmit/internal/registry"
+	"github.com/open-metadata/xmit/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8701", "listen address")
 	metricsAddr := flag.String("metrics", "", "serve /metrics on this HTTP address (empty: disabled)")
 	policy := flag.String("policy", "", "track format lineages with this default compatibility policy (none, backward, forward, full, *_transitive; empty: no lineages)")
+	storeDir := flag.String("store", "", "persist the format catalogue (and lineages, with -policy) in this directory")
 	flag.Parse()
 
 	reg := fmtserver.NewRegistry()
@@ -49,6 +57,31 @@ func main() {
 		schemaReg = registry.New(registry.WithDefaultPolicy(p))
 		reg.AttachLineages(schemaReg)
 		fmt.Printf("fmtserver: tracking lineages (default policy %s)\n", *policy)
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.WithMetricsRegistry(metrics))
+		if err != nil {
+			log.Fatalf("fmtserver: %v", err)
+		}
+		if schemaReg != nil {
+			// Lineage state first: recovery rebuilds histories and policies
+			// through the adoption path, so the catalogue warm-up below
+			// re-registers against the recovered (not empty) lineages.
+			rs, err := st.PersistRegistry(schemaReg)
+			if err != nil {
+				log.Fatalf("fmtserver: recovering store %s: %v", *storeDir, err)
+			}
+			fmt.Printf("fmtserver: store %s: recovered %d lineages, %d versions\n", *storeDir, rs.Lineages, rs.Versions)
+		}
+		n, err := reg.WarmFromStore(st)
+		if err != nil {
+			log.Fatalf("fmtserver: warming from store %s: %v", *storeDir, err)
+		}
+		reg.AttachStore(st)
+		fmt.Printf("fmtserver: warmed %d formats from %s\n", n, *storeDir)
 	}
 
 	srv := fmtserver.NewServer(reg)
@@ -78,4 +111,14 @@ func main() {
 	<-sig
 	fmt.Println("fmtserver: shutting down")
 	srv.Close()
+	if st != nil {
+		if schemaReg != nil {
+			if err := st.Snapshot(schemaReg); err != nil {
+				log.Printf("fmtserver: snapshotting store: %v", err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			log.Printf("fmtserver: closing store: %v", err)
+		}
+	}
 }

@@ -14,9 +14,21 @@
 // decode the entire stream projected onto v1, bit-exactly, while the wire
 // format evolves under it.
 //
+// With -restart, meshsoak instead drives the persistence check against a
+// broker running with -store: "-restart seed" grows the channel's lineage,
+// provokes a compatibility rejection of a deliberately broken head, and
+// writes the lineage version IDs plus the rejection's JSON to the -state
+// file; after the broker is killed and restarted, "-restart verify" demands
+// the full lineage (bit-exact version IDs) from the very first directory
+// answer — no gossip round, no remote fetch — re-submits the same broken
+// head expecting a byte-identical rejection, and runs a fresh exactly-once
+// stream through a v1-pinned subscriber resolved from the recovered lineage.
+//
 // Usage:
 //
 //	meshsoak -home 127.0.0.1:8801 -via 127.0.0.1:8811,127.0.0.1:8821 -n 5000 -subs 2 [-evolve 3 -pin]
+//	meshsoak -home 127.0.0.1:8801 -restart seed   -state soak.json -evolve 3
+//	meshsoak -home 127.0.0.1:8801 -restart verify -state soak.json -n 2000
 //
 // Every subscriber must observe the contiguous sequence 0..n-1: a gap is
 // lost delivery, a repeat or regression is duplicated delivery, and either
@@ -24,6 +36,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +50,7 @@ import (
 	"github.com/open-metadata/xmit/internal/meta"
 	"github.com/open-metadata/xmit/internal/pbio"
 	"github.com/open-metadata/xmit/internal/platform"
+	"github.com/open-metadata/xmit/internal/registry"
 )
 
 type event struct {
@@ -61,7 +76,21 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
 	evolve := flag.Int("evolve", 0, "upgrade the event format this many times mid-stream (needs echod -policy)")
 	pin := flag.Bool("pin", false, "add a v1-pinned subscriber per broker (needs echod -policy)")
+	restart := flag.String("restart", "", "restart-recovery mode: seed (grow lineage, record broken-head rejection) or verify (after broker restart; needs echod -store)")
+	stateFile := flag.String("state", "meshsoak-state.json", "state file shared between -restart seed and -restart verify")
 	flag.Parse()
+
+	switch *restart {
+	case "":
+	case "seed":
+		runRestartSeed(*home, *channel, *stateFile, *evolve)
+		return
+	case "verify":
+		runRestartVerify(*home, *channel, *stateFile, *n, *queue)
+		return
+	default:
+		log.Fatalf("meshsoak: -restart must be seed or verify, not %q", *restart)
+	}
 
 	brokers := []string{*home}
 	for _, a := range strings.Split(*via, ",") {
@@ -366,6 +395,227 @@ func waitLineageHead(addr, channel string, head int, timeout time.Duration) erro
 		time.Sleep(100 * time.Millisecond)
 	}
 	return fmt.Errorf("waiting for %s lineage head v%d on %s: %v", channel, head, addr, last)
+}
+
+// restartState is what "-restart seed" hands "-restart verify" across the
+// broker kill: the lineage the broker must recover from disk (version IDs,
+// oldest first) and the exact JSON of the compatibility error that rejected
+// the broken head — verify demands both back bit-for-bit.
+type restartState struct {
+	Channel  string   `json:"channel"`
+	Versions []string `json:"versions"`
+	Compat   string   `json:"compat"`
+}
+
+// brokenHead builds the deliberately incompatible evolution: same fields as
+// v1 but val's type changed from double to int.  A type change violates
+// every policy above none, and both phases rebuild it deterministically so
+// the broker is shown the identical bytes before and after its restart.
+func brokenHead() *meta.Format {
+	f, err := meta.Build("MeshSoakEvent", platform.X8664, []meta.FieldDef{
+		{Name: "seq", Kind: meta.Integer, Class: platform.LongLong},
+		{Name: "val", Kind: meta.Integer, Class: platform.Int},
+	})
+	if err != nil {
+		log.Fatalf("meshsoak: building broken head: %v", err)
+	}
+	return f
+}
+
+// rejectBrokenHead publishes the broken head on the channel and returns the
+// JSON of the *registry.CompatError the broker answers with.  Anything but
+// a compat rejection is fatal — acceptance would mean the lineage history
+// (or its policy) is gone.
+func rejectBrokenHead(home, channel string) string {
+	pub, err := echan.DialPublisherConn(home, channel, pbio.NewContext())
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	defer pub.Close()
+	rec := pbio.NewRecord(brokenHead())
+	mustSet(rec, "seq", -1)
+	mustSet(rec, "val", 0)
+	if err := pub.SendRecord(rec); err != nil {
+		log.Fatalf("meshsoak: publishing broken head: %v", err)
+	}
+	if err := pub.Flush(); err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	err = pub.Status(5 * time.Second)
+	var ce *registry.CompatError
+	if !errors.As(err, &ce) {
+		log.Fatalf("meshsoak: broken head not rejected with a compat error (got %v)", err)
+	}
+	body, err := json.Marshal(ce)
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	return string(body)
+}
+
+// runRestartSeed drives a -store broker through the state the restart check
+// depends on: an evolved lineage, a policy decision rejecting a broken
+// head.  It records the resulting lineage and rejection in the state file.
+func runRestartSeed(home, channel, stateFile string, evolve int) {
+	if evolve < 1 {
+		evolve = 2
+	}
+	ctl, err := echan.DialControl(home)
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	defer ctl.Close()
+	if err := ctl.Create(channel); err != nil {
+		log.Fatalf("meshsoak: creating %s on %s: %v", channel, home, err)
+	}
+
+	chain := soakChain(evolve + 1)
+	pub, err := echan.DialPublisherConn(home, channel, pbio.NewContext())
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	for _, f := range chain {
+		rec := pbio.NewRecord(f)
+		mustSet(rec, "seq", -1)
+		mustSet(rec, "val", 0.0)
+		for _, fl := range f.Fields[2:] {
+			mustSet(rec, fl.Name, 0)
+		}
+		if err := pub.SendRecord(rec); err != nil {
+			log.Fatalf("meshsoak: announcing v%d: %v", len(chain), err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	if err := pub.Status(500 * time.Millisecond); err != nil {
+		log.Fatalf("meshsoak: seeding lineage: %v", err)
+	}
+	pub.Close()
+	if err := waitLineageHead(home, channel, len(chain), 10*time.Second); err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+
+	info, err := ctl.Lineage(channel)
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	st := restartState{Channel: channel}
+	for _, id := range info.VersionIDs {
+		st.Versions = append(st.Versions, meta.FormatID(id).String())
+	}
+	st.Compat = rejectBrokenHead(home, channel)
+
+	buf, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	if err := os.WriteFile(stateFile, buf, 0o644); err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	fmt.Printf("meshsoak: seeded lineage %s to v%d, broken head rejected; state in %s\n",
+		channel, len(st.Versions), stateFile)
+}
+
+// runRestartVerify checks a restarted -store broker against the seeded
+// state: the full lineage must come back in the broker's *first* directory
+// answer (the peers are down and nothing was re-published, so only local
+// disk can supply it), the broken head must be re-rejected byte-identically,
+// and a v1-pinned subscriber resolved from the recovered lineage must see a
+// fresh stream exactly once.
+func runRestartVerify(home, channel, stateFile string, n, queue int) {
+	buf, err := os.ReadFile(stateFile)
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	var st restartState
+	if err := json.Unmarshal(buf, &st); err != nil {
+		log.Fatalf("meshsoak: reading %s: %v", stateFile, err)
+	}
+	if st.Channel != "" {
+		channel = st.Channel
+	}
+
+	// Retry only the dial (the broker may still be binding its port); the
+	// first successful lineage answer is judged as-is.  Incomplete means
+	// recovery failed — with no peers and no republish there is no second
+	// chance that would not be cheating.
+	var info echan.LineageInfo
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctl, err := echan.DialControl(home)
+		if err == nil {
+			info, err = ctl.Lineage(channel)
+			ctl.Close()
+			if err != nil {
+				log.Fatalf("meshsoak: restarted broker has no lineage %s: %v", channel, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("meshsoak: dialing restarted broker %s: %v", home, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if len(info.VersionIDs) != len(st.Versions) {
+		log.Fatalf("meshsoak: recovered lineage has %d versions, want %d", len(info.VersionIDs), len(st.Versions))
+	}
+	for i, id := range info.VersionIDs {
+		if meta.FormatID(id).String() != st.Versions[i] {
+			log.Fatalf("meshsoak: recovered v%d = %s, want %s", i+1, meta.FormatID(id), st.Versions[i])
+		}
+	}
+	fmt.Printf("meshsoak: restarted broker served all %d lineage versions from disk, bit-exact\n", len(st.Versions))
+
+	got := rejectBrokenHead(home, channel)
+	if got != st.Compat {
+		log.Fatalf("meshsoak: rejection drifted across restart:\n  before: %s\n  after:  %s", st.Compat, got)
+	}
+	fmt.Printf("meshsoak: broken head re-rejected with byte-identical compat error\n")
+
+	// Fresh exactly-once stream through a v1-pinned subscriber: the pinned
+	// view resolves from the recovered lineage, the wire carries the head
+	// format, and the subscriber must decode 0..n-1 projected onto v1.
+	chain := soakChain(len(st.Versions))
+	head := chain[len(chain)-1]
+	sc, err := echan.DialSubscriberVersion(home, channel, echan.Block, queue, 1, pbio.NewContext())
+	if err != nil {
+		log.Fatalf("meshsoak: pinned subscribe: %v", err)
+	}
+	pub, err := echan.DialPublisherConn(home, channel, pbio.NewContext())
+	if err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	defer pub.Close()
+	done := make(chan subResult, 1)
+	go func() { done <- receiveRecords(sc, home, 0, n, chain[0].ID()) }()
+	for i := 0; i < n; i++ {
+		rec := pbio.NewRecord(head)
+		mustSet(rec, "seq", i)
+		mustSet(rec, "val", float64(i))
+		for _, fl := range head.Fields[2:] {
+			mustSet(rec, fl.Name, i)
+		}
+		if err := pub.SendRecord(rec); err != nil {
+			log.Fatalf("meshsoak: publish %d: %v", i, err)
+		}
+	}
+	if err := pub.Flush(); err != nil {
+		log.Fatalf("meshsoak: %v", err)
+	}
+	if err := pub.Status(200 * time.Millisecond); err != nil {
+		log.Fatalf("meshsoak: publisher rejected after restart: %v", err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			log.Fatalf("meshsoak: pinned subscriber after restart: %v", r.err)
+		}
+		fmt.Printf("meshsoak: pinned subscriber decoded %d/%d events exactly once under recovered v1\n", r.count, n)
+	case <-time.After(60 * time.Second):
+		log.Fatalf("meshsoak: timed out waiting for pinned subscriber")
+	}
+	fmt.Printf("meshsoak: restart recovery verified\n")
 }
 
 func mustFormat(ctx *pbio.Context) *meta.Format {

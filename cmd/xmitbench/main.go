@@ -9,6 +9,7 @@
 //	xmitbench -quick               # fast, low-precision pass
 //	xmitbench -json out.json       # also write machine-readable records
 //	xmitbench -baseline BENCH.json # fail on >tolerance throughput regression
+//	xmitbench -history DIR         # widen the baseline with prior runs' records
 //	xmitbench -require-figs        # fail if a requested figure yields no records
 //	xmitbench -count 5             # repeat each figure; records carry mean and min/max
 package main
@@ -19,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/open-metadata/xmit/internal/bench"
@@ -26,13 +28,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", "writev", "evolve", "evolve-mesh", or "all"`)
+	fig := flag.String("fig", "all", `comma-separated figures to regenerate: 1, 3, 6, 7, 8, "expansion", "amortization", "ablations", "allocs", "fanout", "send", "scale", "mesh", "writev", "evolve", "evolve-mesh", "coldstart", or "all"`)
 	quick := flag.Bool("quick", false, "use fast, low-precision measurement settings")
 	count := flag.Int("count", 1, "repetitions per figure; JSON records carry the mean plus min/max spread")
 	metricsAddr := flag.String("metrics", "", "serve the process obs registry at /metrics on this HTTP address while running (empty: disabled)")
 	stats := flag.Bool("stats", false, "dump the process obs registry as JSON to stderr after the run")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark records to this file (figures 8, fanout, send, and scale)")
 	baseline := flag.String("baseline", "", "compare this run's throughput records against a baseline JSON file; exit nonzero on regression")
+	history := flag.String("history", "", "directory of prior runs' record files (*.json); the gate compares against the best of baseline and history per metric (trend-aware)")
 	tolerance := flag.Float64("tolerance", 0.35, "allowed fractional throughput drop vs the baseline before failing")
 	requireFigs := flag.Bool("require-figs", false, "fail if a requested record-producing figure contributed no records (guards the gate against vacuous passes)")
 	flag.Parse()
@@ -101,6 +104,25 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xmitbench:", err)
 			os.Exit(1)
+		}
+		if *history != "" {
+			// Trend-aware gating: fold prior runs into the baseline so a
+			// committed baseline recorded on a slow day cannot hide a real
+			// regression.  Unreadable history files are skipped — history is
+			// an opportunistic tightening, never a reason to fail the gate.
+			paths, _ := filepath.Glob(filepath.Join(*history, "*.json"))
+			var prior [][]bench.JSONRecord
+			for _, p := range paths {
+				if recs, err := bench.ReadJSONFile(p); err == nil {
+					prior = append(prior, recs)
+				} else {
+					fmt.Fprintf(os.Stderr, "xmitbench: skipping history file %s: %v\n", p, err)
+				}
+			}
+			if len(prior) > 0 {
+				base = bench.BestBaseline(base, prior...)
+				fmt.Fprintf(os.Stderr, "xmitbench: baseline widened with %d prior run(s) from %s\n", len(prior), *history)
+			}
 		}
 		regs := bench.CompareJSON(base, records, *tolerance)
 		if len(regs) > 0 {
@@ -286,6 +308,16 @@ func run(figs string, opts bench.Options, out io.Writer) ([]bench.JSONRecord, er
 		bench.PrintEvolveMesh(out, rows)
 		fmt.Fprintln(out)
 		records = append(records, bench.EvolveMeshRecords(rows)...)
+	}
+	if want("coldstart") {
+		ran = true
+		rows, err := bench.Coldstart(opts)
+		if err != nil {
+			return nil, err
+		}
+		bench.PrintColdstart(out, rows)
+		fmt.Fprintln(out)
+		records = append(records, bench.ColdstartRecords(rows)...)
 	}
 	if !ran {
 		return nil, fmt.Errorf("unknown figure %q", figs)

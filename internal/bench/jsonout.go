@@ -199,7 +199,7 @@ func MergeRecords(runs [][]JSONRecord) []JSONRecord {
 
 // RecordFigures names every figure that contributes JSON records — the
 // expansion of "all" for RequireFigures.
-var RecordFigures = []string{"8", "fanout", "send", "scale", "mesh", "writev", "evolve", "evolve-mesh"}
+var RecordFigures = []string{"8", "fanout", "send", "scale", "mesh", "writev", "evolve", "evolve-mesh", "coldstart"}
 
 // RequireFigures closes the vacuous-pass hole in the regression gate:
 // CompareJSON deliberately ignores baseline entries the fresh run didn't
@@ -259,6 +259,45 @@ func perMetricTolerance(base JSONRecord, global float64) float64 {
 		return hi
 	}
 	return tol
+}
+
+// BestBaseline folds a committed baseline and a window of prior runs into
+// one trend-aware baseline: per metric, the record with the highest Value
+// wins.  This is the anti-ratchet for the regression gate — a committed
+// baseline recorded on a slow day lets real regressions hide beneath it,
+// but the best recent run keeps the floor honest.  Records from history
+// runs that the committed baseline lacks are included too (a new metric
+// starts gating as soon as one run has produced it); spread metadata
+// (Reps/Min/Max) rides along with whichever record wins, so per-metric
+// tolerances still derive from an actually observed run.
+func BestBaseline(committed []JSONRecord, history ...[]JSONRecord) []JSONRecord {
+	var order []string
+	best := make(map[string]JSONRecord)
+	take := func(recs []JSONRecord) {
+		for _, r := range recs {
+			k := r.key()
+			cur, ok := best[k]
+			if !ok {
+				best[k] = r
+				order = append(order, k)
+				continue
+			}
+			// Only rates race upward; the gate ignores everything else,
+			// so non-rate records keep their first (committed) value.
+			if r.isRate() && r.Value > cur.Value {
+				best[k] = r
+			}
+		}
+	}
+	take(committed)
+	for _, h := range history {
+		take(h)
+	}
+	out := make([]JSONRecord, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	return out
 }
 
 // CompareJSON checks fresh throughput numbers against a baseline and

@@ -96,3 +96,45 @@ func TestCompareJSONSpreadTolerance(t *testing.T) {
 		t.Errorf("merged-vs-merged flagged %v", regs)
 	}
 }
+
+// TestBestBaseline pins the trend-aware fold: per metric the best rate
+// across committed + history wins (with its spread metadata), non-rate
+// records keep the committed value, and history-only metrics join the gate.
+func TestBestBaseline(t *testing.T) {
+	committed := []JSONRecord{
+		rateRec("slow_day", 800, 3, 780, 820),
+		{Figure: "scale", Config: "p4_8subs", Metric: "ratio_m", Value: 5, Unit: "ratio"},
+	}
+	older := []JSONRecord{
+		rateRec("slow_day", 1000, 5, 950, 1050),
+		{Figure: "scale", Config: "p4_8subs", Metric: "ratio_m", Value: 9, Unit: "ratio"},
+	}
+	newer := []JSONRecord{
+		rateRec("slow_day", 900, 2, 890, 910),
+		rateRec("history_only", 400, 1, 400, 400),
+	}
+	got := BestBaseline(committed, older, newer)
+	byMetric := map[string]JSONRecord{}
+	for _, r := range got {
+		byMetric[r.Metric] = r
+	}
+	if len(got) != 3 {
+		t.Fatalf("BestBaseline folded to %d records, want 3: %+v", len(got), got)
+	}
+	// The best historical rate wins, carrying its own spread.
+	if r := byMetric["slow_day"]; r.Value != 1000 || r.Reps != 5 || r.Min != 950 {
+		t.Errorf("slow_day = %+v, want the 1000-value history record with its spread", r)
+	}
+	// Non-rates never race: committed value stands even when history is higher.
+	if r := byMetric["ratio_m"]; r.Value != 5 {
+		t.Errorf("ratio_m = %+v, want the committed value 5", r)
+	}
+	// A metric only history has still joins the baseline.
+	if r, ok := byMetric["history_only"]; !ok || r.Value != 400 {
+		t.Errorf("history_only = %+v, want 400", r)
+	}
+	// Committed-first order is stable.
+	if got[0].Metric != "slow_day" || got[1].Metric != "ratio_m" {
+		t.Errorf("order not preserved: %v, %v", got[0].Metric, got[1].Metric)
+	}
+}

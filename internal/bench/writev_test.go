@@ -65,10 +65,10 @@ func TestRequireFigures(t *testing.T) {
 		!strings.Contains(missing[0], `"mesh"`) {
 		t.Errorf("mesh without records: %v", missing)
 	}
-	// fanout, send, scale, mesh, evolve, and evolve-mesh have no records
-	// here; 8 and writev do.
-	if missing := RequireFigures([]string{"all"}, recs); len(missing) != 6 {
-		t.Errorf("all-expansion: %d missing, want 6: %v", len(missing), missing)
+	// Every record-producing figure except 8 and writev is absent here.
+	wantMissing := len(RecordFigures) - 2
+	if missing := RequireFigures([]string{"all"}, recs); len(missing) != wantMissing {
+		t.Errorf("all-expansion: %d missing, want %d: %v", len(missing), wantMissing, missing)
 	}
 	// Figures that never produce records are not required, and duplicates
 	// are reported once.

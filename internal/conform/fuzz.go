@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"github.com/open-metadata/xmit/internal/discovery"
 	"github.com/open-metadata/xmit/internal/registry"
+	"github.com/open-metadata/xmit/internal/store"
 )
 
 // SeedFuzzCorpora writes generator-derived seed corpora for the repo's
@@ -31,6 +33,8 @@ func SeedFuzzCorpora(root string, n int) error {
 		"echan":     {dir: filepath.Join(root, "internal", "echan", "testdata", "fuzz", "FuzzParseCommand")},
 		"conform":   {dir: filepath.Join(root, "internal", "conform", "testdata", "fuzz", "FuzzRoundTrip")},
 		"discovery": {dir: filepath.Join(root, "internal", "discovery", "testdata", "fuzz", "FuzzMergeLineages")},
+		"journal":   {dir: filepath.Join(root, "internal", "store", "testdata", "fuzz", "FuzzJournal")},
+		"snapshot":  {dir: filepath.Join(root, "internal", "store", "testdata", "fuzz", "FuzzSnapshot")},
 	}
 
 	for i := 0; i < n; i++ {
@@ -79,6 +83,30 @@ func SeedFuzzCorpora(root string, n int) error {
 		targets["discovery"].entries = append(targets["discovery"].entries,
 			bytesEntry(discovery.MarshalLineages(discovery.SnapshotLineagesFull(lreg))),
 			bytesEntry(discovery.MarshalLineages(discovery.SnapshotLineages(lreg))))
+
+		// The store's on-disk formats, built from the same generated
+		// lineage: a journal of real append+policy frames (plus a copy with
+		// a torn tail, the exact shape crash recovery must truncate) and
+		// the checksummed snapshot envelope around the lineage document.
+		jb, err := store.AppendJournalRecord(nil, store.JournalRecord{
+			Kind: store.RecordPolicy, Lineage: s.Name, Policy: chPolicy.String(),
+		})
+		if err != nil {
+			return fmt.Errorf("conform: fuzz journal seed %d: %w", caseSeed, err)
+		}
+		jb, err = store.AppendJournalRecord(jb, store.JournalRecord{
+			Kind: store.RecordAppend, Lineage: s.Name,
+			ID: cs.Format(h.Plats[0].Name).ID(), Source: "seed",
+			Adopted: caseSeed%2 == 0, RegisteredAt: time.Unix(0, caseSeed),
+		})
+		if err != nil {
+			return fmt.Errorf("conform: fuzz journal seed %d: %w", caseSeed, err)
+		}
+		targets["journal"].entries = append(targets["journal"].entries,
+			bytesEntry(jb),
+			bytesEntry(jb[:len(jb)-3]))
+		targets["snapshot"].entries = append(targets["snapshot"].entries,
+			bytesEntry(store.EncodeSnapshot(discovery.MarshalLineages(discovery.SnapshotLineagesFull(lreg)))))
 	}
 	// The three historical disagreement seeds stay in the round-trip corpus
 	// forever (xdr enum(8), mpidt boolean(2), xmlwire carriage return).

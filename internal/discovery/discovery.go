@@ -46,6 +46,22 @@ const maxDocumentSize = 4 << 20
 // maxRetryDelay caps the exponential backoff between retry attempts.
 const maxRetryDelay = 5 * time.Second
 
+// DocStore is the persistent document tier a Repository can sit on (see
+// WithDocStore): a disk-backed cache of fetched documents keyed by URL,
+// carrying the HTTP validators and fetch time alongside the payload.
+// internal/store implements it with a content-addressed blob store.  All
+// methods must be safe for concurrent use; Load misses (including
+// corruption) report ok=false rather than erroring, and Store failures are
+// the store's to surface — the in-memory cache stays correct either way.
+type DocStore interface {
+	// StoreDocument persists one fetched document and its validators.
+	StoreDocument(url string, data []byte, etag, lastModified string, fetchedAt time.Time) error
+	// LoadDocument returns the persisted copy of a URL's document, if any.
+	LoadDocument(url string) (data []byte, etag, lastModified string, fetchedAt time.Time, ok bool)
+	// Documents lists every URL with a persisted document.
+	Documents() []string
+}
+
 // Repository fetches and caches metadata documents by URL.  Supported URL
 // forms: http:// and https:// (fetched with conditional revalidation),
 // file:// and bare paths (read from the filesystem).  A Repository is safe
@@ -55,6 +71,7 @@ type Repository struct {
 	maxAge        time.Duration // 0: cached entries never expire
 	retryAttempts int           // total origin attempts per fetch (>= 1)
 	retryBase     time.Duration // backoff before the first retry
+	docs          DocStore      // persistent tier beneath the memory cache (may be nil)
 
 	metrics *obs.Registry
 	stats   repoStats
@@ -78,6 +95,8 @@ type repoStats struct {
 	coalesced    *obs.Counter   // discovery_coalesced_total: calls served by another's fetch
 	staleServed  *obs.Counter   // discovery_stale_served_total: origin down, cache served
 	ttlExpired   *obs.Counter   // discovery_ttl_expired_total: cached entries past WithMaxAge
+	storeHits    *obs.Counter   // discovery_store_hit_total: misses warmed from the persistent tier
+	storeWrites  *obs.Counter   // discovery_store_write_total: documents written through to the tier
 	fetchNS      *obs.Histogram // discovery_fetch_ns: origin fetch latency (incl. retries)
 	hitNS        *obs.Histogram // discovery_hit_ns: cache hit latency
 }
@@ -126,6 +145,16 @@ func WithMetricsRegistry(reg *obs.Registry) RepoOption {
 	return func(r *Repository) { r.metrics = reg }
 }
 
+// WithDocStore layers a persistent document tier beneath the in-memory
+// cache: a miss consults the store before the origin (a hit there is a
+// zero-network fetch, TTL and validators intact), every successful origin
+// fetch is written through, and WarmFromStore can bulk-load the tier at
+// startup so a cold-started process pays the Remote Discovery Multiplier
+// zero times for documents it already holds on disk.
+func WithDocStore(ds DocStore) RepoOption {
+	return func(r *Repository) { r.docs = ds }
+}
+
 // NewRepository creates an empty document repository.
 func NewRepository(opts ...RepoOption) *Repository {
 	r := &Repository{
@@ -150,6 +179,8 @@ func NewRepository(opts ...RepoOption) *Repository {
 		coalesced:    m.Counter("discovery_coalesced_total"),
 		staleServed:  m.Counter("discovery_stale_served_total"),
 		ttlExpired:   m.Counter("discovery_ttl_expired_total"),
+		storeHits:    m.Counter("discovery_store_hit_total"),
+		storeWrites:  m.Counter("discovery_store_write_total"),
 		fetchNS:      m.Histogram("discovery_fetch_ns"),
 		hitNS:        m.Histogram("discovery_hit_ns"),
 	}
@@ -192,6 +223,13 @@ func (r *Repository) FetchContext(ctx context.Context, url string) ([]byte, erro
 	r.mu.RLock()
 	e := r.cache[url]
 	r.mu.RUnlock()
+	if e == nil {
+		// The persistent tier turns a cold-cache miss into a local disk
+		// read: the stored copy enters the memory cache with its original
+		// validators and fetch time, so TTL revalidation still works — an
+		// expired stored copy costs a conditional GET, not a transfer.
+		e = r.loadFromStore(url)
+	}
 	if e != nil {
 		if r.maxAge <= 0 || time.Since(e.fetchedAt) <= r.maxAge {
 			r.stats.hits.Inc()
@@ -390,12 +428,67 @@ func (r *Repository) tryHTTP(ctx context.Context, url string) (data []byte, chan
 }
 
 func (r *Repository) store(url string, data []byte, etag, lastModified string) ([]byte, bool, error) {
+	now := time.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	prev := r.cache[url]
 	changed := prev == nil || string(prev.data) != string(data)
-	r.cache[url] = &cacheEntry{data: data, etag: etag, lastModified: lastModified, fetchedAt: time.Now()}
+	r.cache[url] = &cacheEntry{data: data, etag: etag, lastModified: lastModified, fetchedAt: now}
+	r.mu.Unlock()
+	// Write through to the persistent tier (best effort: a failing disk
+	// must not fail a fetch the memory cache already absorbed).
+	if r.docs != nil && changed {
+		if err := r.docs.StoreDocument(url, data, etag, lastModified, now); err == nil {
+			r.stats.storeWrites.Inc()
+		}
+	}
 	return data, changed, nil
+}
+
+// loadFromStore promotes a URL's persisted document into the memory cache,
+// returning the entry (or nil without a persistent tier or stored copy).
+// Racing promoters are harmless: whichever entry lands is a valid copy.
+func (r *Repository) loadFromStore(url string) *cacheEntry {
+	if r.docs == nil {
+		return nil
+	}
+	data, etag, lastModified, fetchedAt, ok := r.docs.LoadDocument(url)
+	if !ok {
+		return nil
+	}
+	e := &cacheEntry{data: data, etag: etag, lastModified: lastModified, fetchedAt: fetchedAt}
+	r.mu.Lock()
+	if cur := r.cache[url]; cur != nil {
+		e = cur
+	} else {
+		r.cache[url] = e
+	}
+	r.mu.Unlock()
+	r.stats.storeHits.Inc()
+	r.urlCounter("store_hit", url).Inc()
+	return e
+}
+
+// WarmFromStore bulk-loads every document in the persistent tier into the
+// memory cache — the cold-start path: thousands of registrations then
+// resolve as cache hits with zero remote fetches.  Returns the number of
+// documents loaded.
+func (r *Repository) WarmFromStore() int {
+	if r.docs == nil {
+		return 0
+	}
+	n := 0
+	for _, url := range r.docs.Documents() {
+		r.mu.RLock()
+		_, have := r.cache[url]
+		r.mu.RUnlock()
+		if have {
+			continue
+		}
+		if r.loadFromStore(url) != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Invalidate drops the cached copy of a URL (or all URLs when url is "").

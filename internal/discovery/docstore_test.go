@@ -1,0 +1,147 @@
+package discovery
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/open-metadata/xmit/internal/obs"
+)
+
+// memDocStore is an in-memory DocStore — the discovery-side contract test
+// runs against the interface, not internal/store (whose own tests cover the
+// disk implementation; the two packages meet in the echan persistence test).
+type memDocStore struct {
+	mu   sync.Mutex
+	docs map[string]memDoc
+}
+
+type memDoc struct {
+	data               []byte
+	etag, lastModified string
+	fetchedAt          time.Time
+}
+
+func newMemDocStore() *memDocStore { return &memDocStore{docs: make(map[string]memDoc)} }
+
+func (m *memDocStore) StoreDocument(url string, data []byte, etag, lastModified string, fetchedAt time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.docs[url] = memDoc{data: append([]byte(nil), data...), etag: etag, lastModified: lastModified, fetchedAt: fetchedAt}
+	return nil
+}
+
+func (m *memDocStore) LoadDocument(url string) ([]byte, string, string, time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.docs[url]
+	if !ok {
+		return nil, "", "", time.Time{}, false
+	}
+	return d.data, d.etag, d.lastModified, d.fetchedAt, true
+}
+
+func (m *memDocStore) Documents() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for u := range m.docs {
+		out = append(out, u)
+	}
+	return out
+}
+
+// TestDocStoreWriteThroughAndWarm: fetches write through to the store, and
+// a cold repository (fresh memory cache) serves them back with zero origin
+// traffic — both lazily on miss and in bulk via WarmFromStore.
+func TestDocStoreWriteThroughAndWarm(t *testing.T) {
+	var origin atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		origin.Add(1)
+		w.Header().Set("ETag", `"v1"`)
+		w.Write([]byte("<doc>" + r.URL.Path + "</doc>"))
+	}))
+	defer ts.Close()
+
+	ds := newMemDocStore()
+	repo := NewRepository(WithDocStore(ds), WithMetricsRegistry(obs.NewRegistry()))
+	urls := []string{ts.URL + "/a.xsd", ts.URL + "/b.xsd"}
+	for _, u := range urls {
+		if _, err := repo.Fetch(u); err != nil {
+			t.Fatalf("Fetch(%s): %v", u, err)
+		}
+	}
+	if got := origin.Load(); got != 2 {
+		t.Fatalf("origin fetched %d times, want 2", got)
+	}
+	if len(ds.Documents()) != 2 {
+		t.Fatalf("write-through stored %d documents, want 2", len(ds.Documents()))
+	}
+
+	// Cold restart: new repository over the same store.  Lazy miss path.
+	m2 := obs.NewRegistry()
+	cold := NewRepository(WithDocStore(ds), WithMetricsRegistry(m2))
+	data, err := cold.Fetch(urls[0])
+	if err != nil {
+		t.Fatalf("cold Fetch: %v", err)
+	}
+	if string(data) != "<doc>/a.xsd</doc>" {
+		t.Fatalf("cold Fetch = %q", data)
+	}
+	if got := origin.Load(); got != 2 {
+		t.Fatalf("cold fetch hit the origin (%d fetches)", got)
+	}
+	if v, _ := m2.Value("discovery_store_hit_total"); v != 1 {
+		t.Fatalf("discovery_store_hit_total = %v, want 1", v)
+	}
+
+	// Bulk warm loads the rest; everything is then a plain cache hit.
+	if n := cold.WarmFromStore(); n != 1 {
+		t.Fatalf("WarmFromStore = %d, want 1 (one URL already promoted)", n)
+	}
+	for _, u := range urls {
+		if !cold.Cached(u) {
+			t.Fatalf("%s not cached after warm", u)
+		}
+	}
+	if got := origin.Load(); got != 2 {
+		t.Fatalf("warm start paid %d origin fetches, want 0 extra", got-2)
+	}
+}
+
+// TestDocStoreExpiredCopyRevalidates: a stored copy past the TTL is not
+// served blindly — it revalidates with its original validators, costing a
+// conditional GET (304) instead of a transfer.
+func TestDocStoreExpiredCopyRevalidates(t *testing.T) {
+	var conditional atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("If-None-Match") == `"v1"` {
+			conditional.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", `"v1"`)
+		w.Write([]byte("<doc/>"))
+	}))
+	defer ts.Close()
+
+	ds := newMemDocStore()
+	// The stored copy is old; the cold repository has a tight TTL.
+	if err := ds.StoreDocument(ts.URL+"/a.xsd", []byte("<doc/>"), `"v1"`, "", time.Now().Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewRepository(WithDocStore(ds), WithMaxAge(time.Minute), WithMetricsRegistry(obs.NewRegistry()))
+	data, err := cold.Fetch(ts.URL + "/a.xsd")
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if string(data) != "<doc/>" {
+		t.Fatalf("Fetch = %q", data)
+	}
+	if conditional.Load() != 1 {
+		t.Fatalf("expired stored copy did not revalidate conditionally (%d conditional GETs)", conditional.Load())
+	}
+}

@@ -1,0 +1,181 @@
+package echan
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/obs"
+	"github.com/open-metadata/xmit/internal/pbio"
+	"github.com/open-metadata/xmit/internal/platform"
+	"github.com/open-metadata/xmit/internal/registry"
+	"github.com/open-metadata/xmit/internal/store"
+)
+
+// persistPublish publishes events i..j on ch under format f.
+func persistPublish(t *testing.T, ch *Channel, pctx *pbio.Context, f *meta.Format, from, to int) {
+	t.Helper()
+	for i := from; i <= to; i++ {
+		rec := pbio.NewRecord(f)
+		if err := rec.Set("seq", uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := pctx.EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.PublishMessage(f, msg); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+}
+
+// TestBrokerRestartRecovery is the end-to-end persistence contract at the
+// channel layer: a broker with a -store equivalent evolves a lineage,
+// pins a policy, and rejects an incompatible head; after a full restart
+// (new store handle, new registry, new broker — only the directory
+// survives) the lineage resolves pinned views from disk before any
+// publish, projection serves a v1 subscriber from the recovered formats,
+// and the same broken head is re-rejected with a bit-identical
+// CompatError.
+func TestBrokerRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const steps, n = 3, 64
+	chain := evolveChain(t, steps)
+	broken, err := meta.Build("metric", platform.X8664, []meta.FieldDef{
+		{Name: "seq", Kind: meta.Unsigned, Class: platform.LongLong},
+		{Name: "fb", Kind: meta.Float, Class: platform.Double},
+		{Name: "fc", Kind: meta.Integer, Class: platform.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pctx := pbio.NewContext(pbio.WithPlatform(platform.X8664))
+	for _, f := range append(chain, broken) {
+		if _, err := pctx.RegisterFormat(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First life: evolve the lineage through every version, tighten the
+	// policy, and record the head rejection.
+	st, err := store.Open(dir, store.WithSync(false), store.WithMetricsRegistry(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := registry.New(registry.WithDefaultPolicy(registry.PolicyBackward))
+	if _, err := st.PersistRegistry(sr); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroker(WithRegistry(obs.NewRegistry()), WithSchemaRegistry(sr))
+	ch, err := b.Create("metric", WithRetain(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range chain {
+		persistPublish(t, ch, pctx, f, i+1, i+1)
+	}
+	if err := sr.SetPolicy("metric", registry.PolicyFull); err != nil {
+		t.Fatal(err)
+	}
+	rec := pbio.NewRecord(broken)
+	if err := rec.Set("seq", uint64(99)); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := pctx.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *registry.CompatError
+	if err := ch.PublishMessage(broken, msg); !errors.As(err, &ce) {
+		t.Fatalf("broken head not rejected with CompatError: %v", err)
+	}
+	before, err := json.Marshal(ce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if err := st.Err(); err != nil {
+		t.Fatalf("persistence observer failed: %v", err)
+	}
+	st.Close()
+
+	// Second life: nothing survives but the directory.
+	st2, err := store.Open(dir, store.WithSync(false), store.WithMetricsRegistry(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sr2 := registry.New(registry.WithDefaultPolicy(registry.PolicyBackward))
+	rs, err := st2.PersistRegistry(sr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Versions != steps {
+		t.Fatalf("recovered %d versions, want %d", rs.Versions, steps)
+	}
+	b2 := NewBroker(WithRegistry(obs.NewRegistry()), WithSchemaRegistry(sr2))
+	defer b2.Close()
+	ch2, err := b2.Create("metric", WithRetain(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned view resolves from disk BEFORE any publish on this life:
+	// the recovered lineage carries both the version numbering and the
+	// decoded formats projection needs.
+	l, v1, err := ch2.ResolveView(1)
+	if err != nil {
+		t.Fatalf("pinned view after restart: %v", err)
+	}
+	if v1.ID != chain[0].ID() {
+		t.Fatalf("recovered v1 = %s, want %s", v1.ID, chain[0].ID())
+	}
+	if head, ok := l.Head(); !ok || head.ID != chain[len(chain)-1].ID() || head.Version != steps {
+		t.Fatalf("recovered head = %+v, want %s #%d", head, chain[len(chain)-1].ID(), steps)
+	}
+
+	// A v1-pinned subscriber decodes head-format publishes through
+	// projection built from the recovered lineage.
+	sink, recv := net.Pipe()
+	sub, err := ch2.SubscribeVersion(sink, Block, 1)
+	if err != nil {
+		t.Fatalf("pinned subscribe after restart: %v", err)
+	}
+	done := make(chan evolveRecv, 1)
+	go recvEvolved(t, recv, chain[0].ID(), done)
+	persistPublish(t, ch2, pctx, chain[len(chain)-1], 1, n)
+	ch2.Sync()
+	if err := sub.Close(); err != nil {
+		t.Errorf("pinned subscriber failed: %v", err)
+	}
+	sink.Close()
+	got := <-done
+	if got.count != n || got.first != 1 || got.last != uint64(n) {
+		t.Errorf("pinned got %d/%d events (%d..%d)", got.count, n, got.first, got.last)
+	}
+	if len(got.formats) != 1 {
+		t.Errorf("pinned saw %d formats, want 1", len(got.formats))
+	}
+
+	// The recovered policy re-rejects the same broken head, byte for byte.
+	var ce2 *registry.CompatError
+	if err := ch2.PublishMessage(broken, msg); !errors.As(err, &ce2) {
+		t.Fatalf("restarted broker did not re-reject broken head: %v", err)
+	}
+	after, err := json.Marshal(ce2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("rejection drifted across restart:\n before %s\n after  %s", before, after)
+	}
+
+	puts, _ := obs.Default().Value("pbio_pool_put_total")
+	gets, _ := obs.Default().Value("pbio_pool_get_total")
+	if puts > gets {
+		t.Fatalf("pool invariant violated: %v puts > %v gets (double release)", puts, gets)
+	}
+}

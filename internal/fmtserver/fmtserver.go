@@ -39,8 +39,23 @@ type Registry struct {
 	byID map[meta.FormatID][]byte
 
 	lineages atomic.Pointer[registry.Registry]
+	blobs    atomic.Pointer[BlobStore]
 
 	stats RegistryStats
+}
+
+// BlobStore is the persistence hook for the format catalogue: new
+// registrations are written through as canonical-format blobs, and
+// WarmFromStore replays every stored format at startup — so a restarted
+// directory server serves its full catalogue from local disk with zero
+// re-registrations.  internal/store implements it.
+type BlobStore interface {
+	// PutFormat stores a format's canonical bytes, keyed by content hash.
+	PutFormat(f *meta.Format, source string) (meta.FormatID, error)
+	// FormatIDs lists every stored format.
+	FormatIDs() ([]meta.FormatID, error)
+	// GetBlob returns the canonical bytes stored under id.
+	GetBlob(id meta.FormatID) ([]byte, error)
 }
 
 // RegistryStats counts registry traffic; as a service's format catalogue
@@ -97,6 +112,42 @@ func (r *Registry) AttachLineages(lr *registry.Registry) { r.lineages.Store(lr) 
 // Lineages returns the attached schema registry, or nil.
 func (r *Registry) Lineages() *registry.Registry { return r.lineages.Load() }
 
+// AttachStore wires a blob store into the registry: every new registration
+// is written through to disk.  Attach before serving (usually right after
+// WarmFromStore); passing nil detaches.
+func (r *Registry) AttachStore(bs BlobStore) {
+	if bs == nil {
+		r.blobs.Store(nil)
+		return
+	}
+	r.blobs.Store(&bs)
+}
+
+// WarmFromStore replays every format persisted in bs through the normal
+// registration path, warming the catalogue from local disk without a single
+// remote fetch.  Blobs that fail to parse or (with lineages attached) fail a
+// compatibility check are skipped — the store may hold formats journaled for
+// lineage recovery that the catalogue's policy would not re-admit.  Returns
+// the number of formats now resident.  Call before AttachStore, or the warm
+// registrations will be redundantly written back.
+func (r *Registry) WarmFromStore(bs BlobStore) (int, error) {
+	ids, err := bs.FormatIDs()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range ids {
+		data, err := bs.GetBlob(id)
+		if err != nil {
+			continue
+		}
+		if _, err := r.RegisterCanonical(data); err == nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
 // RegisterCanonical validates canonical format bytes and stores them,
 // returning the format's ID.  Registration is idempotent.  On a registry
 // with lineages attached the format must also satisfy its lineage's
@@ -117,10 +168,18 @@ func (r *Registry) RegisterCanonical(data []byte) (meta.FormatID, error) {
 	}
 	id := f.ID()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.byID[id]; !ok {
+	_, had := r.byID[id]
+	if !had {
 		r.byID[id] = append([]byte(nil), data...)
 		r.stats.RegistrationsNew.Add(1)
+	}
+	r.mu.Unlock()
+	// Write-through outside the lock: the store dedups by content hash, so
+	// a racing duplicate registration costs a stat, not a second write.
+	if !had {
+		if bsp := r.blobs.Load(); bsp != nil {
+			(*bsp).PutFormat(f, "fmtserver")
+		}
 	}
 	return id, nil
 }

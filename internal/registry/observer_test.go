@@ -1,0 +1,129 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/open-metadata/xmit/internal/meta"
+	"github.com/open-metadata/xmit/internal/platform"
+)
+
+type obsEvent struct {
+	lineage string
+	id      meta.FormatID
+	adopted bool
+	policy  Policy
+	kind    string // "append" or "policy"
+}
+
+type recordingObserver struct {
+	mu     sync.Mutex
+	events []obsEvent
+}
+
+func (o *recordingObserver) LineageAppended(lineage string, v Version, adopted bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, obsEvent{kind: "append", lineage: lineage, id: v.ID, adopted: adopted})
+}
+
+func (o *recordingObserver) PolicyChanged(lineage string, p Policy) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, obsEvent{kind: "policy", lineage: lineage, policy: p})
+}
+
+func (o *recordingObserver) snapshot() []obsEvent {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]obsEvent(nil), o.events...)
+}
+
+func obsFormat(t *testing.T, name string, fields int) *meta.Format {
+	t.Helper()
+	defs := []meta.FieldDef{{Name: "seq", Kind: meta.Integer, Class: platform.LongLong}}
+	for i := 1; i < fields; i++ {
+		defs = append(defs, meta.FieldDef{
+			Name: "f" + string(rune('a'+i)), Kind: meta.Integer, Class: platform.Int,
+		})
+	}
+	f, err := meta.Build(name, platform.X8664, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestObserverSeesCommittedMutations: every Register, Adopt, and committed
+// policy change reaches the observer, in history order, with the adopted
+// flag distinguishing the decision path from the replication path.
+func TestObserverSeesCommittedMutations(t *testing.T) {
+	reg := New(WithDefaultPolicy(PolicyBackward))
+	o := &recordingObserver{}
+	reg.Observe(o)
+
+	f1 := obsFormat(t, "m", 1)
+	f2 := obsFormat(t, "m", 2)
+	if _, err := reg.Register("m", f1, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Adopt("m", f2, "peer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetPolicy("m", PolicyBackwardTransitive); err != nil {
+		t.Fatal(err)
+	}
+	// Non-mutations must not notify: idempotent re-register, re-adopt,
+	// same-policy set, and a rejected registration.
+	if _, err := reg.Register("m", f1, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Adopt("m", f2, "peer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetPolicy("m", PolicyBackwardTransitive); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []obsEvent{
+		{kind: "append", lineage: "m", id: f1.ID(), adopted: false},
+		{kind: "append", lineage: "m", id: f2.ID(), adopted: true},
+		{kind: "policy", lineage: "m", policy: PolicyBackwardTransitive},
+	}
+	got := o.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("observer saw %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestObserveNilDetaches: a detached registry mutates silently again, and
+// lineages created before Observe are wired too (the observer pointer is
+// registry-wide).
+func TestObserveNilDetaches(t *testing.T) {
+	reg := New(WithDefaultPolicy(PolicyNone))
+	if _, err := reg.Register("pre", obsFormat(t, "pre", 1), "test"); err != nil {
+		t.Fatal(err)
+	}
+	o := &recordingObserver{}
+	reg.Observe(o)
+	// The pre-existing lineage notifies once observed...
+	if _, err := reg.Register("pre", obsFormat(t, "pre", 2), "test"); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.snapshot()) != 1 {
+		t.Fatalf("pre-existing lineage did not notify: %+v", o.snapshot())
+	}
+	// ...and stops after detach.
+	reg.Observe(nil)
+	if _, err := reg.Register("pre", obsFormat(t, "pre", 3), "test"); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.snapshot()) != 1 {
+		t.Fatalf("detached observer still notified: %+v", o.snapshot())
+	}
+}

@@ -46,6 +46,30 @@ type Lineage struct {
 	// consumers (mesh gossip) can ask for "everything after revision N".
 	rev     *atomic.Uint64
 	lastRev atomic.Uint64
+	// observer points at the owning registry's observer slot; mutations are
+	// reported through it after they commit (see Registry.Observe).
+	observer *atomic.Pointer[Observer]
+}
+
+// notifyAppend reports a committed version append.  Callers hold l.mu, so
+// observers see each lineage's appends in history order.
+func (l *Lineage) notifyAppend(v Version, adopted bool) {
+	if l.observer == nil {
+		return
+	}
+	if o := l.observer.Load(); o != nil {
+		(*o).LineageAppended(l.name, v, adopted)
+	}
+}
+
+// notifyPolicy reports a committed policy change.  Callers hold l.mu.
+func (l *Lineage) notifyPolicy(p Policy) {
+	if l.observer == nil {
+		return
+	}
+	if o := l.observer.Load(); o != nil {
+		(*o).PolicyChanged(l.name, p)
+	}
 }
 
 // Rev returns the registry revision of this lineage's last mutation (zero
@@ -154,6 +178,7 @@ func (l *Lineage) Register(f *meta.Format, source string) (Version, error) {
 	next.byID[id] = len(cur.versions)
 	l.snap.Store(next)
 	l.touch()
+	l.notifyAppend(v, false)
 	return v, nil
 }
 
@@ -193,6 +218,7 @@ func (l *Lineage) Adopt(f *meta.Format, source string) (Version, error) {
 	next.byID[id] = len(cur.versions)
 	l.snap.Store(next)
 	l.touch()
+	l.notifyAppend(v, true)
 	return v, nil
 }
 
@@ -208,6 +234,7 @@ func (l *Lineage) AdoptPolicy(p Policy) {
 	}
 	l.policy.Store(int32(p))
 	l.touch()
+	l.notifyPolicy(p)
 }
 
 // SetPolicy changes the lineage policy.  Tightening is only allowed if the
@@ -232,6 +259,7 @@ func (l *Lineage) SetPolicy(p Policy) error {
 	if Policy(l.policy.Load()) != p {
 		l.policy.Store(int32(p))
 		l.touch()
+		l.notifyPolicy(p)
 	}
 	return nil
 }
@@ -258,6 +286,22 @@ func checkStep(name string, pol Policy, prev Version, nextID meta.FormatID, next
 	}
 }
 
+// Observer receives lineage mutations after they commit — the hook a
+// persistence layer (internal/store's registry journal) hangs off.  Calls
+// for one lineage arrive in history order (they are made under the lineage
+// mutex); calls for different lineages may interleave, so an observer that
+// serialises (a journal) needs its own lock.  Observers must not call back
+// into the registry.
+type Observer interface {
+	// LineageAppended reports a version appended to the named lineage.
+	// adopted distinguishes the replication path (Adopt — some other
+	// authority admitted it) from a locally policy-checked Register.
+	LineageAppended(lineage string, v Version, adopted bool)
+	// PolicyChanged reports a committed policy change (SetPolicy or
+	// AdoptPolicy); no-op policy sets are not reported.
+	PolicyChanged(lineage string, p Policy)
+}
+
 // Registry is the set of lineages, keyed by name.  Lookup is lock-free
 // against a copy-on-write map; creation and registration serialise on the
 // registry mutex.
@@ -265,10 +309,23 @@ type Registry struct {
 	mu            sync.Mutex
 	lineages      atomic.Pointer[map[string]*Lineage]
 	defaultPolicy Policy
+	observer      atomic.Pointer[Observer]
 	// rev increments on every lineage mutation (Register, Adopt, policy
 	// change).  Each lineage records the revision of its own last mutation,
 	// so "what changed since revision N" is answerable without diffing.
 	rev atomic.Uint64
+}
+
+// Observe attaches the registry's mutation observer (nil detaches).  Attach
+// before the registry is shared: mutations committed while no observer is
+// attached are not replayed to a late observer — recover persisted state
+// first, then observe (see store.Store.PersistRegistry).
+func (r *Registry) Observe(o Observer) {
+	if o == nil {
+		r.observer.Store(nil)
+		return
+	}
+	r.observer.Store(&o)
 }
 
 // Rev returns the registry's current revision — the high-water mark across
@@ -326,7 +383,7 @@ func (r *Registry) ensure(name string) *Lineage {
 	if l, ok := cur[name]; ok {
 		return l
 	}
-	l := &Lineage{name: name, rev: &r.rev}
+	l := &Lineage{name: name, rev: &r.rev, observer: &r.observer}
 	l.policy.Store(int32(r.defaultPolicy))
 	l.snap.Store(&lineageSnap{byID: map[meta.FormatID]int{}})
 	next := make(map[string]*Lineage, len(cur)+1)

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/open-metadata/xmit/internal/discovery"
+)
+
+// The registry snapshot is the full-body lineage discovery document (the
+// exact bytes a broker gossips and serves at /.well-known/xmit-lineages)
+// wrapped in a checksummed envelope:
+//
+//	"XSNP1" | u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// The envelope is what makes a torn snapshot *detectable* rather than
+// merely unlikely: a truncated or bit-flipped payload fails the length or
+// CRC check and recovery falls back to the previous snapshot plus journal
+// replay.  Snapshot rotation keeps exactly one fallback generation:
+// writing snapshot N renames N-1 to snapshot.prev before renaming the new
+// temp file into place, and only then compacts the journal — so at every
+// instant either a clean snapshot covers the journal's history or the
+// journal still holds it.
+
+const (
+	snapshotName     = "snapshot.xml"
+	snapshotPrevName = "snapshot.prev"
+	snapshotMagic    = "XSNP1"
+	maxSnapshotSize  = 64 << 20
+)
+
+// EncodeSnapshot wraps a snapshot payload in the checksummed envelope.
+func EncodeSnapshot(payload []byte) []byte {
+	buf := make([]byte, 0, len(snapshotMagic)+8+len(payload))
+	buf = append(buf, snapshotMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// DecodeSnapshot unwraps a snapshot envelope, verifying magic, length, and
+// CRC.  It never panics on any input; any deviation is an error — the
+// caller treats it as a torn snapshot and falls back.
+func DecodeSnapshot(data []byte) ([]byte, error) {
+	hdr := len(snapshotMagic) + 8
+	if len(data) < hdr {
+		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("store: bad snapshot magic %q", data[:len(snapshotMagic)])
+	}
+	n := int(binary.BigEndian.Uint32(data[len(snapshotMagic):]))
+	crc := binary.BigEndian.Uint32(data[len(snapshotMagic)+4:])
+	if n > maxSnapshotSize || n != len(data)-hdr {
+		return nil, fmt.Errorf("store: snapshot declares %d payload bytes, has %d", n, len(data)-hdr)
+	}
+	payload := data[hdr:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("store: snapshot CRC mismatch")
+	}
+	return payload, nil
+}
+
+func (s *Store) snapshotPath() string     { return filepath.Join(s.dir, snapshotName) }
+func (s *Store) snapshotPrevPath() string { return filepath.Join(s.dir, snapshotPrevName) }
+
+// writeSnapshotDoc writes a new snapshot from the marshalled lineage
+// document, rotates the previous one into the fallback slot, and compacts
+// the journal.  Order matters for crash safety; see the package comment.
+//
+// marshal runs under the store mutex — the same lock journal appends take.
+// That ordering is what makes compaction lossless under concurrency: the
+// registry commits a version before its observer journals it, so any record
+// the truncate below erases describes a version that committed before
+// marshal ran and is therefore in the snapshot; appends arriving after the
+// truncate land in the fresh journal and replay idempotently on top.
+func (s *Store) writeSnapshotDoc(marshal func() []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data := EncodeSnapshot(marshal())
+	tmp, err := os.CreateTemp(s.dir, snapshotName+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Rotate: current -> prev (a crash here leaves prev + full journal,
+	// which recovers the same state), then temp -> current.
+	if _, err := os.Stat(s.snapshotPath()); err == nil {
+		if err := os.Rename(s.snapshotPath(), s.snapshotPrevPath()); err != nil {
+			return fmt.Errorf("store: rotating snapshot: %w", err)
+		}
+	}
+	if err := os.Rename(tmp.Name(), s.snapshotPath()); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	// The new snapshot covers everything the journal recorded; compact it.
+	// Replay is idempotent, so a crash between the rename and this truncate
+	// (snapshot and journal overlapping) recovers cleanly too.
+	if s.journal != nil {
+		if err := s.journal.Truncate(0); err != nil {
+			return fmt.Errorf("store: compacting journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// readSnapshotDocs loads the best available snapshot: the current one, or
+// — when it is missing or torn — the previous one.  A store with no intact
+// snapshot returns nil docs and no error; the journal alone then carries
+// the history.
+func (s *Store) readSnapshotDocs() ([]discovery.LineageDoc, bool) {
+	fallback := false
+	for _, path := range []string{s.snapshotPath(), s.snapshotPrevPath()} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				s.stats.snapFallbacks.Inc()
+				fallback = true
+			}
+			continue
+		}
+		payload, err := DecodeSnapshot(data)
+		if err != nil {
+			s.stats.snapFallbacks.Inc()
+			fallback = true
+			continue
+		}
+		docs, err := discovery.ParseLineages(payload)
+		if err != nil {
+			s.stats.snapFallbacks.Inc()
+			fallback = true
+			continue
+		}
+		return docs, fallback
+	}
+	return nil, fallback
+}
